@@ -1,0 +1,160 @@
+// Shared pieces for the figure/table reproduction benches: argument
+// parsing, image-message construction, and the middleware latency pipeline
+// used by Figs. 13/14/16.
+//
+// Defaults are sized so `for b in build/bench/*; do $b; done` finishes in a
+// few minutes; `--full` restores the paper's counts (2000 messages at
+// 10 Hz).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/stats.h"
+#include "ros/ros.h"
+#include "sensor_msgs/Image.h"
+#include "sensor_msgs/sfm/Image.h"
+#include "slam/nodes.h"  // NewMessage
+
+namespace bench {
+
+struct Options {
+  int iterations = 100;
+  double hz = 100.0;
+  int warmup = 5;  // unrecorded leading messages (connection setup, faults)
+  bool full = false;
+
+  static Options Parse(int argc, char** argv) {
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--full") {
+        options.full = true;
+        options.iterations = 2000;  // the paper's counts (§5.1)
+        options.hz = 10.0;
+      } else if (arg == "--iters" && i + 1 < argc) {
+        options.iterations = std::atoi(argv[++i]);
+      } else if (arg == "--hz" && i + 1 < argc) {
+        options.hz = std::atof(argv[++i]);
+      }
+    }
+    return options;
+  }
+};
+
+/// The paper's three image sizes (§5.1): ~200KB, ~1MB, ~6MB.
+struct ImageSize {
+  const char* label;
+  uint32_t width;
+  uint32_t height;
+};
+inline constexpr ImageSize kPaperSizes[] = {
+    {"~200KB (256x256x24b)", 256, 256},
+    {"~1MB (800x600x24b)", 800, 600},
+    {"~6MB (1920x1080x24b)", 1920, 1080},
+};
+
+/// Fills an image message (either variant) the way the paper's pub node
+/// does: stamp first (so construction is inside the measured latency), then
+/// the pixel payload.
+template <typename ImageT>
+void FillImage(ImageT& msg, uint32_t width, uint32_t height, uint32_t seq) {
+  msg.header.stamp = rsf::Time::Now();
+  msg.header.seq = seq;
+  msg.header.frame_id = "cam";
+  msg.height = height;
+  msg.width = width;
+  msg.encoding = "rgb8";
+  msg.step = width * 3;
+  const size_t bytes = static_cast<size_t>(width) * height * 3;
+  msg.data.resize(bytes);
+  uint8_t* out = msg.data.data();
+  for (size_t i = 0; i < bytes; i += 4096) {
+    out[i] = static_cast<uint8_t>(i >> 12);  // touch every page
+  }
+  out[bytes - 1] = 0x5A;
+}
+
+/// Blocks until `predicate` or timeout; returns the predicate's value.
+template <typename F>
+bool WaitFor(F&& predicate, uint64_t timeout_nanos = 30'000'000'000ull) {
+  const uint64_t deadline = rsf::MonotonicNanos() + timeout_nanos;
+  while (rsf::MonotonicNanos() < deadline) {
+    if (predicate()) return true;
+    rsf::SleepForNanos(500'000);
+  }
+  return predicate();
+}
+
+/// One pub -> sub latency run over the middleware (Fig. 12 topology).
+/// The subscription can be shaped with a SimLink config (Fig. 16 uses it).
+template <typename ImageT>
+rsf::LatencyRecorder RunPubSub(uint32_t width, uint32_t height,
+                               const Options& options,
+                               rsf::net::LinkConfig link = {}) {
+  ros::master().Reset();
+  ros::NodeHandle pub_node("pub");
+  ros::NodeHandle sub_node("sub");
+
+  std::mutex mutex;
+  rsf::LatencyRecorder recorder;
+  uint64_t seen = 0;
+  const uint64_t skip = static_cast<uint64_t>(options.warmup);
+  ros::SubscribeOptions sub_options;
+  sub_options.inline_dispatch = true;
+  sub_options.link = link;
+  auto sub = sub_node.subscribe<ImageT>(
+      "/image", 10,
+      [&](const std::shared_ptr<const ImageT>& msg) {
+        const uint64_t nanos = rsf::ElapsedSince(msg->header.stamp);
+        // Touch the payload the way a consumer would.
+        const volatile uint8_t probe = msg->data[msg->data.size() - 1];
+        (void)probe;
+        std::lock_guard<std::mutex> lock(mutex);
+        if (++seen > skip) recorder.AddNanos(nanos);
+      },
+      sub_options);
+  auto pub = pub_node.advertise<ImageT>("/image", 10);
+  WaitFor([&] { return pub.getNumSubscribers() == 1; });
+
+  const auto received = [&] {
+    std::lock_guard<std::mutex> lock(mutex);
+    return seen;
+  };
+  rsf::Rate rate(options.hz);
+  const int total = options.iterations + options.warmup;
+  for (int i = 0; i < total; ++i) {
+    auto msg = rsf::slam::NewMessage<ImageT>();
+    FillImage(*msg, width, height, static_cast<uint32_t>(i));
+    pub.publish(*msg);
+    rate.Sleep();
+    // Flow control: cap the in-flight window so a slow consumer (one core
+    // moving 6MB frames) never overflows the drop-oldest queues — the
+    // paper's 10 Hz pacing had the same no-drop property.
+    WaitFor([&] { return received() + 4 >= static_cast<uint64_t>(i + 1); },
+            10'000'000'000ull);
+  }
+  WaitFor([&] { return received() >= static_cast<uint64_t>(total); },
+          10'000'000'000ull);
+
+  std::lock_guard<std::mutex> lock(mutex);
+  return recorder;
+}
+
+inline void PrintRow(const char* system, const char* size_label,
+                     const rsf::LatencyRecorder& recorder) {
+  std::printf("  %-8s %-22s mean %8.3f ms   sd %7.3f   p50 %8.3f   n=%llu\n",
+              system, size_label, recorder.mean_ms(), recorder.stddev_ms(),
+              recorder.Percentile(0.5),
+              static_cast<unsigned long long>(recorder.count()));
+}
+
+inline void PrintReduction(double ros_ms, double rossf_ms) {
+  std::printf("  => ROS-SF reduces mean latency by %.1f%%\n",
+              (1.0 - rossf_ms / ros_ms) * 100.0);
+}
+
+}  // namespace bench

@@ -1,0 +1,28 @@
+// Reproduces paper Fig. 13: intra-machine transmission latency of ROS vs
+// ROS-SF over loopback TCP for three image sizes (~200KB / ~1MB / ~6MB).
+//
+// Expected shape (paper §5.1): ROS-SF is faster at every size, the gap
+// grows with message size (serialization + de-serialization are O(bytes)),
+// reaching roughly a 76% reduction at 6MB.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  const auto options = bench::Options::Parse(argc, argv);
+  rsf::SetLogLevel(rsf::LogLevel::kError);
+
+  std::printf("=== Fig. 13: intra-machine latency, ROS vs ROS-SF ===\n");
+  std::printf("(%d messages per cell at %.0f Hz%s)\n\n", options.iterations,
+              options.hz, options.full ? ", paper-scale" : "");
+
+  for (const auto& size : bench::kPaperSizes) {
+    const auto ros = bench::RunPubSub<sensor_msgs::Image>(
+        size.width, size.height, options);
+    const auto rossf = bench::RunPubSub<sensor_msgs::sfm::Image>(
+        size.width, size.height, options);
+    bench::PrintRow("ROS", size.label, ros);
+    bench::PrintRow("ROS-SF", size.label, rossf);
+    bench::PrintReduction(ros.mean_ms(), rossf.mean_ms());
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,244 @@
+// Reproduces paper Fig. 14: intra-machine latency at the 6MB image size
+// across six middleware/serialization regimes:
+//
+//   ROS           construct struct -> ROS1 serialize -> TCP -> de-serialize
+//   ROS-SF        construct in arena -> TCP -> access in place
+//   ProtoBuf      construct struct -> varint encode -> TCP -> decode
+//   FlatBuf       builder-construct (no serialize) -> TCP -> vtable access
+//   RTI           construct struct -> XCDR2 serialize -> TCP -> de-serialize
+//   RTI-FlatData  XCDR2 builder-construct -> TCP -> member-scan access
+//
+// ROS and ROS-SF run over the full middleware; the four comparators run
+// over the same loopback-TCP framing without a broker, mirroring how the
+// paper benchmarks each system with its own stack.
+//
+// Expected shape (§5.1): the serialization-free variant of each pair beats
+// its serializing sibling; the FlatBuf-ProtoBuf gap is the smallest of the
+// three pairs; RTI-FlatData has the lowest absolute latency; ROS-SF lands
+// in the same scale as FlatData/FlatBuf.
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "net/framing.h"
+#include "net/socket.h"
+#include "serialization/flatbuf_mini.h"
+#include "serialization/protobuf_mini.h"
+#include "serialization/xcdr2.h"
+
+namespace {
+
+using bench::Options;
+
+void FillPixels(uint8_t* out, size_t bytes) {
+  for (size_t i = 0; i < bytes; i += 4096) {
+    out[i] = static_cast<uint8_t>(i >> 12);
+  }
+  out[bytes - 1] = 0x5A;
+}
+
+sensor_msgs::Image MakeStampedImage(uint32_t width, uint32_t height,
+                                    uint32_t seq) {
+  sensor_msgs::Image img;
+  bench::FillImage(img, width, height, seq);
+  return img;
+}
+
+// ---- the four raw-channel adapters ----
+
+struct ProtoAdapter {
+  static constexpr const char* kName = "ProtoBuf";
+  static std::vector<uint8_t> MakeWire(uint32_t w, uint32_t h, uint32_t seq) {
+    const auto img = MakeStampedImage(w, h, seq);  // construct
+    return rsf::ser::pb::Encode(img);              // serialize
+  }
+  static uint64_t Access(const uint8_t* data, size_t size) {
+    sensor_msgs::Image out;
+    SFM_CHECK(rsf::ser::pb::Decode(data, size, out).ok());  // de-serialize
+    const volatile uint8_t probe = out.data[out.data.size() - 1];
+    (void)probe;
+    return rsf::ElapsedSince(out.header.stamp);
+  }
+};
+
+struct RtiAdapter {
+  static constexpr const char* kName = "RTI";
+  static std::vector<uint8_t> MakeWire(uint32_t w, uint32_t h, uint32_t seq) {
+    const auto img = MakeStampedImage(w, h, seq);
+    return rsf::ser::xcdr2::Serialize(img);
+  }
+  static uint64_t Access(const uint8_t* data, size_t size) {
+    sensor_msgs::Image out;
+    SFM_CHECK(rsf::ser::xcdr2::Deserialize(data, size, out).ok());
+    const volatile uint8_t probe = out.data[out.data.size() - 1];
+    (void)probe;
+    return rsf::ElapsedSince(out.header.stamp);
+  }
+};
+
+// Image member indexes shared by the two builder-constructed adapters:
+// 0 header{0 seq, 1 stamp, 2 frame_id}, 1 height, 2 width, 3 encoding,
+// 4 is_bigendian, 5 step, 6 data.
+struct FlatDataAdapter {
+  static constexpr const char* kName = "RTI-FlatData";
+  static std::vector<uint8_t> MakeWire(uint32_t w, uint32_t h, uint32_t seq) {
+    namespace xc = rsf::ser::xcdr2;
+    xc::Builder builder;  // construct AS the serialized bytes (Fig. 4 style)
+    const size_t header_mark = builder.BeginNested(0);
+    builder.AddScalar<uint32_t>(0, seq);
+    builder.AddScalar(1, rsf::Time::Now());
+    builder.AddString(2, "cam");
+    builder.EndNested(header_mark);
+    builder.AddScalar<uint32_t>(1, h);
+    builder.AddScalar<uint32_t>(2, w);
+    builder.AddString(3, "rgb8");
+    builder.AddScalar<uint8_t>(4, 0);
+    builder.AddScalar<uint32_t>(5, w * 3);
+    const size_t bytes = static_cast<size_t>(w) * h * 3;
+    uint8_t* pixels = builder.AddUninitializedVector<uint8_t>(6, bytes);
+    FillPixels(pixels, bytes);
+    return builder.Finish();
+  }
+  static uint64_t Access(const uint8_t* data, size_t size) {
+    const rsf::ser::xcdr2::View view(data, size);  // member-scan accessors
+    const auto stamp = view.GetNested(0).GetScalar<rsf::Time>(1);
+    const auto [pixels, count] = view.GetVector<uint8_t>(6);
+    const volatile uint8_t probe = pixels[count - 1];
+    (void)probe;
+    return rsf::ElapsedSince(stamp);
+  }
+};
+
+struct FlatBufAdapter {
+  static constexpr const char* kName = "FlatBuf";
+  static std::vector<uint8_t> MakeWire(uint32_t w, uint32_t h, uint32_t seq) {
+    namespace fb = rsf::ser::fb;
+    fb::Builder builder;
+
+    // header sub-table first (payloads precede the tables referencing them).
+    const auto frame = builder.CreateString("cam");
+    builder.StartTable(3);
+    builder.AddScalar<uint32_t>(0, seq);
+    builder.AddScalar(1, rsf::Time::Now());
+    builder.AddRef(2, frame);
+    const auto header = builder.FinishTable();
+
+    const auto encoding = builder.CreateString("rgb8");
+    const size_t bytes = static_cast<size_t>(w) * h * 3;
+    auto [data_ref, pixels] = builder.CreateUninitializedVector<uint8_t>(bytes);
+    FillPixels(pixels, bytes);
+
+    builder.StartTable(7);
+    builder.AddRef(0, header);
+    builder.AddScalar<uint32_t>(1, h);
+    builder.AddScalar<uint32_t>(2, w);
+    builder.AddRef(3, encoding);
+    builder.AddScalar<uint8_t>(4, 0);
+    builder.AddScalar<uint32_t>(5, w * 3);
+    builder.AddRef(6, data_ref);
+    return builder.Finish(builder.FinishTable());
+  }
+  static uint64_t Access(const uint8_t* data, size_t size) {
+    const auto root = rsf::ser::fb::GetRoot(data, size);  // vtable accessors
+    const auto stamp = root.GetTable(0).GetScalar<rsf::Time>(1);
+    const auto [pixels, count] = root.GetVector<uint8_t>(6);
+    const volatile uint8_t probe = pixels[count - 1];
+    (void)probe;
+    return rsf::ElapsedSince(stamp);
+  }
+};
+
+/// Runs one adapter over a dedicated loopback TCP channel.
+template <typename Adapter>
+rsf::LatencyRecorder RunRaw(uint32_t width, uint32_t height,
+                            const Options& options) {
+  auto listener = rsf::net::TcpListener::Listen(0);
+  SFM_CHECK(listener.ok());
+
+  std::mutex mutex;
+  rsf::LatencyRecorder recorder;
+  std::thread receiver([&] {
+    auto conn = listener->Accept();
+    SFM_CHECK(conn.ok());
+    (void)conn->SetNoDelay(true);
+    std::vector<uint8_t> buffer;
+    for (int i = 0; i < options.iterations; ++i) {
+      uint32_t length = 0;
+      const auto status = rsf::net::ReadFrame(
+          *conn,
+          [&](uint32_t len) {
+            buffer.resize(len);
+            return buffer.data();
+          },
+          &length);
+      if (!status.ok()) return;
+      const uint64_t nanos = Adapter::Access(buffer.data(), length);
+      std::lock_guard<std::mutex> lock(mutex);
+      recorder.AddNanos(nanos);
+    }
+  });
+
+  auto conn = rsf::net::TcpConnection::Connect("127.0.0.1", listener->port());
+  SFM_CHECK(conn.ok());
+  (void)conn->SetNoDelay(true);
+  rsf::Rate rate(options.hz);
+  for (int i = 0; i < options.iterations; ++i) {
+    const auto wire =
+        Adapter::MakeWire(width, height, static_cast<uint32_t>(i));
+    SFM_CHECK(rsf::net::WriteFrame(*conn, wire).ok());
+    rate.Sleep();
+  }
+  receiver.join();
+  std::lock_guard<std::mutex> lock(mutex);
+  return recorder;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::Options::Parse(argc, argv);
+  if (!options.full && options.iterations > 60) {
+    options.iterations = 60;
+    options.hz = 30.0;
+  }
+  rsf::SetLogLevel(rsf::LogLevel::kError);
+
+  constexpr uint32_t kWidth = 1920;
+  constexpr uint32_t kHeight = 1080;  // the paper's 6MB configuration
+
+  std::printf("=== Fig. 14: intra-machine latency at 6MB across middleware "
+              "===\n(%d messages per system)\n\n",
+              options.iterations);
+
+  const auto ros =
+      bench::RunPubSub<sensor_msgs::Image>(kWidth, kHeight, options);
+  const auto rossf =
+      bench::RunPubSub<sensor_msgs::sfm::Image>(kWidth, kHeight, options);
+  const auto proto = RunRaw<ProtoAdapter>(kWidth, kHeight, options);
+  const auto flatbuf = RunRaw<FlatBufAdapter>(kWidth, kHeight, options);
+  const auto rti = RunRaw<RtiAdapter>(kWidth, kHeight, options);
+  const auto flatdata = RunRaw<FlatDataAdapter>(kWidth, kHeight, options);
+
+  struct Row {
+    const char* name;
+    const rsf::LatencyRecorder* recorder;
+  };
+  const Row rows[] = {
+      {"ROS", &ros},         {"ROS-SF", &rossf},
+      {"ProtoBuf", &proto},  {"FlatBuf", &flatbuf},
+      {"RTI", &rti},         {"RTI-FlatData", &flatdata},
+  };
+  for (const auto& row : rows) {
+    std::printf("  %-14s mean %8.3f ms   sd %7.3f   p50 %8.3f\n", row.name,
+                row.recorder->mean_ms(), row.recorder->stddev_ms(),
+                row.recorder->Percentile(0.5));
+  }
+
+  std::printf("\n  pair gaps (serializing - serialization-free):\n");
+  std::printf("    ROS      - ROS-SF       : %8.3f ms\n",
+              ros.mean_ms() - rossf.mean_ms());
+  std::printf("    ProtoBuf - FlatBuf      : %8.3f ms\n",
+              proto.mean_ms() - flatbuf.mean_ms());
+  std::printf("    RTI      - RTI-FlatData : %8.3f ms\n",
+              rti.mean_ms() - flatdata.mean_ms());
+  return 0;
+}

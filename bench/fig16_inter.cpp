@@ -1,0 +1,118 @@
+// Reproduces paper Fig. 16: inter-machine ping-pong latency of ROS vs
+// ROS-SF for three image sizes.
+//
+// Topology (paper Fig. 15): pub and sub live on "machine A", trans on
+// "machine B".  The two hops A->B and B->A cross a simulated Intel-82599
+// 10 GbE link (net::SimLink; see DESIGN.md substitutions).  The recorded
+// time spans two constructions, two (de)serializations under plain ROS, and
+// two wire crossings; halve it for one-way latency.
+//
+// Expected shape (§5.2): ROS-SF cuts the ping-pong latency at every size,
+// by roughly 70% at 6MB.
+#include "bench/bench_util.h"
+
+namespace {
+
+template <typename ImageT>
+rsf::LatencyRecorder RunPingPong(uint32_t width, uint32_t height,
+                                 const bench::Options& options) {
+  ros::master().Reset();
+  ros::NodeHandle pub_node("pub");
+  ros::NodeHandle trans_node("trans");
+  ros::NodeHandle sub_node("sub");
+
+  const auto ten_gige = rsf::net::LinkConfig::TenGigE();
+
+  // trans (machine B): re-publishes each image with the original stamp.
+  ros::Publisher trans_pub = trans_node.advertise<ImageT>("/pong", 10);
+  ros::SubscribeOptions hop_a_to_b;
+  hop_a_to_b.inline_dispatch = true;
+  hop_a_to_b.link = ten_gige;
+  auto trans_sub = trans_node.subscribe<ImageT>(
+      "/ping", 10,
+      [&](const std::shared_ptr<const ImageT>& in) {
+        auto out = rsf::slam::NewMessage<ImageT>();
+        out->header.stamp = in->header.stamp;  // carry the A-side clock
+        out->header.seq = in->header.seq;
+        out->header.frame_id = "pong";
+        out->height = in->height;
+        out->width = in->width;
+        out->encoding = "rgb8";
+        out->step = in->step;
+        out->data.resize(in->data.size());
+        std::memcpy(out->data.data(), in->data.data(), in->data.size());
+        trans_pub.publish(*out);
+      },
+      hop_a_to_b);
+
+  // sub (machine A): records now - stamp; both clocks are machine A's.
+  std::mutex mutex;
+  rsf::LatencyRecorder recorder;
+  ros::SubscribeOptions hop_b_to_a;
+  hop_b_to_a.inline_dispatch = true;
+  hop_b_to_a.link = ten_gige;
+  auto sub = sub_node.subscribe<ImageT>(
+      "/pong", 10,
+      [&](const std::shared_ptr<const ImageT>& msg) {
+        const uint64_t nanos = rsf::ElapsedSince(msg->header.stamp);
+        std::lock_guard<std::mutex> lock(mutex);
+        recorder.AddNanos(nanos);
+      },
+      hop_b_to_a);
+
+  ros::Publisher pub = pub_node.advertise<ImageT>("/ping", 10);
+  bench::WaitFor([&] {
+    return pub.getNumSubscribers() == 1 && trans_pub.getNumSubscribers() == 1;
+  });
+
+  const auto received = [&] {
+    std::lock_guard<std::mutex> lock(mutex);
+    return recorder.count();
+  };
+  rsf::Rate rate(options.hz);
+  for (int i = 0; i < options.iterations; ++i) {
+    auto msg = rsf::slam::NewMessage<ImageT>();
+    bench::FillImage(*msg, width, height, static_cast<uint32_t>(i));
+    pub.publish(*msg);
+    rate.Sleep();
+    // Flow control: bound the in-flight window (see bench_util.h).
+    bench::WaitFor(
+        [&] { return received() + 2 >= static_cast<uint64_t>(i + 1); },
+        10'000'000'000ull);
+  }
+  bench::WaitFor([&] {
+    return received() >= static_cast<uint64_t>(options.iterations);
+  }, 10'000'000'000ull);
+
+  std::lock_guard<std::mutex> lock(mutex);
+  return recorder;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::Options::Parse(argc, argv);
+  if (!options.full && options.iterations > 60) {
+    options.iterations = 60;  // two 6MB hops per iteration: keep it brisk
+    options.hz = 20.0;
+  }
+  rsf::SetLogLevel(rsf::LogLevel::kError);
+
+  std::printf(
+      "=== Fig. 16: inter-machine ping-pong latency, ROS vs ROS-SF ===\n");
+  std::printf("(pub/sub on machine A, trans on machine B; simulated 10 GbE "
+              "link; %d pings per cell)\n\n",
+              options.iterations);
+
+  for (const auto& size : bench::kPaperSizes) {
+    const auto ros = RunPingPong<sensor_msgs::Image>(size.width, size.height,
+                                                     options);
+    const auto rossf = RunPingPong<sensor_msgs::sfm::Image>(
+        size.width, size.height, options);
+    bench::PrintRow("ROS", size.label, ros);
+    bench::PrintRow("ROS-SF", size.label, rossf);
+    bench::PrintReduction(ros.mean_ms(), rossf.mean_ms());
+    std::printf("  (one-way latency ~ ping-pong / 2)\n\n");
+  }
+  return 0;
+}

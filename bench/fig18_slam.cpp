@@ -1,0 +1,133 @@
+// Reproduces paper Fig. 18: the ORB-SLAM application case study — overall
+// latency from input-image creation to the arrival of each output (pose,
+// point cloud, debug image), for ROS vs ROS-SF.
+//
+// Topology (paper Fig. 17): pub_tum -> orb_slam -> {pose, cloud, debug}
+// sinks.  The SLAM compute (tuned to the paper's reported 30-40 ms via the
+// pipeline's work_factor) dominates, so the expected improvement is modest:
+// the paper reports ~5%.
+#include "bench/bench_util.h"
+#include <algorithm>
+
+#include "slam/nodes.h"
+
+namespace {
+
+struct CaseResult {
+  rsf::LatencyRecorder pose;
+  rsf::LatencyRecorder cloud;
+  rsf::LatencyRecorder debug;
+  double compute_ms = 0;
+};
+
+template <typename Msgs>
+void RunRound(int frames, double hz, int work_factor, CaseResult* result) {
+  ros::master().Reset();
+  {
+    typename rsf::slam::SlamNode<Msgs>::Config config;
+    config.slam.work_factor = work_factor;
+    rsf::slam::SlamNode<Msgs> slam(config);
+    rsf::slam::LatencySinkNode<typename Msgs::PoseStamped> pose_sink(
+        "pose_sink", "/pose");
+    rsf::slam::LatencySinkNode<typename Msgs::PointCloud2> cloud_sink(
+        "cloud_sink", "/pointcloud");
+    rsf::slam::LatencySinkNode<typename Msgs::Image> debug_sink(
+        "debug_sink", "/debug_image");
+    rsf::slam::TumPublisherNode<Msgs> source(640, 480);
+
+    bench::WaitFor([&] { return source.NumSubscribers() == 1; });
+
+    rsf::Rate rate(hz);
+    double compute_total = 0;
+    for (int i = 0; i < frames; ++i) {
+      source.PublishOne();
+      bench::WaitFor([&] {
+        return debug_sink.count() >= static_cast<uint64_t>(i + 1) &&
+               cloud_sink.count() >= static_cast<uint64_t>(i + 1) &&
+               pose_sink.count() >= static_cast<uint64_t>(i + 1);
+      });
+      compute_total += slam.last_compute_millis();
+      rate.Sleep();
+    }
+    const auto pose_snap = pose_sink.snapshot();
+    const auto cloud_snap = cloud_sink.snapshot();
+    const auto debug_snap = debug_sink.snapshot();
+    for (const double ms : pose_snap.samples()) result->pose.AddMillis(ms);
+    for (const double ms : cloud_snap.samples()) result->cloud.AddMillis(ms);
+    for (const double ms : debug_snap.samples()) result->debug.AddMillis(ms);
+    result->compute_ms += compute_total / frames;
+  }
+  ros::master().Reset();
+}
+
+void PrintCase(const char* name, const CaseResult& result) {
+  std::printf("  %-7s pose        mean %7.3f ms  sd %6.3f\n", name,
+              result.pose.mean_ms(), result.pose.stddev_ms());
+  std::printf("  %-7s point cloud mean %7.3f ms  sd %6.3f\n", name,
+              result.cloud.mean_ms(), result.cloud.stddev_ms());
+  std::printf("  %-7s debug image mean %7.3f ms  sd %6.3f\n", name,
+              result.debug.mean_ms(), result.debug.stddev_ms());
+  std::printf("  %-7s (SLAM compute per frame: %.1f ms)\n\n", name,
+              result.compute_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::Options::Parse(argc, argv);
+  const int frames = options.full ? 400 : 80;
+  rsf::SetLogLevel(rsf::LogLevel::kError);
+
+  // Calibrate work_factor so SLAM compute lands in the paper's 30-40 ms.
+  int work_factor = 1;
+  {
+    // Probe steady-state frames (the first has no previous frame to match
+    // against, so it under-reports); take the median of a few.
+    rsf::slam::FrameGenerator gen(640, 480);
+    rsf::slam::OrbSlamLite::Config probe_config;
+    probe_config.work_factor = 1;
+    rsf::slam::OrbSlamLite probe(probe_config);
+    std::vector<double> costs;
+    for (int i = 0; i < 5; ++i) {
+      const auto frame = gen.Next();
+      costs.push_back(
+          probe.ProcessFrame(frame.gray.data(), 640, 480).compute_millis);
+    }
+    std::sort(costs.begin(), costs.end());
+    const double one_pass = costs[costs.size() / 2];
+    // Extra passes add detection only (~60% of a full pass); solve
+    // one_pass * (1 + 0.6*(wf-1)) ~= 35ms.
+    work_factor =
+        one_pass > 0.1
+            ? std::max(1, static_cast<int>((35.0 / one_pass - 1.0) / 0.6) + 1)
+            : 8;
+  }
+
+  std::printf("=== Fig. 18: ORB-SLAM case study, overall latency ===\n"
+              "(%d frames at 10 Hz, 640x480 RGB, work_factor=%d)\n\n",
+              frames, work_factor);
+
+  // Interleave the two variants in rounds so slow machine-state drift
+  // (thermal / background load) hits both equally.
+  constexpr int kRounds = 4;
+  CaseResult ros;
+  CaseResult rossf;
+  for (int round = 0; round < kRounds; ++round) {
+    RunRound<rsf::slam::RegularMsgs>(frames / kRounds, 10.0, work_factor,
+                                     &ros);
+    RunRound<rsf::slam::SfmMsgs>(frames / kRounds, 10.0, work_factor, &rossf);
+  }
+  ros.compute_ms /= kRounds;
+  rossf.compute_ms /= kRounds;
+
+  PrintCase("ROS", ros);
+  PrintCase("ROS-SF", rossf);
+
+  const auto reduce = [](double a, double b) { return (1.0 - b / a) * 100.0; };
+  std::printf("  overall latency reduction by ROS-SF: pose %.1f%%, "
+              "cloud %.1f%%, debug %.1f%%\n",
+              reduce(ros.pose.mean_ms(), rossf.pose.mean_ms()),
+              reduce(ros.cloud.mean_ms(), rossf.cloud.mean_ms()),
+              reduce(ros.debug.mean_ms(), rossf.debug.mean_ms()));
+  return 0;
+}

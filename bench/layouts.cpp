@@ -1,0 +1,140 @@
+// Reproduces the paper's memory-layout figures on the running example (the
+// simplified Image of Fig. 1 with encoding="rgb8", height=width=10, and 300
+// data bytes):
+//
+//   Fig. 5  XCDR2 / FlatData parameter-list layout
+//   Fig. 6  FlatBuffer vtable + root-table layout
+//   Fig. 7  SFM skeleton layout (printed from the actual live arena)
+//
+// The byte values printed here are asserted in the unit tests; this binary
+// exists so the tables can be eyeballed against the paper.
+#include <cstdio>
+#include <filesystem>
+
+#include "common/endian.h"
+#include "gen/layout.h"
+#include "idl/registry.h"
+#include "paper_msgs/sfm/Image.h"
+#include "serialization/flatbuf_mini.h"
+#include "serialization/xcdr2.h"
+#include "sfm/sfm.h"
+
+namespace {
+
+std::string FindDir(const char* name) {
+  namespace fs = std::filesystem;
+  for (const char* prefix : {"", "../", "../../", "../../../"}) {
+    const std::string candidate = std::string(prefix) + name;
+    std::error_code ec;
+    if (fs::is_directory(candidate, ec)) return candidate;
+  }
+  return name;
+}
+
+void DumpWords(const uint8_t* data, size_t begin, size_t end,
+               const char* note_at_begin) {
+  std::printf("    %s\n", note_at_begin);
+  for (size_t at = begin; at + 4 <= end; at += 4) {
+    std::printf("    0x%04zx  %02x %02x %02x %02x   (u32 %u)\n", at, data[at],
+                data[at + 1], data[at + 2], data[at + 3],
+                rsf::LoadLE<uint32_t>(data + at));
+  }
+}
+
+}  // namespace
+
+int main() {
+  // ---- Fig. 5: XCDR2 (member indexes as in the figure) ----
+  std::printf("=== Fig. 5: XCDR2 / FlatData layout of the Image example "
+              "===\n");
+  {
+    rsf::ser::xcdr2::Builder builder;
+    builder.AddString(2, "rgb8");
+    builder.AddScalar<uint32_t>(0, 10);
+    builder.AddScalar<uint32_t>(1, 10);
+    std::vector<uint8_t> pixels(300, 0);
+    builder.AddVector(3, pixels.data(), pixels.size());
+    const auto buffer = builder.Finish();
+    std::printf("  total size: 0x%04zx (%zu) bytes — paper: 0x0154\n",
+                buffer.size(), buffer.size());
+    DumpWords(buffer.data(), 0x0000, 0x0010,
+              "encoding: EMHEADER 0x40000002, length 8, \"rgb8\\0...\"");
+    DumpWords(buffer.data(), 0x0010, 0x0020,
+              "height/width: EMHEADER 0x2000000x, value 10");
+    DumpWords(buffer.data(), 0x0020, 0x0028,
+              "data: EMHEADER 0x40000003, length 300, then 300 bytes");
+  }
+
+  // ---- Fig. 6: FlatBuffer ----
+  std::printf("\n=== Fig. 6: FlatBuffer layout of the Image example ===\n");
+  {
+    namespace fb = rsf::ser::fb;
+    fb::Builder builder;
+    const auto encoding = builder.CreateString("rgb8");
+    std::vector<uint8_t> pixels(300, 0);
+    const auto data = builder.CreateVector(pixels.data(), pixels.size());
+    builder.StartTable(4);
+    builder.AddRef(0, encoding);
+    builder.AddScalar<uint32_t>(1, 10);
+    builder.AddScalar<uint32_t>(2, 10);
+    builder.AddRef(3, data);
+    const auto root = builder.FinishTable();
+    const auto buffer = builder.Finish(root);
+
+    const auto root_pos = rsf::LoadLE<uint32_t>(buffer.data());
+    const auto vtable_pos =
+        root_pos + rsf::LoadLE<int32_t>(buffer.data() + root_pos);
+    std::printf("  total size: %zu bytes; root table at 0x%04x, vtable at "
+                "0x%04x\n",
+                buffer.size(), root_pos, vtable_pos);
+    std::printf("  vtable: size %u, table size %u, slot offsets:",
+                rsf::LoadLE<uint16_t>(buffer.data() + vtable_pos),
+                rsf::LoadLE<uint16_t>(buffer.data() + vtable_pos + 2));
+    for (int slot = 0; slot < 4; ++slot) {
+      std::printf(" %u",
+                  rsf::LoadLE<uint16_t>(buffer.data() + vtable_pos + 4 +
+                                        2 * slot));
+    }
+    std::printf("\n");
+    DumpWords(buffer.data(), root_pos, root_pos + 20,
+              "root table: vtable offset, then field slots");
+    std::printf("  (fields reachable only through the vtable indirection — "
+                "the transparency failure of §3.3)\n");
+  }
+
+  // ---- Fig. 7: SFM, from a real arena ----
+  std::printf("\n=== Fig. 7: SFM layout of the Image example (live arena) "
+              "===\n");
+  {
+    auto img = sfm::make_message<paper_msgs::sfm::Image>();
+    img->encoding = "rgb8";
+    img->height = 10;
+    img->width = 10;
+    img->data.resize(300);
+    const auto info = sfm::gmm().Find(img.get());
+    SFM_CHECK(info.has_value());
+    std::printf("  whole message: %zu bytes (paper: 0x014c = 332)\n",
+                info->size);
+    const auto* bytes = info->start;
+    DumpWords(bytes, 0x0000, 0x0008,
+              "encoding skeleton: length 8, offset 20 (content at 0x0018)");
+    DumpWords(bytes, 0x0008, 0x0010, "height 10, width 10");
+    DumpWords(bytes, 0x0010, 0x0018,
+              "data skeleton: length 300, offset 12 (content at 0x0020)");
+    std::printf("    0x0018  '%c%c%c%c'        encoding content\n", bytes[0x18],
+                bytes[0x19], bytes[0x1a], bytes[0x1b]);
+  }
+
+  // ---- the generator's static layout table ----
+  rsf::idl::SpecRegistry registry;
+  if (registry.LoadDirectory(FindDir("msgs")).ok()) {
+    const auto layout =
+        rsf::gen::ComputeSfmLayout(registry, "paper_msgs/Image");
+    if (layout.ok()) {
+      std::printf("\n%s",
+                  rsf::gen::RenderLayoutTable(*layout, "paper_msgs/Image")
+                      .c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Representative applicable file: a camera driver filling a fresh Image.
+#include "sensor_msgs/Image.h"
+
+using namespace sensor_msgs;
+
+void capture(ros::Publisher& pub, unsigned seq, int h, int w) {
+  Image img;
+  img.header.seq = seq;
+  img.header.frame_id = "camera_optical";
+  img.height = h;
+  img.width = w;
+  img.encoding = "rgb8";
+  img.step = w * 3;
+  img.data.resize(h * w * 3);
+  for (int i = 0; i < h * w * 3; ++i) img.data[i] = read_pixel(i);
+  pub.publish(img);
+}

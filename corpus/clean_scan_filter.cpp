@@ -1,0 +1,17 @@
+// Representative applicable file: a LaserScan filter with a typedef'd
+// message alias (exercises the converter's alias resolution).
+#include "sensor_msgs/LaserScan.h"
+
+typedef sensor_msgs::LaserScan Scan;
+
+void filter(const Scan::ConstPtr& in, ros::Publisher& pub) {
+  Scan out;
+  out.header.frame_id = "laser_link";
+  out.angle_min = in->angle_min;
+  out.angle_max = in->angle_max;
+  out.ranges.resize(in->ranges.size());
+  for (size_t i = 0; i < in->ranges.size(); ++i) {
+    out.ranges[i] = clamp(in->ranges[i]);
+  }
+  pub.publish(out);
+}

@@ -1,0 +1,14 @@
+// Paper Fig. 19 — image_rotate_nodelet.cpp shape: an OpenCV-transformed
+// image is converted to a ROS message by a helper, then one header field is
+// patched afterwards.  The patch is a second write to an assigned string
+// (violates the One-Shot String Assignment Assumption).
+#include "sensor_msgs/Image.h"
+
+void do_work(const sensor_msgs::Image::ConstPtr& msg,
+             ros::Publisher& img_pub_, const TransformStamped& transform) {
+  cv::Mat out_image = rotate(msg);
+  sensor_msgs::Image::Ptr out_img =
+      cv_bridge::CvImage(msg->header, msg->encoding, out_image).toImageMsg();
+  out_img->header.frame_id = transform.child_frame_id;  // line 219
+  img_pub_.publish(out_img);
+}

@@ -1,0 +1,14 @@
+// Paper Fig. 19, lower half — the rewritten version that satisfies the
+// assumption: the final frame_id is supplied to the conversion helper, so
+// every string is assigned exactly once.
+#include "sensor_msgs/Image.h"
+
+void do_work(const sensor_msgs::Image::ConstPtr& msg,
+             ros::Publisher& img_pub_, const TransformStamped& transform) {
+  cv::Mat out_image = rotate(msg);
+  Header header_tmp = {msg->header.seq, msg->header.stamp,
+                       transform.child_frame_id};
+  sensor_msgs::Image::Ptr out_img =
+      cv_bridge::CvImage(header_tmp, msg->encoding, out_image).toImageMsg();
+  img_pub_.publish(out_img);
+}

@@ -1,0 +1,17 @@
+// Paper Fig. 20 — stereo_image_proc processor.cpp shape: a DisparityImage
+// output parameter whose nested Image vector is resized.  Callers may pass
+// an already-sized message, so this is a possible violation of the One-Shot
+// Vector Resizing Assumption (the paper counts it as a failure).
+#include "stereo_msgs/DisparityImage.h"
+
+void processDisparity(const cv::Mat& left_rect, const cv::Mat& right_rect,
+                      const image_geometry::StereoCameraModel& model,
+                      stereo_msgs::DisparityImage& disparity) {
+  static const int DPP = 16;
+  sensor_msgs::Image& dimage = disparity.image;  // line 104
+  dimage.height = left_rect.rows;
+  dimage.width = left_rect.cols;
+  dimage.step = dimage.width * 4;
+  dimage.data.resize(dimage.step * dimage.height);  // line 109
+  (void)right_rect; (void)model; (void)DPP;
+}

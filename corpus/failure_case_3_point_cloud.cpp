@@ -1,0 +1,18 @@
+// Paper Fig. 21 — the push_back pattern: only valid points are appended, so
+// the points vector is built with a modifier method (violates the No
+// Modifier Assumption; a compile error under ROS-SF).
+#include "sensor_msgs/PointCloud.h"
+
+void processPoints(const cv::Mat_<cv::Vec3f>& dense_points_,
+                   sensor_msgs::PointCloud& points) {
+  points.points.resize(0);  // line 147
+  for (int32_t u = 0; u < dense_points_.rows; ++u) {
+    for (int32_t v = 0; v < dense_points_.cols; ++v) {
+      if (isValidPoint(dense_points_(u, v))) {
+        geometry_msgs::Point32 pt;
+        pt.x = dense_points_(u, v)[0];
+        points.points.push_back(pt);  // line 164
+      }
+    }
+  }
+}

@@ -1,0 +1,24 @@
+// Paper Fig. 21, lower half — the rewritten version: count valid points
+// first, resize once, then index-assign.  Also faster under plain ROS.
+#include "sensor_msgs/PointCloud.h"
+
+void processPoints(const cv::Mat_<cv::Vec3f>& dense_points_,
+                   ros::Publisher& pub) {
+  sensor_msgs::PointCloud points;
+  int cnt = 0, total_valid = 0;
+  for (int32_t u = 0; u < dense_points_.rows; ++u)
+    for (int32_t v = 0; v < dense_points_.cols; ++v)
+      if (isValidPoint(dense_points_(u, v)))
+        total_valid++;
+  points.points.resize(total_valid);
+  for (int32_t u = 0; u < dense_points_.rows; ++u) {
+    for (int32_t v = 0; v < dense_points_.cols; ++v) {
+      if (isValidPoint(dense_points_(u, v))) {
+        geometry_msgs::Point32 pt;
+        pt.x = dense_points_(u, v)[0];
+        points.points[cnt++] = pt;
+      }
+    }
+  }
+  pub.publish(points);
+}

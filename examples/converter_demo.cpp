@@ -1,0 +1,106 @@
+// converter_demo: runs the ROS-SF Converter over a source file — the
+// §4.3.2 workflow.  Prints the assumption-check report and, when the file
+// declares messages on the stack, the Fig. 11 heap rewrite.
+//
+//   $ ./converter_demo [file.cpp]        (defaults to a built-in sample)
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "converter/analyzer.h"
+#include "converter/rewriter.h"
+#include "idl/registry.h"
+
+namespace {
+
+const char kSample[] = R"cpp(
+#include "sensor_msgs/Image.h"
+
+void camera_capture(ros::Publisher& pub, int h, int w) {
+  sensor_msgs::Image img;
+  img.header.frame_id = "camera";
+  img.encoding = "rgb8";
+  img.height = h;
+  img.width = w;
+  img.data.resize(h * w * 3);
+  pub.publish(img);
+}
+
+void patch_frame(const sensor_msgs::Image::ConstPtr& msg,
+                 ros::Publisher& pub) {
+  sensor_msgs::Image::Ptr out = convert(msg).toImageMsg();
+  out->header.frame_id = "patched";  // second write to an assigned string!
+  pub.publish(out);
+}
+)cpp";
+
+std::string FindDir(const char* name) {
+  namespace fs = std::filesystem;
+  for (const char* prefix : {"", "../", "../../", "../../../"}) {
+    const std::string candidate = std::string(prefix) + name;
+    std::error_code ec;
+    if (fs::is_directory(candidate, ec)) return candidate;
+  }
+  return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rsf::conv;
+
+  rsf::idl::SpecRegistry registry;
+  const auto status = registry.LoadDirectory(FindDir("msgs"));
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot load message IDL: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  const TypeTable types = TypeTable::FromRegistry(registry);
+
+  std::string source = kSample;
+  std::string origin = "<built-in sample>";
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    source = text.str();
+    origin = argv[1];
+  }
+
+  const FileReport report = AnalyzeSource(source, types);
+
+  std::printf("== ROS-SF Converter report for %s ==\n\n", origin.c_str());
+  std::printf("message classes used:\n");
+  for (const auto& message_class : report.classes_used) {
+    std::printf("  %s (%s)\n", message_class.c_str(),
+                report.Applicable(message_class) ? "applicable"
+                                                 : "needs attention");
+  }
+
+  if (report.findings.empty()) {
+    std::printf("\nno assumption violations: ROS-SF applies transparently.\n");
+  } else {
+    std::printf("\nassumption violations (fix before enabling ROS-SF):\n");
+    for (const auto& finding : report.findings) {
+      std::printf("  line %3d  %-22s %s\n           %s\n", finding.line,
+                  FindingKindName(finding.kind), finding.path.c_str(),
+                  finding.note.c_str());
+    }
+  }
+
+  const auto rewrite = RewriteStackDeclarations(source, report);
+  if (rewrite.rewritten > 0) {
+    std::printf("\n== Fig. 11 rewrite: %zu stack declaration(s) converted to "
+                "heap ==\n%s",
+                rewrite.rewritten, rewrite.source.c_str());
+  } else {
+    std::printf("\nno stack message declarations to rewrite.\n");
+  }
+  return 0;
+}

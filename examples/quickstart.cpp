@@ -1,0 +1,68 @@
+// Quickstart: the paper's Fig. 3 program pattern, verbatim — then the same
+// code again with the serialization-free message variant.  The only change
+// between the two halves is the type alias: that is the transparency claim.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "common/clock.h"
+#include "ros/ros.h"
+#include "sensor_msgs/Image.h"
+#include "sensor_msgs/sfm/Image.h"
+
+namespace {
+
+/// The Fig. 3 pattern, templated only on the message type.
+template <typename Image>
+void RunFig3Pattern(const char* label) {
+  ros::master().Reset();
+
+  // ---- Subscriber side ----
+  ros::NodeHandle sub_nh("listener");
+  auto callback = [](const typename Image::ConstPtr& img) {
+    std::printf("  Height: %u\n", img->height);
+    std::printf("  Width:  %u\n", img->width);
+    std::printf("  Encoding: %s\n", img->encoding.c_str());
+    std::printf("  First/last pixel: %u / %u\n", img->data[0],
+                img->data[img->data.size() - 1]);
+  };
+  ros::Subscriber sub = sub_nh.subscribe<Image>("/image", 10, callback);
+
+  // ---- Publisher side ----
+  ros::NodeHandle nh("talker");
+  ros::Publisher pub = nh.advertise<Image>("/image", 10);
+  while (pub.getNumSubscribers() == 0) rsf::SleepForNanos(1'000'000);
+
+  // `Image img;` on the stack is what unconverted ROS code writes; the
+  // ROS-SF Converter rewrites it to heap allocation (Fig. 11).  Here we
+  // write the converted form directly.
+  std::shared_ptr<Image> ptmp_img(new Image);
+  Image& img = *ptmp_img;
+  img.encoding = "rgb8";
+  img.height = 10;
+  img.width = 10;
+  img.data.resize(10 * 10 * 3);
+  for (size_t i = 0; i < img.data.size(); ++i) {
+    img.data[i] = static_cast<uint8_t>(i);
+  }
+  pub.publish(img);
+
+  std::printf("%s published a 10x10 rgb8 image:\n", label);
+  while (sub.receivedCount() == 0) rsf::SleepForNanos(1'000'000);
+  sub_nh.spinOnceFor(1'000'000'000ull);
+  ros::master().Reset();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== regular ROS messages (serialized on publish) ==\n");
+  RunFig3Pattern<sensor_msgs::Image>("ROS");
+
+  std::printf("\n== SFM messages (serialization-free, same code) ==\n");
+  RunFig3Pattern<sensor_msgs::sfm::Image>("ROS-SF");
+
+  std::printf("\nBoth halves ran the same source; only the message type "
+              "alias changed.\n");
+  return 0;
+}

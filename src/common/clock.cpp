@@ -1,0 +1,48 @@
+#include "common/clock.h"
+
+#include <thread>
+
+namespace rsf {
+
+Time Time::Now() noexcept {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+  return Time::FromNanos(static_cast<uint64_t>(nanos));
+}
+
+uint64_t MonotonicNanos() noexcept {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+uint64_t ElapsedSince(const Time& stamp) noexcept {
+  const Time now = Time::Now();
+  const uint64_t now_ns = now.ToNanos();
+  const uint64_t then_ns = stamp.ToNanos();
+  return now_ns > then_ns ? now_ns - then_ns : 0;
+}
+
+void SleepForNanos(uint64_t nanos) {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+}
+
+Rate::Rate(double hz)
+    : period_nanos_(hz > 0 ? static_cast<uint64_t>(1e9 / hz) : 0),
+      next_deadline_(MonotonicNanos() + period_nanos_) {}
+
+bool Rate::Sleep() {
+  const uint64_t now = MonotonicNanos();
+  if (period_nanos_ == 0) return true;
+  if (now >= next_deadline_) {
+    // Overrun: re-anchor the schedule at the current time.
+    next_deadline_ = now + period_nanos_;
+    return false;
+  }
+  SleepForNanos(next_deadline_ - now);
+  next_deadline_ += period_nanos_;
+  return true;
+}
+
+}  // namespace rsf

@@ -1,0 +1,90 @@
+// Time vocabulary shared by the middleware, the benchmarks, and the message
+// `Header.stamp` field.
+//
+// rsf::Time mirrors ROS1 `ros::Time`: (sec, nsec) since the Unix epoch.  It
+// is a fixed-size POD so it can live inside SFM skeletons unchanged.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace rsf {
+
+/// ROS1-style wall-clock timestamp: seconds + nanoseconds since epoch.
+struct Time {
+  uint32_t sec = 0;
+  uint32_t nsec = 0;
+
+  /// Current wall-clock time.
+  static Time Now() noexcept;
+
+  /// Constructs from a total nanosecond count since epoch.
+  static Time FromNanos(uint64_t nanos) noexcept {
+    return Time{static_cast<uint32_t>(nanos / 1000000000ull),
+                static_cast<uint32_t>(nanos % 1000000000ull)};
+  }
+
+  [[nodiscard]] uint64_t ToNanos() const noexcept {
+    return static_cast<uint64_t>(sec) * 1000000000ull + nsec;
+  }
+
+  [[nodiscard]] double ToSeconds() const noexcept {
+    return static_cast<double>(sec) + static_cast<double>(nsec) * 1e-9;
+  }
+
+  [[nodiscard]] bool IsZero() const noexcept { return sec == 0 && nsec == 0; }
+
+  friend bool operator==(const Time& a, const Time& b) noexcept {
+    return a.sec == b.sec && a.nsec == b.nsec;
+  }
+  friend auto operator<=>(const Time& a, const Time& b) noexcept {
+    return a.ToNanos() <=> b.ToNanos();
+  }
+};
+
+static_assert(sizeof(Time) == 8, "Time must stay a fixed-size 8-byte POD");
+
+/// Monotonic nanoseconds; the basis for all latency measurements.
+uint64_t MonotonicNanos() noexcept;
+
+/// Difference now - stamp, in nanoseconds (0 if stamp is in the future).
+uint64_t ElapsedSince(const Time& stamp) noexcept;
+
+/// Sleeps the calling thread for `nanos` nanoseconds.
+void SleepForNanos(uint64_t nanos);
+
+/// ROS1-style rate limiter: `Rate r(10); while (...) { work(); r.Sleep(); }`
+/// keeps the loop at the given frequency, accounting for work time.
+class Rate {
+ public:
+  explicit Rate(double hz);
+
+  /// Sleeps until the next cycle boundary.  Returns false if the cycle was
+  /// overrun (work took longer than the period); the schedule then resets.
+  bool Sleep();
+
+  [[nodiscard]] uint64_t period_nanos() const noexcept { return period_nanos_; }
+
+ private:
+  uint64_t period_nanos_;
+  uint64_t next_deadline_;
+};
+
+/// Simple monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(MonotonicNanos()) {}
+  void Reset() noexcept { start_ = MonotonicNanos(); }
+  [[nodiscard]] uint64_t ElapsedNanos() const noexcept {
+    return MonotonicNanos() - start_;
+  }
+  [[nodiscard]] double ElapsedMillis() const noexcept {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace rsf

@@ -1,0 +1,121 @@
+// Bounded thread-safe FIFO used by the middleware's callback queues and the
+// simulated link.  Blocking pop with shutdown support; bounded push with a
+// drop-oldest policy option (roscpp publisher queues drop when full).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace rsf {
+
+enum class QueueFullPolicy {
+  kBlock,       // push blocks until space is available
+  kDropOldest,  // evict the oldest element to make room (roscpp behaviour)
+  kReject,      // push returns false
+};
+
+template <typename T>
+class ConcurrentQueue {
+ public:
+  explicit ConcurrentQueue(size_t capacity = SIZE_MAX,
+                           QueueFullPolicy policy = QueueFullPolicy::kDropOldest)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  /// Returns false only if rejected (kReject policy) or shut down.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (shutdown_) return false;
+    if (queue_.size() >= capacity_) {
+      switch (policy_) {
+        case QueueFullPolicy::kBlock:
+          not_full_.wait(lock, [&] { return queue_.size() < capacity_ || shutdown_; });
+          if (shutdown_) return false;
+          break;
+        case QueueFullPolicy::kDropOldest:
+          queue_.pop_front();
+          ++dropped_;
+          break;
+        case QueueFullPolicy::kReject:
+          return false;
+      }
+    }
+    queue_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is shut down.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || shutdown_; });
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Blocks up to `timeout_nanos`; nullopt on timeout or shutdown.
+  std::optional<T> PopFor(uint64_t timeout_nanos) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool ready = not_empty_.wait_for(
+        lock, std::chrono::nanoseconds(timeout_nanos),
+        [&] { return !queue_.empty() || shutdown_; });
+    if (!ready || queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain then return nullopt.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  [[nodiscard]] bool Empty() const { return Size() == 0; }
+
+  [[nodiscard]] uint64_t DroppedCount() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+  }
+
+ private:
+  const size_t capacity_;
+  const QueueFullPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  bool shutdown_ = false;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace rsf

@@ -1,0 +1,49 @@
+// Unaligned little-endian load/store helpers used by every serializer.
+//
+// All wire formats in this repository are little-endian, matching ROS1
+// serialization and the paper's publisher-side-endianness rule (§4.4.1).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace rsf {
+
+static_assert(std::endian::native == std::endian::little,
+              "ROS-SF reproduction targets little-endian hosts (paper §4.4.1)");
+
+/// Stores `value` at (possibly unaligned) `dst` in little-endian order.
+template <typename T>
+inline void StoreLE(void* dst, T value) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::memcpy(dst, &value, sizeof(T));
+}
+
+/// Loads a T from (possibly unaligned) `src` in little-endian order.
+template <typename T>
+inline T LoadLE(const void* src) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  std::memcpy(&value, src, sizeof(T));
+  return value;
+}
+
+/// Byte-swaps an unsigned integer (for endianness tests / conversions).
+template <typename T>
+inline T ByteSwap(T value) noexcept {
+  static_assert(std::is_unsigned_v<T>);
+  if constexpr (sizeof(T) == 1) {
+    return value;
+  } else if constexpr (sizeof(T) == 2) {
+    return static_cast<T>(__builtin_bswap16(value));
+  } else if constexpr (sizeof(T) == 4) {
+    return static_cast<T>(__builtin_bswap32(value));
+  } else {
+    static_assert(sizeof(T) == 8);
+    return static_cast<T>(__builtin_bswap64(value));
+  }
+}
+
+}  // namespace rsf

@@ -1,0 +1,81 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace rsf {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_sink_mutex;
+LogSink g_sink;  // guarded by g_sink_mutex
+
+const char* Basename(const char* path) noexcept {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+LogLevel SetLogLevel(LogLevel level) noexcept {
+  return static_cast<LogLevel>(
+      g_level.exchange(static_cast<int>(level), std::memory_order_relaxed));
+}
+
+LogLevel GetLogLevel() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+namespace internal {
+
+void LogV(LogLevel level, const char* file, int line, const char* fmt,
+          va_list ap) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  char body[1024];
+  std::vsnprintf(body, sizeof(body), fmt, ap);
+
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    if (g_sink) {
+      g_sink(level, body);
+      return;
+    }
+  }
+  std::fprintf(stderr, "[%-5s %s:%d] %s\n", LogLevelName(level),
+               Basename(file), line, body);
+}
+
+void Log(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  LogV(level, file, line, fmt, ap);
+  va_end(ap);
+}
+
+}  // namespace internal
+}  // namespace rsf

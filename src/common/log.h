@@ -1,0 +1,59 @@
+// Minimal leveled logger with printf-style formatting.
+//
+// Thread-safe (one flockfile'd fprintf per record).  The global level can be
+// raised in benchmarks to silence chatter; tests can install a capture sink
+// to assert on emitted records (used e.g. by the sfm alert tests).
+#pragma once
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+namespace rsf {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+const char* LogLevelName(LogLevel level) noexcept;
+
+/// Sets the minimum level that will be emitted.  Returns the previous level.
+LogLevel SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+
+/// A sink receives (level, formatted message).  Installing a sink replaces
+/// stderr output; passing nullptr restores stderr output.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void SetLogSink(LogSink sink);
+
+namespace internal {
+void LogV(LogLevel level, const char* file, int line, const char* fmt,
+          va_list ap);
+void Log(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+}  // namespace internal
+
+#define RSF_LOG(level, ...) \
+  ::rsf::internal::Log((level), __FILE__, __LINE__, __VA_ARGS__)
+#define RSF_DEBUG(...) RSF_LOG(::rsf::LogLevel::kDebug, __VA_ARGS__)
+#define RSF_INFO(...) RSF_LOG(::rsf::LogLevel::kInfo, __VA_ARGS__)
+#define RSF_WARN(...) RSF_LOG(::rsf::LogLevel::kWarn, __VA_ARGS__)
+#define RSF_ERROR(...) RSF_LOG(::rsf::LogLevel::kError, __VA_ARGS__)
+
+/// RAII guard that silences logging below `level` for its lifetime.
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : previous_(SetLogLevel(level)) {}
+  ~ScopedLogLevel() { SetLogLevel(previous_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel previous_;
+};
+
+}  // namespace rsf

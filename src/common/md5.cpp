@@ -1,0 +1,135 @@
+#include "common/md5.h"
+
+#include <cstring>
+
+namespace rsf {
+namespace {
+
+constexpr uint32_t kInit[4] = {0x67452301u, 0xefcdab89u, 0x98badcfeu,
+                               0x10325476u};
+
+// Per-round shift amounts and sine-derived constants (RFC 1321).
+constexpr int kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+constexpr uint32_t kSine[64] = {
+    0xd76aa478u, 0xe8c7b756u, 0x242070dbu, 0xc1bdceeeu, 0xf57c0fafu,
+    0x4787c62au, 0xa8304613u, 0xfd469501u, 0x698098d8u, 0x8b44f7afu,
+    0xffff5bb1u, 0x895cd7beu, 0x6b901122u, 0xfd987193u, 0xa679438eu,
+    0x49b40821u, 0xf61e2562u, 0xc040b340u, 0x265e5a51u, 0xe9b6c7aau,
+    0xd62f105du, 0x02441453u, 0xd8a1e681u, 0xe7d3fbc8u, 0x21e1cde6u,
+    0xc33707d6u, 0xf4d50d87u, 0x455a14edu, 0xa9e3e905u, 0xfcefa3f8u,
+    0x676f02d9u, 0x8d2a4c8au, 0xfffa3942u, 0x8771f681u, 0x6d9d6122u,
+    0xfde5380cu, 0xa4beea44u, 0x4bdecfa9u, 0xf6bb4b60u, 0xbebfbc70u,
+    0x289b7ec6u, 0xeaa127fau, 0xd4ef3085u, 0x04881d05u, 0xd9d4d039u,
+    0xe6db99e5u, 0x1fa27cf8u, 0xc4ac5665u, 0xf4292244u, 0x432aff97u,
+    0xab9423a7u, 0xfc93a039u, 0x655b59c3u, 0x8f0ccc92u, 0xffeff47du,
+    0x85845dd1u, 0x6fa87e4fu, 0xfe2ce6e0u, 0xa3014314u, 0x4e0811a1u,
+    0xf7537e82u, 0xbd3af235u, 0x2ad7d2bbu, 0xeb86d391u};
+
+uint32_t RotL(uint32_t x, int s) noexcept { return (x << s) | (x >> (32 - s)); }
+
+}  // namespace
+
+void Md5::Reset() noexcept {
+  std::memcpy(state_, kInit, sizeof(state_));
+  bit_count_ = 0;
+  std::memset(buffer_, 0, sizeof(buffer_));
+}
+
+void Md5::Transform(const uint8_t block[64]) noexcept {
+  uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    std::memcpy(&m[i], block + i * 4, 4);  // little-endian host assumed
+  }
+
+  uint32_t a = state_[0];
+  uint32_t b = state_[1];
+  uint32_t c = state_[2];
+  uint32_t d = state_[3];
+
+  for (int i = 0; i < 64; ++i) {
+    uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) & 15;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) & 15;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) & 15;
+    }
+    const uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + RotL(a + f + kSine[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::Update(const void* data, size_t len) noexcept {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  size_t fill = static_cast<size_t>((bit_count_ >> 3) & 63);
+  bit_count_ += static_cast<uint64_t>(len) << 3;
+
+  if (fill > 0) {
+    const size_t space = 64 - fill;
+    const size_t take = len < space ? len : space;
+    std::memcpy(buffer_ + fill, bytes, take);
+    bytes += take;
+    len -= take;
+    fill += take;
+    if (fill == 64) Transform(buffer_);
+    if (len == 0) return;
+  }
+  while (len >= 64) {
+    Transform(bytes);
+    bytes += 64;
+    len -= 64;
+  }
+  if (len > 0) std::memcpy(buffer_, bytes, len);
+}
+
+void Md5::Final(uint8_t digest[16]) noexcept {
+  const uint64_t bits = bit_count_;
+  const uint8_t pad_start = 0x80;
+  Update(&pad_start, 1);
+  const uint8_t zero = 0;
+  while ((bit_count_ >> 3) % 64 != 56) Update(&zero, 1);
+
+  uint8_t length_le[8];
+  std::memcpy(length_le, &bits, 8);
+  Update(length_le, 8);
+
+  std::memcpy(digest, state_, 16);
+}
+
+std::string Md5::HexDigest(const std::string& text) {
+  Md5 md5;
+  md5.Update(text);
+  uint8_t digest[16];
+  md5.Final(digest);
+
+  static const char* hex = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[2 * i] = hex[digest[i] >> 4];
+    out[2 * i + 1] = hex[digest[i] & 15];
+  }
+  return out;
+}
+
+}  // namespace rsf

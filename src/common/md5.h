@@ -1,0 +1,38 @@
+// Self-contained MD5 (RFC 1321) used for ROS-style message-definition
+// checksums.  ROS1 identifies a message type on the wire by the MD5 of its
+// canonicalized definition text; the middleware refuses connections whose
+// checksums disagree, and our registry reproduces that behaviour.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace rsf {
+
+class Md5 {
+ public:
+  Md5() { Reset(); }
+
+  void Reset() noexcept;
+  void Update(const void* data, size_t len) noexcept;
+  void Update(const std::string& text) noexcept {
+    Update(text.data(), text.size());
+  }
+
+  /// Finalizes and writes 16 digest bytes.  The object must be Reset()
+  /// before further use.
+  void Final(uint8_t digest[16]) noexcept;
+
+  /// One-shot convenience: lowercase hex digest of `text`.
+  static std::string HexDigest(const std::string& text);
+
+ private:
+  void Transform(const uint8_t block[64]) noexcept;
+
+  uint32_t state_[4];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+};
+
+}  // namespace rsf

@@ -1,0 +1,17 @@
+#include "common/stats.h"
+
+#include <cstdio>
+
+namespace rsf {
+
+std::string LatencyRecorder::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "mean=%.3fms sd=%.3f p50=%.3f p99=%.3f min=%.3f max=%.3f n=%llu",
+                mean_ms(), stddev_ms(), Percentile(0.5), Percentile(0.99),
+                min_ms(), max_ms(),
+                static_cast<unsigned long long>(count()));
+  return buf;
+}
+
+}  // namespace rsf

@@ -1,0 +1,82 @@
+// Latency statistics used by the benchmark harness: online mean/stddev plus
+// a sample reservoir for percentiles.  Matches the paper's reporting style
+// (Figs. 13/16/18 report mean ± standard deviation).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsf {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void Add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Collects latency samples (milliseconds) and reports summary statistics.
+class LatencyRecorder {
+ public:
+  void AddNanos(uint64_t nanos) { AddMillis(static_cast<double>(nanos) * 1e-6); }
+  void AddMillis(double ms) {
+    stats_.Add(ms);
+    samples_.push_back(ms);
+  }
+
+  [[nodiscard]] uint64_t count() const noexcept { return stats_.count(); }
+  [[nodiscard]] double mean_ms() const noexcept { return stats_.mean(); }
+  [[nodiscard]] double stddev_ms() const noexcept { return stats_.stddev(); }
+  [[nodiscard]] double min_ms() const noexcept { return stats_.min(); }
+  [[nodiscard]] double max_ms() const noexcept { return stats_.max(); }
+
+  /// q in [0,1]; e.g. Percentile(0.5) is the median.
+  [[nodiscard]] double Percentile(double q) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  /// "mean=1.234ms sd=0.1 p50=1.2 p99=1.5 n=200"
+  [[nodiscard]] std::string Summary() const;
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  OnlineStats stats_;
+  std::vector<double> samples_;
+};
+
+}  // namespace rsf

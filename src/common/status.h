@@ -1,0 +1,148 @@
+// Lightweight error-handling vocabulary used across the repository.
+//
+// Fallible operations that can fail for routine, recoverable reasons (socket
+// teardown, malformed input) return Status / Result<T>.  Programming errors
+// (violated invariants) use SFM_CHECK, which aborts with a message.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rsf {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnavailable,
+  kInternal,
+  kResourceExhausted,
+  kCancelled,
+};
+
+/// Human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code) noexcept;
+
+/// A success-or-error value.  Cheap to copy on the success path (no string
+/// allocated); carries a message on the error path.
+class Status {
+ public:
+  Status() noexcept : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  [[nodiscard]] std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string m) {
+  return {StatusCode::kInvalidArgument, std::move(m)};
+}
+inline Status NotFoundError(std::string m) {
+  return {StatusCode::kNotFound, std::move(m)};
+}
+inline Status AlreadyExistsError(std::string m) {
+  return {StatusCode::kAlreadyExists, std::move(m)};
+}
+inline Status OutOfRangeError(std::string m) {
+  return {StatusCode::kOutOfRange, std::move(m)};
+}
+inline Status FailedPreconditionError(std::string m) {
+  return {StatusCode::kFailedPrecondition, std::move(m)};
+}
+inline Status UnavailableError(std::string m) {
+  return {StatusCode::kUnavailable, std::move(m)};
+}
+inline Status InternalError(std::string m) {
+  return {StatusCode::kInternal, std::move(m)};
+}
+inline Status ResourceExhaustedError(std::string m) {
+  return {StatusCode::kResourceExhausted, std::move(m)};
+}
+inline Status CancelledError(std::string m) {
+  return {StatusCode::kCancelled, std::move(m)};
+}
+
+/// A value or an error.  `Result<T> r = ...; if (!r.ok()) return r.status();`
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = InternalError("Result constructed from OK status without value");
+    }
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T&& operator*() && { return *std::move(value_); }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  /// Returns the value, or `fallback` on error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+#define RSF_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::rsf::Status _rsf_st = (expr);              \
+    if (!_rsf_st.ok()) return _rsf_st;           \
+  } while (0)
+
+/// Fatal invariant check: always on, aborts with file/line on failure.
+#define SFM_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,         \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define SFM_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,    \
+                   __LINE__, #cond, (msg));                                 \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+}  // namespace rsf

@@ -1,0 +1,36 @@
+// Small string helpers shared by the IDL parser, the converter, and the
+// benchmark table printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rsf {
+
+/// Splits on `delim`; empty tokens are kept (like Python's str.split(d)).
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Splits on any whitespace run; empty tokens are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Removes leading/trailing whitespace.
+std::string_view Strip(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Joins with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Replaces every occurrence of `from` with `to`.
+std::string ReplaceAll(std::string text, std::string_view from,
+                       std::string_view to);
+
+/// True if `text` is a valid C identifier.
+bool IsIdentifier(std::string_view text);
+
+/// Formats `bytes` as "200 KB" / "6.2 MB" etc.
+std::string HumanBytes(size_t bytes);
+
+}  // namespace rsf

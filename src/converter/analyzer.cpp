@@ -1,0 +1,593 @@
+#include "converter/analyzer.h"
+
+#include <map>
+
+#include "common/string_util.h"
+
+namespace rsf::conv {
+namespace {
+
+const std::set<std::string>& ModifierMethods() {
+  static const std::set<std::string> methods = {
+      "push_back", "pop_back", "insert",        "erase",
+      "clear",     "reserve",  "emplace_back",  "shrink_to_fit",
+  };
+  return methods;
+}
+
+struct VarInfo {
+  std::string message_class;
+  std::string root_class;       // class of the outermost object (findings)
+  bool is_pointer = false;
+  bool fully_assigned = false;  // constructed/filled by a helper call
+  bool ref_param = false;       // non-const reference parameter (output)
+  std::string canonical;        // unique counting key root
+  std::string display;          // human-readable path root
+  int depth = 0;
+};
+
+struct TypeRef {
+  std::string spelling;  // "sensor_msgs::Image"
+  std::string key;       // resolved message key
+  bool is_pointer = false;
+  size_t next = 0;  // token index after the type
+};
+
+class Analyzer {
+ public:
+  Analyzer(const std::string& source, const TypeTable& types)
+      : source_(source), types_(types), tokens_(Tokenize(source)) {}
+
+  FileReport Run() {
+    CollectUsingsAndAliases();
+    Walk();
+    return std::move(report_);
+  }
+
+ private:
+  // ---------- small token helpers ----------
+  const Token& Tok(size_t i) const {
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool Is(size_t i, const char* text) const { return Tok(i).Is(text); }
+
+  size_t MatchForward(size_t open, const char* open_text,
+                      const char* close_text) const {
+    int depth = 0;
+    for (size_t i = open; i < tokens_.size(); ++i) {
+      if (Tok(i).Is(open_text)) ++depth;
+      if (Tok(i).Is(close_text)) {
+        if (--depth == 0) return i;
+      }
+    }
+    return tokens_.size() - 1;
+  }
+
+  size_t MatchBackward(size_t close) const {  // ')' -> its '('
+    int depth = 0;
+    for (size_t i = close + 1; i-- > 0;) {
+      if (Tok(i).Is(")")) ++depth;
+      if (Tok(i).Is("(")) {
+        if (--depth == 0) return i;
+      }
+    }
+    return 0;
+  }
+
+  // ---------- pass 1: using-directives and type aliases ----------
+  void CollectUsingsAndAliases() {
+    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      if (Tok(i).Is("using") && Tok(i + 1).Is("namespace")) {
+        std::string ns;
+        size_t j = i + 2;
+        while (!Is(j, ";") && Tok(j).kind != TokenKind::kEndOfFile) {
+          ns += Tok(j).text;
+          ++j;
+        }
+        usings_.insert(ns);
+        i = j;
+      } else if (Tok(i).Is("typedef")) {
+        // typedef <type...> <name> ;
+        std::vector<std::string> parts;
+        size_t j = i + 1;
+        while (!Is(j, ";") && Tok(j).kind != TokenKind::kEndOfFile) {
+          parts.push_back(Tok(j).text);
+          ++j;
+        }
+        if (parts.size() >= 2) {
+          const std::string name = parts.back();
+          parts.pop_back();
+          aliases_[name] = rsf::Join(parts, "");
+        }
+        i = j;
+      } else if (Tok(i).Is("using") && Tok(i + 1).IsIdent() &&
+                 Is(i + 2, "=")) {
+        // using <name> = <type...> ;
+        const std::string name = Tok(i + 1).text;
+        std::vector<std::string> parts;
+        size_t j = i + 3;
+        while (!Is(j, ";") && Tok(j).kind != TokenKind::kEndOfFile) {
+          parts.push_back(Tok(j).text);
+          ++j;
+        }
+        aliases_[name] = rsf::Join(parts, "");
+        i = j;
+      }
+    }
+  }
+
+  // ---------- type parsing ----------
+  // Reads a (possibly qualified) type at `i`; resolves message classes,
+  // `Type::Ptr` / `Type::ConstPtr` and `std::shared_ptr<Type>` spellings.
+  std::optional<TypeRef> ParseType(size_t i) const {
+    size_t j = i;
+    std::string spelling;
+    if (Is(j, "::")) ++j;
+    if (!Tok(j).IsIdent()) return std::nullopt;
+    spelling = Tok(j).text;
+    ++j;
+    while (Is(j, "::") && Tok(j + 1).IsIdent()) {
+      // Stop before Ptr/ConstPtr so the base type resolves on its own.
+      if (Tok(j + 1).Is("Ptr") || Tok(j + 1).Is("ConstPtr")) break;
+      spelling += "::" + Tok(j + 1).text;
+      j += 2;
+    }
+
+    // shared_ptr<Type> spelling.
+    if ((spelling == "std::shared_ptr" || spelling == "boost::shared_ptr") &&
+        Is(j, "<")) {
+      const size_t close = MatchForward(j, "<", ">");
+      std::string inner;
+      for (size_t k = j + 1; k < close; ++k) {
+        if (Tok(k).Is("const")) continue;
+        inner += Tok(k).text;
+      }
+      if (const auto key = ResolveSpelling(inner)) {
+        return TypeRef{inner, *key, true, close + 1};
+      }
+      return std::nullopt;
+    }
+
+    bool pointer = false;
+    size_t next = j;
+    if (Is(j, "::") && (Tok(j + 1).Is("Ptr") || Tok(j + 1).Is("ConstPtr"))) {
+      pointer = true;
+      next = j + 2;
+    }
+    if (const auto key = ResolveSpelling(spelling)) {
+      return TypeRef{spelling, *key, pointer, next};
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> ResolveSpelling(const std::string& spelling) const {
+    std::string name = spelling;
+    if (const auto alias = aliases_.find(name); alias != aliases_.end()) {
+      name = alias->second;
+      // An alias can itself name the Ptr typedef; strip it.
+      if (rsf::EndsWith(name, "::Ptr")) name = name.substr(0, name.size() - 5);
+      if (rsf::EndsWith(name, "::ConstPtr")) {
+        name = name.substr(0, name.size() - 10);
+      }
+    }
+    return types_.Resolve(name, usings_);
+  }
+
+  // ---------- main walk ----------
+  void Walk() {
+    int depth = 0;
+    for (size_t i = 0; i < tokens_.size(); ++i) {
+      const Token& token = Tok(i);
+      if (token.kind == TokenKind::kEndOfFile) break;
+
+      if (token.Is("{")) {
+        // Function body?  Parse the parameter list behind the ')' that
+        // precedes this brace (skipping trailing qualifiers).
+        size_t back = i;
+        while (back > 0 && (Tok(back - 1).Is("const") ||
+                            Tok(back - 1).Is("override") ||
+                            Tok(back - 1).Is("noexcept"))) {
+          --back;
+        }
+        if (back > 0 && Tok(back - 1).Is(")")) {
+          ParseParams(MatchBackward(back - 1), back - 1, depth + 1);
+        }
+        ++depth;
+        continue;
+      }
+      if (token.Is("}")) {
+        --depth;
+        // Scope exit: drop variables declared deeper.
+        for (auto it = vars_.begin(); it != vars_.end();) {
+          if (it->second.depth > depth) {
+            it = vars_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        continue;
+      }
+
+      // Member-path events on known variables.
+      if (token.IsIdent() && vars_.count(token.text) != 0 &&
+          (Is(i + 1, ".") || Is(i + 1, "->"))) {
+        i = HandlePath(i);
+        continue;
+      }
+
+      // Declarations at statement positions.
+      if (token.IsIdent() && AtStatementStart(i)) {
+        if (const auto consumed = TryDeclaration(i, depth)) {
+          i = *consumed;
+          continue;
+        }
+      }
+    }
+  }
+
+  bool AtStatementStart(size_t i) const {
+    if (i == 0) return true;
+    const Token& prev = Tok(i - 1);
+    return prev.Is(";") || prev.Is("{") || prev.Is("}") || prev.Is(")") ||
+           prev.Is("const") || prev.Is("else");
+  }
+
+  // ---------- parameter lists ----------
+  void ParseParams(size_t open, size_t close, int body_depth) {
+    size_t i = open + 1;
+    while (i < close) {
+      bool is_const = false;
+      while (Is(i, "const")) {
+        is_const = true;
+        ++i;
+      }
+      const auto type = ParseType(i);
+      if (!type) {
+        // Not a message param: skip to the next comma at this level.
+        int nest = 0;
+        while (i < close && !(nest == 0 && Is(i, ","))) {
+          if (Is(i, "(") || Is(i, "<")) ++nest;
+          if (Is(i, ")") || Is(i, ">")) --nest;
+          ++i;
+        }
+        ++i;
+        continue;
+      }
+      i = type->next;
+      bool is_ref = false;
+      while (Is(i, "&") || Is(i, "*")) {
+        is_ref = Is(i, "&");
+        ++i;
+      }
+      if (Tok(i).IsIdent()) {
+        VarInfo var;
+        var.message_class = type->key;
+        var.root_class = type->key;
+        var.is_pointer = type->is_pointer;
+        // Non-const reference (or smart-pointer) parameters can carry
+        // already-filled messages: writes through them are the paper's
+        // "possible violations" (§5.4, failure case 2).
+        var.ref_param = (is_ref && !is_const) || type->is_pointer;
+        var.fully_assigned = is_const;  // const& inputs arrive filled
+        var.canonical = Tok(i).text + "#" + std::to_string(next_serial_++);
+        var.display = Tok(i).text;
+        var.depth = body_depth;
+        vars_[Tok(i).text] = var;
+        report_.classes_used.insert(type->key);
+        ++i;
+      }
+      while (i < close && !Is(i, ",")) ++i;
+      ++i;
+    }
+  }
+
+  // ---------- declarations ----------
+  // Returns the index to resume at if a declaration was recognized.
+  std::optional<size_t> TryDeclaration(size_t i, int depth) {
+    bool leading_const = false;
+    size_t at = i;
+    if (Is(at, "const")) {  // only when called with prev == "const" skipped
+      leading_const = true;
+      ++at;
+    }
+    const auto type = ParseType(at);
+    if (!type) return std::nullopt;
+    at = type->next;
+
+    bool is_ref = false;
+    while (Is(at, "&")) {
+      is_ref = true;
+      ++at;
+    }
+    if (!Tok(at).IsIdent() || vars_.count(Tok(at).text) != 0) {
+      // Unknown shape or shadowing; still record the class usage.
+      report_.classes_used.insert(type->key);
+      return std::nullopt;
+    }
+    const std::string name = Tok(at).text;
+    const int decl_line = Tok(i).line;
+    const size_t decl_begin = Tok(i).offset;
+    size_t after_name = at + 1;
+
+    report_.classes_used.insert(type->key);
+
+    VarInfo var;
+    var.message_class = type->key;
+    var.root_class = type->key;
+    var.is_pointer = type->is_pointer;
+    var.canonical = name + "#" + std::to_string(next_serial_++);
+    var.display = name;
+    var.depth = depth;
+
+    if (Is(after_name, ";")) {
+      // Plain local declaration: the rewriter's Fig. 11 case.
+      vars_[name] = var;
+      if (!type->is_pointer && !is_ref && depth >= 1) {
+        report_.stack_decls.push_back(
+            StackDecl{type->spelling, type->key, name, decl_line, decl_begin,
+                      Tok(after_name).offset + 1, false, ""});
+      }
+      return after_name;
+    }
+    if (Is(after_name, "(") && !type->is_pointer && !is_ref) {
+      // Constructor-argument declaration.
+      const size_t close = MatchForward(after_name, "(", ")");
+      if (Is(close + 1, ";")) {
+        vars_[name] = var;
+        if (depth >= 1) {
+          std::string args = SliceSource(Tok(after_name).offset + 1,
+                                         Tok(close).offset);
+          report_.stack_decls.push_back(
+              StackDecl{type->spelling, type->key, name, decl_line, decl_begin,
+                        Tok(close + 1).offset + 1, true, std::move(args)});
+        }
+        return close + 1;
+      }
+      return std::nullopt;
+    }
+    if (Is(after_name, "=")) {
+      // Initialized declaration.  A reference bound to a field path
+      // aliases that path (failure case 2's `dimage`); anything built by a
+      // helper call arrives fully assigned (failure case 1's toImageMsg()).
+      size_t expr_begin = after_name + 1;
+      size_t expr_end = expr_begin;
+      int nest = 0;
+      while (Tok(expr_end).kind != TokenKind::kEndOfFile &&
+             !(nest == 0 && Is(expr_end, ";"))) {
+        if (Is(expr_end, "(")) ++nest;
+        if (Is(expr_end, ")")) --nest;
+        ++expr_end;
+      }
+
+      if (is_ref) {
+        if (const auto target = ResolvePathExpr(expr_begin, expr_end)) {
+          var.canonical = target->canonical;
+          var.display = target->display;
+          var.ref_param = target->ref_param;
+          var.fully_assigned = target->fully_assigned;
+          var.message_class = target->message_class;
+          var.root_class = target->root_class;
+        }
+        vars_[name] = var;
+        return expr_end;
+      }
+
+      bool has_call = false;
+      bool fresh = false;
+      for (size_t k = expr_begin; k < expr_end; ++k) {
+        if (Is(k, "(")) has_call = true;
+        if (Tok(k).Is("new") || Tok(k).Is("make_shared") ||
+            Tok(k).Is("create")) {
+          fresh = true;
+        }
+      }
+      var.fully_assigned = has_call && !fresh;
+      // `Image b = a;` copies a filled message.
+      if (!has_call && Tok(expr_begin).IsIdent() &&
+          vars_.count(Tok(expr_begin).text) != 0) {
+        var.fully_assigned = true;
+      }
+      vars_[name] = var;
+      (void)leading_const;
+      return expr_end;
+    }
+    return std::nullopt;
+  }
+
+  // Resolves a pure member-path expression (var(.|->)field...) used as a
+  // reference-binding initializer.  Returns the resulting pseudo-variable.
+  std::optional<VarInfo> ResolvePathExpr(size_t begin, size_t end) const {
+    if (!Tok(begin).IsIdent()) return std::nullopt;
+    const auto root = vars_.find(Tok(begin).text);
+    if (root == vars_.end()) return std::nullopt;
+
+    VarInfo current = root->second;
+    size_t i = begin + 1;
+    while (i < end && (Is(i, ".") || Is(i, "->"))) {
+      if (!Tok(i + 1).IsIdent()) return std::nullopt;
+      const FieldInfo* field =
+          types_.FieldOf(current.message_class, Tok(i + 1).text);
+      if (field == nullptr) return std::nullopt;
+      current.canonical += "." + Tok(i + 1).text;
+      current.display += "." + Tok(i + 1).text;
+      if (field->category == FieldCategory::kMessage) {
+        current.message_class = field->message_key;
+      } else {
+        return std::nullopt;  // reference to a leaf field: not a message
+      }
+      i += 2;
+    }
+    return i == end ? std::optional<VarInfo>(current) : std::nullopt;
+  }
+
+  // ---------- member-path events ----------
+  // `i` is at a known variable followed by '.'/'->'.  Returns resume index.
+  size_t HandlePath(size_t i) {
+    const VarInfo& root = vars_.at(Tok(i).text);
+    VarInfo current = root;
+    std::string path = root.canonical;      // unique counting key
+    std::string display = root.display;     // shown in findings
+    size_t j = i + 1;
+
+    while (Is(j, ".") || Is(j, "->")) {
+      if (!Tok(j + 1).IsIdent()) return j;
+      const std::string member = Tok(j + 1).text;
+      const FieldInfo* field = types_.FieldOf(current.message_class, member);
+
+      if (field == nullptr) {
+        // Not a field: a method call or unknown member; stop here.
+        return j + 1;
+      }
+      path += "." + member;
+      display += "." + member;
+      j += 2;
+
+      switch (field->category) {
+        case FieldCategory::kMessage:
+          current.message_class = field->message_key;
+          if (Is(j, ".") || Is(j, "->")) continue;
+          if (Is(j, "=") && !Is(j + 1, "=")) {
+            // Whole-subtree assignment: later writes under it reassign.
+            NoteAssignEvent(path, display, root,
+                            FindingKind::kStringReassignment,
+                            /*subtree=*/true, Tok(j).line);
+          }
+          return j;
+
+        case FieldCategory::kVector: {
+          if (Is(j, "[")) {
+            j = MatchForward(j, "[", "]") + 1;
+            if (!field->message_key.empty()) {
+              current.message_class = field->message_key;
+              if (Is(j, ".") || Is(j, "->")) continue;
+            }
+            return j;
+          }
+          if (Is(j, "=") && !Is(j + 1, "=")) {
+            NoteAssignEvent(path, display, root,
+                            FindingKind::kVectorMultiResize, false,
+                            Tok(j).line);
+            return j;
+          }
+          if (Is(j, ".") && Tok(j + 1).IsIdent()) {
+            const std::string method = Tok(j + 1).text;
+            if (method == "resize" && Is(j + 2, "(")) {
+              // resize(0) as the first call never consumes the one-shot.
+              const bool zero = Tok(j + 3).Is("0") && Is(j + 4, ")");
+              if (!zero) {
+                NoteAssignEvent(path, display, root,
+                                FindingKind::kVectorMultiResize, false,
+                                Tok(j + 1).line);
+              }
+              return j + 2;
+            }
+            if (ModifierMethods().count(method) != 0) {
+              AddFinding(FindingKind::kModifierCall, Tok(j + 1).line,
+                         display + "." + method + "()", root.root_class,
+                         "modifier method not available on sfm::vector "
+                         "(compile error under ROS-SF)");
+              return j + 2;
+            }
+          }
+          return j;
+        }
+
+        case FieldCategory::kString:
+          if (Is(j, "=") && !Is(j + 1, "=")) {
+            NoteAssignEvent(path, display, root,
+                            FindingKind::kStringReassignment, false,
+                            Tok(j).line);
+          }
+          return j;
+
+        case FieldCategory::kScalar:
+        case FieldCategory::kFixedArray:
+          return j;
+      }
+    }
+    return j;
+  }
+
+  void NoteAssignEvent(const std::string& path, const std::string& display,
+                       const VarInfo& root, FindingKind kind, bool subtree,
+                       int line) {
+    const int count = ++assign_counts_[path];
+    const bool after_subtree_assign = HasAssignedPrefix(path);
+
+    if (subtree) {
+      assigned_subtrees_.insert(path);
+      if (count < 2 && !root.fully_assigned && !root.ref_param &&
+          !after_subtree_assign) {
+        return;
+      }
+    }
+
+    std::string reason;
+    if (count >= 2) {
+      reason = "written more than once";
+    } else if (root.fully_assigned) {
+      reason = "object was already fully constructed (e.g. by a conversion "
+               "helper) before this write";
+    } else if (root.ref_param) {
+      reason = "written through a reference parameter; callers may pass an "
+               "already-filled message (possible violation)";
+    } else if (after_subtree_assign) {
+      reason = "an enclosing message field was assigned earlier";
+    } else {
+      return;  // first, clean write
+    }
+    AddFinding(kind, line, display, root.root_class, reason);
+  }
+
+  bool HasAssignedPrefix(const std::string& path) const {
+    for (const std::string& prefix : assigned_subtrees_) {
+      if (path.size() > prefix.size() && path[prefix.size()] == '.' &&
+          path.compare(0, prefix.size(), prefix) == 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void AddFinding(FindingKind kind, int line, const std::string& path,
+                  const std::string& message_class, const std::string& note) {
+    report_.findings.push_back(Finding{kind, line, path, message_class, note});
+  }
+
+  std::string SliceSource(size_t begin, size_t end) const {
+    return source_.substr(begin, end - begin);
+  }
+
+  const std::string& source_;
+  const TypeTable& types_;
+  std::vector<Token> tokens_;
+
+  std::set<std::string> usings_;
+  std::map<std::string, std::string> aliases_;
+  std::map<std::string, VarInfo> vars_;
+  int next_serial_ = 0;
+  std::map<std::string, int> assign_counts_;
+  std::set<std::string> assigned_subtrees_;
+  FileReport report_;
+};
+
+}  // namespace
+
+const char* FindingKindName(FindingKind kind) noexcept {
+  switch (kind) {
+    case FindingKind::kStringReassignment:
+      return "String Reassignment";
+    case FindingKind::kVectorMultiResize:
+      return "Vector Multi-Resize";
+    case FindingKind::kModifierCall:
+      return "Other Methods";
+  }
+  return "?";
+}
+
+FileReport AnalyzeSource(const std::string& source, const TypeTable& types) {
+  Analyzer analyzer(source, types);
+  return analyzer.Run();
+}
+
+}  // namespace rsf::conv

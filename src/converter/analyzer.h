@@ -1,0 +1,84 @@
+// The ROS-SF Converter's analysis core (paper §4.3.2 and §5.4): finds
+// message objects in C++ source, tracks writes to their variable-size
+// fields, and reports violations of the three SFM assumptions —
+//
+//   1. One-Shot String Assignment   (a string field assigned twice, or
+//      assigned after the object was fully constructed by a helper call,
+//      or written through a non-const reference parameter — the paper's
+//      "possible violation", counted as a failure "for the sake of rigor")
+//   2. One-Shot Vector Resizing     (resize twice / after full
+//      construction / through a reference parameter; resize(0) as the
+//      first call is exempt, matching the runtime semantics)
+//   3. No Modifier                  (push_back / pop_back / insert /
+//      erase / clear / reserve / emplace_back on a message vector field)
+//
+// It also records every stack declaration of a message type, which the
+// rewriter (rewriter.h) converts to heap allocation per Fig. 11.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "converter/lexer.h"
+#include "converter/type_table.h"
+
+namespace rsf::conv {
+
+enum class FindingKind {
+  kStringReassignment,
+  kVectorMultiResize,
+  kModifierCall,
+};
+
+const char* FindingKindName(FindingKind kind) noexcept;
+
+struct Finding {
+  FindingKind kind = FindingKind::kStringReassignment;
+  int line = 0;
+  std::string path;           // e.g. "out_img.header.frame_id"
+  std::string message_class;  // root object's class, e.g. "sensor_msgs/Image"
+  std::string note;           // human-readable explanation
+};
+
+/// A message object declared as a local variable (rewriter input).
+struct StackDecl {
+  std::string type_spelling;  // as written, e.g. "sensor_msgs::Image"
+  std::string message_class;
+  std::string variable;
+  int line = 0;
+  size_t decl_begin = 0;  // offset of the type token
+  size_t stmt_end = 0;    // offset one past the terminating ';'
+  bool has_ctor_args = false;
+  std::string ctor_args;  // text inside (...) when has_ctor_args
+};
+
+struct FileReport {
+  std::vector<Finding> findings;
+  std::vector<StackDecl> stack_decls;
+  std::set<std::string> classes_used;
+
+  [[nodiscard]] bool Uses(const std::string& message_class) const {
+    return classes_used.count(message_class) != 0;
+  }
+  [[nodiscard]] bool Violates(const std::string& message_class,
+                              FindingKind kind) const {
+    for (const auto& finding : findings) {
+      if (finding.message_class == message_class && finding.kind == kind) {
+        return true;
+      }
+    }
+    return false;
+  }
+  [[nodiscard]] bool Applicable(const std::string& message_class) const {
+    for (const auto& finding : findings) {
+      if (finding.message_class == message_class) return false;
+    }
+    return true;
+  }
+};
+
+/// Analyzes one translation unit.
+FileReport AnalyzeSource(const std::string& source, const TypeTable& types);
+
+}  // namespace rsf::conv

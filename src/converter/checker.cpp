@@ -1,0 +1,83 @@
+#include "converter/checker.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace rsf::conv {
+namespace fs = std::filesystem;
+
+rsf::Result<std::vector<NamedReport>> AnalyzeDirectory(
+    const std::string& dir, const TypeTable& types) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return rsf::NotFoundError("not a directory: " + dir);
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext == ".cpp" || ext == ".cc" || ext == ".h" || ext == ".hpp") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<NamedReport> reports;
+  reports.reserve(files.size());
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    if (!in) return rsf::UnavailableError("cannot read " + path.string());
+    std::ostringstream text;
+    text << in.rdbuf();
+    reports.push_back(
+        NamedReport{path.string(), AnalyzeSource(text.str(), types)});
+  }
+  return reports;
+}
+
+std::vector<ClassRow> AggregateTable(const std::vector<NamedReport>& reports,
+                                     const std::vector<std::string>& classes) {
+  std::vector<ClassRow> rows;
+  for (const std::string& message_class : classes) {
+    ClassRow row;
+    row.message_class = message_class;
+    for (const auto& [file, report] : reports) {
+      if (!report.Uses(message_class)) continue;
+      ++row.total;
+      if (report.Applicable(message_class)) ++row.applicable;
+      if (report.Violates(message_class, FindingKind::kStringReassignment)) {
+        ++row.string_reassignment;
+      }
+      if (report.Violates(message_class, FindingKind::kVectorMultiResize)) {
+        ++row.vector_multi_resize;
+      }
+      if (report.Violates(message_class, FindingKind::kModifierCall)) {
+        ++row.other_methods;
+      }
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string RenderTable(const std::vector<ClassRow>& rows) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-32s %6s %11s %10s %10s %8s\n",
+                "Message Class", "Total", "Applicable", "StringRe", "VecResz",
+                "OtherM");
+  out += line;
+  for (const auto& row : rows) {
+    std::snprintf(line, sizeof(line), "%-32s %6zu %11zu %10zu %10zu %8zu\n",
+                  row.message_class.c_str(), row.total, row.applicable,
+                  row.string_reassignment, row.vector_multi_resize,
+                  row.other_methods);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rsf::conv

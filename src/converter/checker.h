@@ -1,0 +1,41 @@
+// Applicability checker: runs the analyzer over a corpus of source files
+// and aggregates the per-message-class verdicts into the paper's Table 1
+// ("Total", "Applicable", "String Reassignment", "Vector Multi-Resize",
+// "Other Methods" — file counts).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "converter/analyzer.h"
+
+namespace rsf::conv {
+
+struct NamedReport {
+  std::string file;
+  FileReport report;
+};
+
+struct ClassRow {
+  std::string message_class;
+  size_t total = 0;
+  size_t applicable = 0;
+  size_t string_reassignment = 0;
+  size_t vector_multi_resize = 0;
+  size_t other_methods = 0;
+};
+
+/// Analyzes every `.cpp`/`.cc`/`.h` file under `dir` (recursively).
+rsf::Result<std::vector<NamedReport>> AnalyzeDirectory(const std::string& dir,
+                                                       const TypeTable& types);
+
+/// Aggregates reports into Table 1 rows for `classes` (in the given order).
+std::vector<ClassRow> AggregateTable(const std::vector<NamedReport>& reports,
+                                     const std::vector<std::string>& classes);
+
+/// Renders rows in the paper's Table 1 format.
+std::string RenderTable(const std::vector<ClassRow>& rows);
+
+}  // namespace rsf::conv

@@ -1,0 +1,273 @@
+#include "converter/corpus_synth.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace rsf::conv {
+namespace {
+namespace fs = std::filesystem;
+
+/// Per-class vocabulary used by the templates.
+struct ClassVocab {
+  const char* key;        // "sensor_msgs/Image"
+  const char* cpp;        // "sensor_msgs::Image"
+  const char* short_name; // file-name stem
+  const char* string_field;   // a directly assignable string field
+  const char* vector_field;   // a resizable vector field
+  const char* element_expr;   // an element value expression
+};
+
+const ClassVocab& VocabFor(const std::string& key) {
+  static const ClassVocab kVocab[] = {
+      {"sensor_msgs/Image", "sensor_msgs::Image", "image", "encoding", "data",
+       "static_cast<uint8_t>(i)"},
+      {"sensor_msgs/CompressedImage", "sensor_msgs::CompressedImage",
+       "compressed", "format", "data", "static_cast<uint8_t>(i)"},
+      {"sensor_msgs/PointCloud", "sensor_msgs::PointCloud", "cloud",
+       "header.frame_id", "points", "geometry_msgs::Point32()"},
+      {"sensor_msgs/PointCloud2", "sensor_msgs::PointCloud2", "cloud2",
+       "header.frame_id", "data", "static_cast<uint8_t>(i)"},
+      {"sensor_msgs/LaserScan", "sensor_msgs::LaserScan", "scan",
+       "header.frame_id", "ranges", "0.5f * i"},
+  };
+  for (const auto& vocab : kVocab) {
+    if (key == vocab.key) return vocab;
+  }
+  return kVocab[0];
+}
+
+// ---- clean templates (rotated by index) ----
+
+std::string CleanPublisher(const ClassVocab& v, int i) {
+  std::ostringstream out;
+  out << "// Synthesized corpus file: steady-state publisher.\n"
+      << "#include \"" << v.key << ".h\"\n\n"
+      << "void publish_" << v.short_name << "_" << i
+      << "(ros::Publisher& pub, int n) {\n"
+      << "  " << v.cpp << " msg;\n"
+      << "  msg." << v.string_field << " = \"frame_" << i << "\";\n"
+      << "  msg." << v.vector_field << ".resize(n);\n"
+      << "  for (int i = 0; i < n; ++i) msg." << v.vector_field
+      << "[i] = " << v.element_expr << ";\n"
+      << "  pub.publish(msg);\n"
+      << "}\n";
+  return out.str();
+}
+
+std::string CleanCallback(const ClassVocab& v, int i) {
+  std::ostringstream out;
+  out << "// Synthesized corpus file: read-only subscriber callback.\n"
+      << "#include \"" << v.key << ".h\"\n\n"
+      << "static long total_" << i << " = 0;\n\n"
+      << "void on_" << v.short_name << "_" << i << "(const " << v.cpp
+      << "::ConstPtr& msg) {\n"
+      << "  total_" << i << " += static_cast<long>(msg->" << v.vector_field
+      << ".size());\n"
+      << "}\n";
+  return out.str();
+}
+
+std::string CleanConverterNode(const ClassVocab& v, int i) {
+  std::ostringstream out;
+  out << "// Synthesized corpus file: transforms input into a fresh output\n"
+      << "// message constructed locally (the paper's recommended shape).\n"
+      << "#include \"" << v.key << ".h\"\n\n"
+      << "void relay_" << v.short_name << "_" << i << "(const " << v.cpp
+      << "::ConstPtr& in, ros::Publisher& pub) {\n"
+      << "  " << v.cpp << " out;\n"
+      << "  out." << v.string_field << " = \"relay_" << i << "\";\n"
+      << "  out." << v.vector_field << ".resize(in->" << v.vector_field
+      << ".size());\n"
+      << "  pub.publish(out);\n"
+      << "}\n";
+  return out.str();
+}
+
+std::string CleanStampedSource(const ClassVocab& v, int i) {
+  std::ostringstream out;
+  out << "// Synthesized corpus file: timed source node.\n"
+      << "#include \"" << v.key << ".h\"\n\n"
+      << "void tick_" << v.short_name << "_" << i
+      << "(ros::Publisher& pub, unsigned seq) {\n"
+      << "  " << v.cpp << " msg;\n"
+      << "  msg.header.seq = seq;\n"
+      << "  msg." << v.vector_field << ".resize(64);\n"
+      << "  pub.publish(msg);\n"
+      << "}\n";
+  return out.str();
+}
+
+// ---- violation snippets ----
+
+/// Fig. 19 shape: a conversion helper returns a filled message, then one
+/// more field is patched — the second write to an assigned string.
+std::string StringViolationHelper(const ClassVocab& v, int i) {
+  std::ostringstream out;
+  out << "void patch_" << v.short_name << "_" << i << "(const " << v.cpp
+      << "::ConstPtr& msg, ros::Publisher& pub, const Transform& tf) {\n"
+      << "  " << v.cpp << "::Ptr out_msg = convert(msg).toMsg();\n"
+      << "  out_msg->" << v.string_field << " = tf.child_frame_id;\n"
+      << "  pub.publish(out_msg);\n"
+      << "}\n";
+  return out.str();
+}
+
+std::string StringViolationDouble(const ClassVocab& v, int i) {
+  std::ostringstream out;
+  out << "void retag_" << v.short_name << "_" << i
+      << "(ros::Publisher& pub, bool compressed) {\n"
+      << "  " << v.cpp << " msg;\n"
+      << "  msg." << v.string_field << " = \"default_" << i << "\";\n"
+      << "  if (compressed) msg." << v.string_field << " = \"zipped\";\n"
+      << "  pub.publish(msg);\n"
+      << "}\n";
+  return out.str();
+}
+
+/// Fig. 20 shape: resize of a vector reachable through an output reference
+/// parameter — callers may pass an already-sized message.
+std::string VectorViolationOutParam(const ClassVocab& v, int i) {
+  std::ostringstream out;
+  out << "void fill_" << v.short_name << "_" << i << "(int n, " << v.cpp
+      << "& out_ref) {\n"
+      << "  out_ref." << v.vector_field << ".resize(n);\n"
+      << "  (void)n;\n"
+      << "}\n";
+  return out.str();
+}
+
+std::string VectorViolationDouble(const ClassVocab& v, int i) {
+  std::ostringstream out;
+  out << "void grow_" << v.short_name << "_" << i
+      << "(ros::Publisher& pub, int n) {\n"
+      << "  " << v.cpp << " msg;\n"
+      << "  msg." << v.vector_field << ".resize(n);\n"
+      << "  msg." << v.vector_field << ".resize(2 * n);\n"
+      << "  pub.publish(msg);\n"
+      << "}\n";
+  return out.str();
+}
+
+/// Fig. 21 shape: resize(0) then per-element push_back.
+std::string ModifierViolation(const ClassVocab& v, int i) {
+  std::ostringstream out;
+  out << "void append_" << v.short_name << "_" << i << "(" << v.cpp
+      << "& sink, int n) {\n"
+      << "  sink." << v.vector_field << ".resize(0);\n"
+      << "  for (int i = 0; i < n; ++i) {\n"
+      << "    sink." << v.vector_field << ".push_back(" << v.element_expr
+      << ");\n"
+      << "  }\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<GroupSpec> Table1Population() {
+  // Per class, groups solving the Table 1 marginals:
+  //   Image          49 total: 40 clean, 5 s+v, 3 s, 1 v  => s=8 v=6 o=0
+  //   CompressedImage 7 total:  2 clean, 5 s+v             => s=5 v=5 o=0
+  //   PointCloud     14 total: 10 s+v, 1 s+v+o, 1 s+o, 1 s, 1 v
+  //                                                        => s=13 v=12 o=2
+  //   PointCloud2    15 total:  1 clean, 5 s+v, 1 s+v+o, 1 s+o, 1 v, 6 o
+  //                                                        => s=7 v=7 o=8
+  //   LaserScan      18 total:  5 clean, 12 s+v, 1 s+o     => s=13 v=12 o=1
+  return {
+      {"sensor_msgs/Image", 40, false, false, false},
+      {"sensor_msgs/Image", 5, true, true, false},
+      {"sensor_msgs/Image", 3, true, false, false},
+      {"sensor_msgs/Image", 1, false, true, false},
+
+      {"sensor_msgs/CompressedImage", 2, false, false, false},
+      {"sensor_msgs/CompressedImage", 5, true, true, false},
+
+      {"sensor_msgs/PointCloud", 10, true, true, false},
+      {"sensor_msgs/PointCloud", 1, true, true, true},
+      {"sensor_msgs/PointCloud", 1, true, false, true},
+      {"sensor_msgs/PointCloud", 1, true, false, false},
+      {"sensor_msgs/PointCloud", 1, false, true, false},
+
+      {"sensor_msgs/PointCloud2", 1, false, false, false},
+      {"sensor_msgs/PointCloud2", 5, true, true, false},
+      {"sensor_msgs/PointCloud2", 1, true, true, true},
+      {"sensor_msgs/PointCloud2", 1, true, false, true},
+      {"sensor_msgs/PointCloud2", 1, false, true, false},
+      {"sensor_msgs/PointCloud2", 6, false, false, true},
+
+      {"sensor_msgs/LaserScan", 5, false, false, false},
+      {"sensor_msgs/LaserScan", 12, true, true, false},
+      {"sensor_msgs/LaserScan", 1, true, false, true},
+  };
+}
+
+std::vector<ClassRow> Table1Expected() {
+  return {
+      {"sensor_msgs/Image", 49, 40, 8, 6, 0},
+      {"sensor_msgs/CompressedImage", 7, 2, 5, 5, 0},
+      {"sensor_msgs/PointCloud", 14, 0, 13, 12, 2},
+      {"sensor_msgs/PointCloud2", 15, 1, 7, 7, 8},
+      {"sensor_msgs/LaserScan", 18, 5, 13, 12, 1},
+  };
+}
+
+std::string SynthesizeFile(const GroupSpec& group, int index) {
+  const ClassVocab& vocab = VocabFor(group.message_class);
+
+  if (!group.string_reassign && !group.vector_multi_resize &&
+      !group.modifier) {
+    switch (index % 4) {
+      case 0: return CleanPublisher(vocab, index);
+      case 1: return CleanCallback(vocab, index);
+      case 2: return CleanConverterNode(vocab, index);
+      default: return CleanStampedSource(vocab, index);
+    }
+  }
+
+  std::ostringstream out;
+  out << "// Synthesized corpus file: violates "
+      << (group.string_reassign ? "[string] " : "")
+      << (group.vector_multi_resize ? "[vector] " : "")
+      << (group.modifier ? "[modifier] " : "") << "\n"
+      << "#include \"" << group.message_class << ".h\"\n\n";
+  if (group.string_reassign) {
+    out << (index % 2 == 0 ? StringViolationHelper(vocab, index)
+                           : StringViolationDouble(vocab, index))
+        << "\n";
+  }
+  if (group.vector_multi_resize) {
+    out << (index % 2 == 0 ? VectorViolationOutParam(vocab, index)
+                           : VectorViolationDouble(vocab, index))
+        << "\n";
+  }
+  if (group.modifier) {
+    out << ModifierViolation(vocab, index) << "\n";
+  }
+  return out.str();
+}
+
+rsf::Status SynthesizeCorpus(const std::string& out_dir) {
+  std::error_code ec;
+  fs::create_directories(out_dir, ec);
+  if (ec) return rsf::InternalError("mkdir failed: " + out_dir);
+
+  std::map<std::string, int> per_class_index;
+  for (const GroupSpec& group : Table1Population()) {
+    const ClassVocab& vocab = VocabFor(group.message_class);
+    for (int i = 0; i < group.count; ++i) {
+      const int index = per_class_index[group.message_class]++;
+      const fs::path path = fs::path(out_dir) /
+                            (std::string(vocab.short_name) + "_" +
+                             std::to_string(index) + ".cpp");
+      std::ofstream out(path);
+      if (!out) return rsf::UnavailableError("cannot write " + path.string());
+      out << SynthesizeFile(group, index);
+    }
+  }
+  return rsf::Status::Ok();
+}
+
+}  // namespace rsf::conv

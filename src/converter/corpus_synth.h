@@ -1,0 +1,46 @@
+// Deterministic corpus synthesizer for the applicability study (paper §5.4).
+//
+// The paper manually audited 125 official ROS packages (486 source files)
+// and reported, per message class, how many files satisfy the three SFM
+// assumptions (Table 1).  Those packages are not available offline, so this
+// module regenerates an equivalent corpus: realistic usage files drawn from
+// a set of hand-written pattern templates — publisher loops, subscriber
+// callbacks, conversion helpers, and the paper's three failure-case shapes
+// (Figs. 19-21) — expanded deterministically so the per-class marginals
+// (Total / String-Reassignment / Vector-Multi-Resize / Other-Methods /
+// Applicable) match Table 1 exactly.  See DESIGN.md, substitutions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "converter/checker.h"
+
+namespace rsf::conv {
+
+/// One synthesized population group: `count` files using `message_class`,
+/// each violating exactly the flagged assumptions (none flagged = clean).
+struct GroupSpec {
+  std::string message_class;
+  int count = 0;
+  bool string_reassign = false;
+  bool vector_multi_resize = false;
+  bool modifier = false;
+};
+
+/// The Table 1 population: per-class groups whose marginals reproduce the
+/// paper's counts (e.g. sensor_msgs/Image: 49 files, 40 applicable,
+/// 8 string, 6 vector, 0 other).
+std::vector<GroupSpec> Table1Population();
+
+/// The paper's Table 1 rows (expected values for verification).
+std::vector<ClassRow> Table1Expected();
+
+/// Renders the source text of one corpus file.
+std::string SynthesizeFile(const GroupSpec& group, int index);
+
+/// Writes the whole population under `out_dir` (one .cpp per file).
+rsf::Status SynthesizeCorpus(const std::string& out_dir);
+
+}  // namespace rsf::conv

@@ -1,0 +1,131 @@
+#include "converter/lexer.h"
+
+#include <cctype>
+
+namespace rsf::conv {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators we must keep intact, longest first.
+const char* kPuncts[] = {
+    "<<=", ">>=", "...", "::", "->", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = source.size();
+
+  const auto peek = [&](size_t ahead) -> char {
+    return i + ahead < n ? source[i + ahead] : '\0';
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of (possibly continued) line.
+    if (c == '#') {
+      while (i < n && source[i] != '\n') {
+        if (source[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      Token token{TokenKind::kString, std::string(1, c), i, line};
+      ++i;
+      while (i < n && source[i] != quote) {
+        if (source[i] == '\\' && i + 1 < n) {
+          token.text += source[i];
+          token.text += source[i + 1];
+          i += 2;
+          continue;
+        }
+        if (source[i] == '\n') ++line;
+        token.text += source[i++];
+      }
+      if (i < n) {
+        token.text += quote;
+        ++i;
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      Token token{TokenKind::kIdentifier, "", i, line};
+      while (i < n && IsIdentChar(source[i])) token.text += source[i++];
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Number (simplified: digits, dots, exponents, suffixes).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Token token{TokenKind::kNumber, "", i, line};
+      while (i < n && (IsIdentChar(source[i]) || source[i] == '.' ||
+                       ((source[i] == '+' || source[i] == '-') && i > 0 &&
+                        (source[i - 1] == 'e' || source[i - 1] == 'E')))) {
+        token.text += source[i++];
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Punctuation: longest match first.
+    bool matched = false;
+    for (const char* punct : kPuncts) {
+      const size_t len = std::char_traits<char>::length(punct);
+      if (source.compare(i, len, punct) == 0) {
+        tokens.push_back(Token{TokenKind::kPunct, punct, i, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    tokens.push_back(Token{TokenKind::kPunct, std::string(1, c), i, line});
+    ++i;
+  }
+
+  tokens.push_back(Token{TokenKind::kEndOfFile, "", n, line});
+  return tokens;
+}
+
+}  // namespace rsf::conv

@@ -1,0 +1,37 @@
+#include "converter/rewriter.h"
+
+#include <algorithm>
+
+namespace rsf::conv {
+
+RewriteResult RewriteStackDeclarations(const std::string& source,
+                                       const FileReport& report) {
+  // Apply back-to-front so earlier offsets stay valid.
+  std::vector<StackDecl> decls = report.stack_decls;
+  std::sort(decls.begin(), decls.end(),
+            [](const StackDecl& a, const StackDecl& b) {
+              return a.decl_begin > b.decl_begin;
+            });
+
+  std::string out = source;
+  for (const StackDecl& decl : decls) {
+    // Indentation of the declaration's line, for the inserted second line.
+    size_t line_start = decl.decl_begin;
+    while (line_start > 0 && out[line_start - 1] != '\n') --line_start;
+    const std::string indent =
+        out.substr(line_start, decl.decl_begin - line_start);
+
+    const std::string ctor_args =
+        decl.has_ctor_args ? "(" + decl.ctor_args + ")" : "";
+    const std::string replacement =
+        "std::shared_ptr<" + decl.type_spelling + "> ptmp_" + decl.variable +
+        "(new " + decl.type_spelling + ctor_args + ");\n" + indent +
+        decl.type_spelling + " & " + decl.variable + " = *ptmp_" +
+        decl.variable + ";";
+
+    out.replace(decl.decl_begin, decl.stmt_end - decl.decl_begin, replacement);
+  }
+  return RewriteResult{std::move(out), decls.size()};
+}
+
+}  // namespace rsf::conv

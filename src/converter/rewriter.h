@@ -1,0 +1,29 @@
+// Source rewriter: converts stack declarations of message types to heap
+// allocation — the paper's Fig. 11 transformation.
+//
+//   Image img;                 std::shared_ptr<Image> ptmp_img(new Image);
+//                       ==>    Image & img = *ptmp_img;
+//
+// The following statements need no change: C++ grammar for the variable and
+// the reference is the same, and when the local reference goes out of scope
+// the shared_ptr does too, so the semantics are consistent (paper §4.3.2).
+#pragma once
+
+#include <string>
+
+#include "converter/analyzer.h"
+
+namespace rsf::conv {
+
+struct RewriteResult {
+  std::string source;   // rewritten text
+  size_t rewritten = 0; // number of declarations converted
+};
+
+/// Applies the heap-allocation rewrite for every stack declaration the
+/// analyzer found.  Idempotent on already-converted source (the converted
+/// form declares a shared_ptr, which is not a stack message declaration).
+RewriteResult RewriteStackDeclarations(const std::string& source,
+                                       const FileReport& report);
+
+}  // namespace rsf::conv

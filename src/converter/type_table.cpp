@@ -1,0 +1,70 @@
+#include "converter/type_table.h"
+
+namespace rsf::conv {
+
+TypeTable TypeTable::FromRegistry(const idl::SpecRegistry& registry) {
+  TypeTable table;
+  for (const std::string& key : registry.Keys()) {
+    const idl::MessageSpec* spec = registry.Find(key);
+    table.qualified_[spec->package + "::" + spec->name] = key;
+    table.bare_by_namespace_[spec->package][spec->name] = key;
+
+    auto& fields = table.fields_[key];
+    for (const auto& field : spec->fields) {
+      FieldInfo info;
+      if (field.type.array == idl::ArrayKind::kDynamic) {
+        info.category = FieldCategory::kVector;
+        if (field.type.IsMessage()) info.message_key = field.type.MessageKey();
+      } else if (field.type.array == idl::ArrayKind::kFixed) {
+        info.category = FieldCategory::kFixedArray;
+        if (field.type.IsMessage()) info.message_key = field.type.MessageKey();
+      } else if (field.type.IsMessage()) {
+        info.category = FieldCategory::kMessage;
+        info.message_key = field.type.MessageKey();
+      } else if (field.type.primitive == idl::Primitive::kString) {
+        info.category = FieldCategory::kString;
+      } else {
+        info.category = FieldCategory::kScalar;
+      }
+      fields[field.name] = info;
+    }
+  }
+  return table;
+}
+
+const FieldInfo* TypeTable::FieldOf(const std::string& key,
+                                    const std::string& field) const {
+  const auto message = fields_.find(key);
+  if (message == fields_.end()) return nullptr;
+  const auto info = message->second.find(field);
+  return info == message->second.end() ? nullptr : &info->second;
+}
+
+std::optional<std::string> TypeTable::Resolve(
+    const std::string& spelling,
+    const std::set<std::string>& using_namespaces) const {
+  // Strip a leading "::".
+  std::string name = spelling;
+  if (name.rfind("::", 0) == 0) name = name.substr(2);
+
+  if (const auto it = qualified_.find(name); it != qualified_.end()) {
+    return it->second;
+  }
+  for (const std::string& ns : using_namespaces) {
+    const auto pkg = bare_by_namespace_.find(ns);
+    if (pkg == bare_by_namespace_.end()) continue;
+    if (const auto it = pkg->second.find(name); it != pkg->second.end()) {
+      return it->second;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> TypeTable::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(fields_.size());
+  for (const auto& [key, fields] : fields_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace rsf::conv

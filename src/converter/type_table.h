@@ -1,0 +1,55 @@
+// Message-type knowledge for the converter, derived from the IDL registry:
+// which C++ spellings denote message classes, and what category each field
+// of each message has.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "idl/registry.h"
+
+namespace rsf::conv {
+
+enum class FieldCategory {
+  kScalar,   // fixed-size primitive (or time)
+  kString,   // one-shot-assignable
+  kVector,   // one-shot-resizable
+  kMessage,  // nested message (recurse)
+  kFixedArray,
+};
+
+struct FieldInfo {
+  FieldCategory category = FieldCategory::kScalar;
+  /// For kMessage: the nested message key.  For kVector/kFixedArray whose
+  /// elements are messages: the element message key (else empty).
+  std::string message_key;
+};
+
+class TypeTable {
+ public:
+  static TypeTable FromRegistry(const idl::SpecRegistry& registry);
+
+  /// Field lookup; nullptr if `key` or `field` is unknown.
+  [[nodiscard]] const FieldInfo* FieldOf(const std::string& key,
+                                         const std::string& field) const;
+
+  /// Resolves a C++ type spelling ("sensor_msgs::Image", or bare "Image"
+  /// under one of `using_namespaces`) to a message key; nullopt otherwise.
+  [[nodiscard]] std::optional<std::string> Resolve(
+      const std::string& spelling,
+      const std::set<std::string>& using_namespaces) const;
+
+  [[nodiscard]] std::vector<std::string> Keys() const;
+
+ private:
+  // message key -> (field name -> info)
+  std::map<std::string, std::map<std::string, FieldInfo>> fields_;
+  // "pkg::Name" -> key, and per-package bare names for using-namespace.
+  std::map<std::string, std::string> qualified_;
+  std::map<std::string, std::map<std::string, std::string>> bare_by_namespace_;
+};
+
+}  // namespace rsf::conv

@@ -1,0 +1,46 @@
+// The SFM Generator's C++ emitters (paper §4.3.1, "based on the ROS message
+// generator genmsg").
+//
+// For every message spec two headers are produced:
+//   <out>/<pkg>/<Name>.h        the regular ROS-style struct
+//                               (std::string / std::vector fields)
+//   <out>/<pkg>/sfm/<Name>.h    the SFM skeleton struct (sfm::string /
+//                               sfm::vector fields), deriving from
+//                               sfm::ManagedMessage for the overloaded
+//                               new/delete, with the paper's generated copy
+//                               constructor and operator= (whole-message
+//                               copy via the message manager)
+//
+// Both variants share the datatype string and MD5, expose the same field
+// names, and carry a uniform `for_each_field` visitor that the generic
+// serializers in src/serialization are written against.  The paper swaps
+// the generated header underneath existing code; here the two variants
+// coexist in parallel namespaces (<pkg> vs <pkg>::sfm) so that ROS and
+// ROS-SF can be benchmarked in one binary (see DESIGN.md).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "idl/registry.h"
+
+namespace rsf::gen {
+
+/// Renders the regular (serialized) message header.
+Result<std::string> EmitRegularHeader(const idl::SpecRegistry& registry,
+                                      const std::string& key);
+
+/// Renders the serialization-free message header.
+Result<std::string> EmitSfmHeader(const idl::SpecRegistry& registry,
+                                  const std::string& key);
+
+/// Default arena capacity when a spec has no @arena_capacity pragma.
+inline constexpr size_t kDefaultArenaCapacity = 256 * 1024;
+
+/// Generates both headers for every registered message under `out_dir`,
+/// creating directories as needed.  Files are only rewritten when content
+/// changed (keeps ninja rebuilds minimal).
+Status GenerateAll(const idl::SpecRegistry& registry,
+                   const std::string& out_dir);
+
+}  // namespace rsf::gen

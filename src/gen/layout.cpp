@@ -1,0 +1,138 @@
+#include "gen/layout.h"
+
+#include <cstdio>
+
+namespace rsf::gen {
+namespace {
+
+size_t AlignUp(size_t value, size_t align) noexcept {
+  return (value + align - 1) & ~(align - 1);
+}
+
+struct TypeExtent {
+  size_t size = 0;
+  size_t align = 0;
+};
+
+// Skeleton extent of one field element (no array applied).
+Result<TypeExtent> ElementExtent(const idl::SpecRegistry& registry,
+                                 const idl::FieldType& type);
+
+// Skeleton extent of a whole message.
+Result<TypeExtent> MessageExtent(const idl::SpecRegistry& registry,
+                                 const std::string& key) {
+  const idl::MessageSpec* spec = registry.Find(key);
+  if (spec == nullptr) return NotFoundError("unknown message: " + key);
+  size_t offset = 0;
+  size_t align = 1;
+  for (const auto& field : spec->fields) {
+    idl::FieldType element = field.type;
+    const idl::ArrayKind array = element.array;
+    const uint32_t n = element.fixed_size;
+    element.array = idl::ArrayKind::kNone;
+
+    TypeExtent extent;
+    if (array == idl::ArrayKind::kDynamic) {
+      extent = TypeExtent{8, 4};  // {uint32 count, uint32 offset}
+    } else {
+      auto elem = ElementExtent(registry, element);
+      if (!elem.ok()) return elem.status();
+      extent = *elem;
+      if (array == idl::ArrayKind::kFixed) extent.size *= n;
+    }
+    offset = AlignUp(offset, extent.align) + extent.size;
+    if (extent.align > align) align = extent.align;
+  }
+  if (offset == 0) offset = 1;  // empty struct still has size 1
+  return TypeExtent{AlignUp(offset, align), align};
+}
+
+Result<TypeExtent> ElementExtent(const idl::SpecRegistry& registry,
+                                 const idl::FieldType& type) {
+  if (!type.is_primitive) return MessageExtent(registry, type.MessageKey());
+  if (type.primitive == idl::Primitive::kString) {
+    return TypeExtent{8, 4};  // sfm::string skeleton
+  }
+  const size_t size = idl::PrimitiveSize(type.primitive);
+  size_t align = size;
+  if (type.primitive == idl::Primitive::kTime ||
+      type.primitive == idl::Primitive::kDuration) {
+    align = 4;  // rsf::Time is {uint32, uint32}
+  }
+  return TypeExtent{size, align};
+}
+
+Status AppendFields(const idl::SpecRegistry& registry, const std::string& key,
+                    const std::string& prefix, size_t base, SfmLayout* out) {
+  const idl::MessageSpec* spec = registry.Find(key);
+  if (spec == nullptr) return NotFoundError("unknown message: " + key);
+  size_t offset = 0;
+  for (const auto& field : spec->fields) {
+    idl::FieldType element = field.type;
+    const idl::ArrayKind array = element.array;
+    const uint32_t n = element.fixed_size;
+    element.array = idl::ArrayKind::kNone;
+
+    TypeExtent extent;
+    bool variable = false;
+    if (array == idl::ArrayKind::kDynamic) {
+      extent = TypeExtent{8, 4};
+      variable = true;
+    } else {
+      auto elem = ElementExtent(registry, element);
+      if (!elem.ok()) return elem.status();
+      extent = *elem;
+      if (array == idl::ArrayKind::kFixed) extent.size *= n;
+      variable = element.is_primitive &&
+                 element.primitive == idl::Primitive::kString &&
+                 array == idl::ArrayKind::kNone;
+    }
+    offset = AlignUp(offset, extent.align);
+
+    const std::string path = prefix + field.name;
+    if (!variable && !element.is_primitive && array == idl::ArrayKind::kNone) {
+      // Inline nested message: recurse with a dotted prefix.
+      RSF_RETURN_IF_ERROR(AppendFields(registry, element.MessageKey(),
+                                       path + ".", base + offset, out));
+    } else {
+      out->fields.push_back(FieldLayout{path, field.type.ToIdl(),
+                                        base + offset, extent.size, variable});
+    }
+    offset += extent.size;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<SfmLayout> ComputeSfmLayout(const idl::SpecRegistry& registry,
+                                   const std::string& key) {
+  auto extent = MessageExtent(registry, key);
+  if (!extent.ok()) return extent.status();
+  SfmLayout layout;
+  layout.size = extent->size;
+  layout.align = extent->align;
+  RSF_RETURN_IF_ERROR(AppendFields(registry, key, "", 0, &layout));
+  return layout;
+}
+
+std::string RenderLayoutTable(const SfmLayout& layout,
+                              const std::string& key) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "SFM skeleton of %s (size %zu, align %zu)\n", key.c_str(),
+                layout.size, layout.align);
+  out += line;
+  out += "  Start   Size  End     Field                      Type\n";
+  for (const auto& field : layout.fields) {
+    std::snprintf(line, sizeof(line), "  0x%04zx  %-4zu  0x%04zx  %-25s  %s%s\n",
+                  field.offset, field.size, field.offset + field.size,
+                  field.name.c_str(), field.idl_type.c_str(),
+                  field.variable ? "  {length, offset}" : "");
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rsf::gen

@@ -1,0 +1,44 @@
+// Skeleton layout calculator for the SFM format.
+//
+// The defining property of SFM (paper §4.1) is that a message's skeleton is
+// expressible as a plain C++ structure: every field has a fixed size and a
+// fixed offset.  This module computes that layout — following the Itanium
+// C++ ABI rules the generated structs obey (natural alignment, size rounded
+// up to alignment) — so the generator can static_assert the generated struct
+// matches, and so `bench/layouts` can print the paper's Fig. 7 table.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "idl/registry.h"
+
+namespace rsf::gen {
+
+struct FieldLayout {
+  std::string name;      // field name, dotted for nested ("header.stamp")
+  std::string idl_type;  // IDL spelling
+  size_t offset = 0;     // byte offset within the skeleton
+  size_t size = 0;       // bytes this field occupies in the skeleton
+  bool variable = false; // true for string/vector skeletons (8-byte {len,off})
+};
+
+struct SfmLayout {
+  size_t size = 0;   // sizeof the skeleton struct
+  size_t align = 0;  // alignof the skeleton struct
+  std::vector<FieldLayout> fields;  // flattened, nested fields dotted
+};
+
+/// Computes the SFM skeleton layout of `key`.  Nested message fields are
+/// flattened into dotted entries; fixed arrays contribute one entry covering
+/// the whole array.
+Result<SfmLayout> ComputeSfmLayout(const idl::SpecRegistry& registry,
+                                   const std::string& key);
+
+/// Renders the layout as the paper's Fig. 7-style table (start address,
+/// size, meaning).
+std::string RenderLayoutTable(const SfmLayout& layout, const std::string& key);
+
+}  // namespace rsf::gen

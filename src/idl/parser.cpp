@@ -1,0 +1,156 @@
+#include "idl/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace rsf::idl {
+namespace {
+
+constexpr char kArenaPragma[] = "@arena_capacity:";
+
+/// Parses "<base>" / "<base>[]" / "<base>[N]" into a FieldType.
+Result<FieldType> ParseFieldType(const std::string& package,
+                                 std::string token) {
+  FieldType type;
+  const size_t bracket = token.find('[');
+  if (bracket != std::string::npos) {
+    if (token.back() != ']') {
+      return InvalidArgumentError("malformed array suffix in: " + token);
+    }
+    const std::string inside =
+        token.substr(bracket + 1, token.size() - bracket - 2);
+    if (inside.empty()) {
+      type.array = ArrayKind::kDynamic;
+    } else {
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(inside.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || n == 0) {
+        return InvalidArgumentError("bad fixed array size in: " + token);
+      }
+      type.array = ArrayKind::kFixed;
+      type.fixed_size = static_cast<uint32_t>(n);
+    }
+    token = token.substr(0, bracket);
+  }
+
+  if (const auto primitive = ParsePrimitive(token)) {
+    type.is_primitive = true;
+    type.primitive = *primitive;
+    return type;
+  }
+
+  type.is_primitive = false;
+  const size_t slash = token.find('/');
+  if (slash != std::string::npos) {
+    type.message_package = token.substr(0, slash);
+    type.message_name = token.substr(slash + 1);
+  } else if (token == "Header") {
+    // ROS1 special case: a bare Header means std_msgs/Header.
+    type.message_package = "std_msgs";
+    type.message_name = "Header";
+  } else {
+    type.message_package = package;  // same-package reference
+    type.message_name = token;
+  }
+  if (!IsIdentifier(type.message_package) || !IsIdentifier(type.message_name)) {
+    return InvalidArgumentError("bad message type name: " + token);
+  }
+  return type;
+}
+
+}  // namespace
+
+Result<size_t> ParseByteSize(const std::string& text) {
+  if (text.empty()) return InvalidArgumentError("empty byte size");
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0) {
+    return InvalidArgumentError("bad byte size: " + text);
+  }
+  double multiplier = 1;
+  if (*end != '\0') {
+    switch (std::toupper(static_cast<unsigned char>(*end))) {
+      case 'K': multiplier = 1024; break;
+      case 'M': multiplier = 1024.0 * 1024; break;
+      case 'G': multiplier = 1024.0 * 1024 * 1024; break;
+      default:
+        return InvalidArgumentError("bad byte-size suffix: " + text);
+    }
+    if (end[1] != '\0') {
+      return InvalidArgumentError("trailing junk in byte size: " + text);
+    }
+  }
+  return static_cast<size_t>(value * multiplier);
+}
+
+Result<MessageSpec> ParseMessage(const std::string& package,
+                                 const std::string& name,
+                                 const std::string& text) {
+  if (!IsIdentifier(package) || !IsIdentifier(name)) {
+    return InvalidArgumentError("bad message identity: " + package + "/" + name);
+  }
+
+  MessageSpec spec;
+  spec.package = package;
+  spec.name = name;
+  spec.raw_text = text;
+
+  int line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    std::string line(Strip(raw_line));
+
+    // Pragmas live in comments so standard genmsg ignores them.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      const std::string comment(Strip(line.substr(hash + 1)));
+      if (StartsWith(comment, kArenaPragma)) {
+        auto bytes = ParseByteSize(
+            std::string(Strip(comment.substr(sizeof(kArenaPragma) - 1))));
+        if (!bytes.ok()) return bytes.status();
+        spec.arena_capacity = *bytes;
+      }
+      line = std::string(Strip(line.substr(0, hash)));
+    }
+    if (line.empty()) continue;
+
+    // Constant?  `<primitive> <NAME>=<value>` — for strings, everything
+    // after '=' verbatim (ROS semantics).
+    const auto tokens = SplitWhitespace(line);
+    const size_t eq = line.find('=');
+    if (eq != std::string::npos && tokens.size() >= 2) {
+      const auto primitive = ParsePrimitive(tokens[0]);
+      if (!primitive) {
+        return InvalidArgumentError(package + "/" + name + ":" +
+                                    std::to_string(line_number) +
+                                    ": constants must have primitive type");
+      }
+      // Name is between the type token and '='.
+      const size_t type_end = line.find(tokens[0]) + tokens[0].size();
+      std::string const_name(Strip(line.substr(type_end, eq - type_end)));
+      std::string value(Strip(line.substr(eq + 1)));
+      if (!IsIdentifier(const_name)) {
+        return InvalidArgumentError("bad constant name: " + const_name);
+      }
+      spec.constants.push_back(ConstantSpec{*primitive, const_name, value});
+      continue;
+    }
+
+    if (tokens.size() != 2) {
+      return InvalidArgumentError(package + "/" + name + ":" +
+                                  std::to_string(line_number) +
+                                  ": expected '<type> <name>': " + line);
+    }
+    auto type = ParseFieldType(package, tokens[0]);
+    if (!type.ok()) return type.status();
+    if (!IsIdentifier(tokens[1])) {
+      return InvalidArgumentError("bad field name: " + tokens[1]);
+    }
+    spec.fields.push_back(FieldSpec{*type, tokens[1]});
+  }
+  return spec;
+}
+
+}  // namespace rsf::idl

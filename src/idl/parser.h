@@ -1,0 +1,31 @@
+// Parser for ROS1 `.msg` files (the IDL the SFM Generator consumes).
+//
+// Grammar per line:
+//   <type> <name>                 field
+//   <type>[<N>] <name>            fixed-size array field
+//   <type>[] <name>               dynamic array field
+//   <primitive> <NAME>=<value>    constant
+//   # comment                     (the pragma `# @arena_capacity: <bytes>`
+//                                  sets the SFM arena size; suffixes K/M/G
+//                                  are accepted)
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "idl/types.h"
+
+namespace rsf::idl {
+
+/// Parses the text of one `.msg` file into a spec.  `package` and `name`
+/// identify the message ("sensor_msgs", "Image").  Message-type field
+/// references are recorded as written; resolution of bare names happens in
+/// the registry.
+Result<MessageSpec> ParseMessage(const std::string& package,
+                                 const std::string& name,
+                                 const std::string& text);
+
+/// Parses "8M", "4096", "2G" into bytes; error on malformed input.
+Result<size_t> ParseByteSize(const std::string& text);
+
+}  // namespace rsf::idl

@@ -1,0 +1,164 @@
+#include "idl/registry.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <functional>
+
+#include "common/md5.h"
+#include "common/string_util.h"
+#include "idl/parser.h"
+
+namespace rsf::idl {
+namespace fs = std::filesystem;
+
+Status SpecRegistry::Add(MessageSpec spec) {
+  const std::string key = spec.Key();
+  if (specs_.count(key) != 0) {
+    return AlreadyExistsError("duplicate message spec: " + key);
+  }
+  specs_.emplace(key, std::move(spec));
+  md5_cache_.clear();
+  return Status::Ok();
+}
+
+Status SpecRegistry::LoadDirectory(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return NotFoundError("not a directory: " + dir);
+  }
+  std::vector<fs::path> files;
+  for (const auto& pkg_entry : fs::directory_iterator(dir)) {
+    if (!pkg_entry.is_directory()) continue;
+    for (const auto& msg_entry : fs::directory_iterator(pkg_entry.path())) {
+      if (msg_entry.path().extension() == ".msg") {
+        files.push_back(msg_entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    if (!in) return UnavailableError("cannot read " + path.string());
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto spec = ParseMessage(path.parent_path().filename().string(),
+                             path.stem().string(), text.str());
+    if (!spec.ok()) return spec.status();
+    RSF_RETURN_IF_ERROR(Add(*std::move(spec)));
+  }
+  return Status::Ok();
+}
+
+const MessageSpec* SpecRegistry::Find(const std::string& key) const {
+  const auto it = specs_.find(key);
+  return it == specs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SpecRegistry::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(specs_.size());
+  for (const auto& [key, spec] : specs_) keys.push_back(key);
+  return keys;
+}
+
+Status SpecRegistry::ValidateReferences() const {
+  for (const auto& [key, spec] : specs_) {
+    for (const auto& field : spec.fields) {
+      if (field.type.IsMessage() && !Contains(field.type.MessageKey())) {
+        return NotFoundError(key + "." + field.name +
+                             " references unknown type " +
+                             field.type.MessageKey());
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> SpecRegistry::TopologicalOrder() const {
+  RSF_RETURN_IF_ERROR(ValidateReferences());
+
+  std::vector<std::string> order;
+  std::set<std::string> done;
+  std::set<std::string> in_progress;
+
+  // Depth-first post-order; iterative not needed at this scale.
+  std::function<Status(const std::string&)> visit =
+      [&](const std::string& key) -> Status {
+    if (done.count(key) != 0) return Status::Ok();
+    if (in_progress.count(key) != 0) {
+      return FailedPreconditionError("message reference cycle at " + key);
+    }
+    in_progress.insert(key);
+    for (const auto& field : Find(key)->fields) {
+      if (field.type.IsMessage()) {
+        RSF_RETURN_IF_ERROR(visit(field.type.MessageKey()));
+      }
+    }
+    in_progress.erase(key);
+    done.insert(key);
+    order.push_back(key);
+    return Status::Ok();
+  };
+
+  for (const auto& [key, spec] : specs_) {
+    RSF_RETURN_IF_ERROR(visit(key));
+  }
+  return order;
+}
+
+Result<std::string> SpecRegistry::Md5For(const std::string& key) const {
+  std::vector<std::string> stack;
+  return Md5ForImpl(key, &stack);
+}
+
+Result<std::string> SpecRegistry::Md5ForImpl(
+    const std::string& key, std::vector<std::string>* stack) const {
+  if (const auto it = md5_cache_.find(key); it != md5_cache_.end()) {
+    return it->second;
+  }
+  const MessageSpec* spec = Find(key);
+  if (spec == nullptr) return NotFoundError("unknown message: " + key);
+  if (std::find(stack->begin(), stack->end(), key) != stack->end()) {
+    return FailedPreconditionError("message reference cycle at " + key);
+  }
+  stack->push_back(key);
+
+  // Canonical text: constants first, then fields; message-typed fields use
+  // the referenced type's MD5 as their type token (ROS1 algorithm).
+  std::vector<std::string> lines;
+  for (const auto& constant : spec->constants) {
+    lines.push_back(std::string(PrimitiveName(constant.type)) + " " +
+                    constant.name + "=" + constant.value_text);
+  }
+  for (const auto& field : spec->fields) {
+    if (field.type.IsMessage()) {
+      auto nested = Md5ForImpl(field.type.MessageKey(), stack);
+      if (!nested.ok()) return nested.status();
+      std::string suffix;
+      if (field.type.array == ArrayKind::kDynamic) suffix = "[]";
+      if (field.type.array == ArrayKind::kFixed) {
+        suffix = "[" + std::to_string(field.type.fixed_size) + "]";
+      }
+      lines.push_back(*nested + suffix + " " + field.name);
+    } else {
+      lines.push_back(field.type.ToIdl() + " " + field.name);
+    }
+  }
+  stack->pop_back();
+
+  const std::string digest = Md5::HexDigest(Join(lines, "\n"));
+  md5_cache_.emplace(key, digest);
+  return digest;
+}
+
+size_t SpecRegistry::ArenaCapacityFor(const std::string& key,
+                                      size_t fallback) const {
+  const MessageSpec* spec = Find(key);
+  if (spec == nullptr || spec->arena_capacity == 0) return fallback;
+  return spec->arena_capacity;
+}
+
+}  // namespace rsf::idl

@@ -1,0 +1,59 @@
+// Spec registry: the set of message definitions known to the generator and
+// the converter, with dependency resolution, topological ordering for code
+// emission, and ROS1-style MD5 type checksums.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "idl/types.h"
+
+namespace rsf::idl {
+
+class SpecRegistry {
+ public:
+  /// Adds one spec; kAlreadyExists if the key is taken.
+  Status Add(MessageSpec spec);
+
+  /// Loads every `<dir>/<package>/<Name>.msg` under `dir`.
+  Status LoadDirectory(const std::string& dir);
+
+  [[nodiscard]] const MessageSpec* Find(const std::string& key) const;
+  [[nodiscard]] bool Contains(const std::string& key) const {
+    return Find(key) != nullptr;
+  }
+  [[nodiscard]] size_t Size() const { return specs_.size(); }
+
+  /// All keys, sorted.
+  [[nodiscard]] std::vector<std::string> Keys() const;
+
+  /// Verifies every message-type field refers to a known spec.
+  [[nodiscard]] Status ValidateReferences() const;
+
+  /// Keys in dependency order (referenced messages before referencing
+  /// ones); kFailedPrecondition on reference cycles.
+  [[nodiscard]] Result<std::vector<std::string>> TopologicalOrder() const;
+
+  /// ROS1 message MD5: the digest of the canonical definition text in which
+  /// (a) comments/blank lines are dropped, (b) constants come first, and
+  /// (c) each message-typed field's type token is replaced by that type's
+  /// own MD5.  Identical across machines for identical definitions, and
+  /// changed by any semantic change — which is exactly what the transport's
+  /// handshake check needs.
+  [[nodiscard]] Result<std::string> Md5For(const std::string& key) const;
+
+  /// Arena capacity for SFM codegen: the spec's pragma, or `fallback`.
+  [[nodiscard]] size_t ArenaCapacityFor(const std::string& key,
+                                        size_t fallback) const;
+
+ private:
+  Result<std::string> Md5ForImpl(const std::string& key,
+                                 std::vector<std::string>* stack) const;
+
+  std::map<std::string, MessageSpec> specs_;
+  mutable std::map<std::string, std::string> md5_cache_;
+};
+
+}  // namespace rsf::idl

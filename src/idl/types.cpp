@@ -1,0 +1,102 @@
+#include "idl/types.h"
+
+namespace rsf::idl {
+
+const char* PrimitiveName(Primitive p) noexcept {
+  switch (p) {
+    case Primitive::kBool: return "bool";
+    case Primitive::kInt8: return "int8";
+    case Primitive::kUint8: return "uint8";
+    case Primitive::kInt16: return "int16";
+    case Primitive::kUint16: return "uint16";
+    case Primitive::kInt32: return "int32";
+    case Primitive::kUint32: return "uint32";
+    case Primitive::kInt64: return "int64";
+    case Primitive::kUint64: return "uint64";
+    case Primitive::kFloat32: return "float32";
+    case Primitive::kFloat64: return "float64";
+    case Primitive::kString: return "string";
+    case Primitive::kTime: return "time";
+    case Primitive::kDuration: return "duration";
+  }
+  return "?";
+}
+
+std::optional<Primitive> ParsePrimitive(const std::string& name) noexcept {
+  if (name == "bool") return Primitive::kBool;
+  if (name == "int8" || name == "byte") return Primitive::kInt8;
+  if (name == "uint8" || name == "char") return Primitive::kUint8;
+  if (name == "int16") return Primitive::kInt16;
+  if (name == "uint16") return Primitive::kUint16;
+  if (name == "int32") return Primitive::kInt32;
+  if (name == "uint32") return Primitive::kUint32;
+  if (name == "int64") return Primitive::kInt64;
+  if (name == "uint64") return Primitive::kUint64;
+  if (name == "float32") return Primitive::kFloat32;
+  if (name == "float64") return Primitive::kFloat64;
+  if (name == "string") return Primitive::kString;
+  if (name == "time") return Primitive::kTime;
+  if (name == "duration") return Primitive::kDuration;
+  return std::nullopt;
+}
+
+size_t PrimitiveSize(Primitive p) noexcept {
+  switch (p) {
+    case Primitive::kBool:
+    case Primitive::kInt8:
+    case Primitive::kUint8:
+      return 1;
+    case Primitive::kInt16:
+    case Primitive::kUint16:
+      return 2;
+    case Primitive::kInt32:
+    case Primitive::kUint32:
+    case Primitive::kFloat32:
+      return 4;
+    case Primitive::kInt64:
+    case Primitive::kUint64:
+    case Primitive::kFloat64:
+    case Primitive::kTime:
+    case Primitive::kDuration:
+      return 8;
+    case Primitive::kString:
+      return 0;  // variable
+  }
+  return 0;
+}
+
+const char* PrimitiveCppType(Primitive p) noexcept {
+  switch (p) {
+    case Primitive::kBool: return "uint8_t";  // ROS1 stores bool as byte
+    case Primitive::kInt8: return "int8_t";
+    case Primitive::kUint8: return "uint8_t";
+    case Primitive::kInt16: return "int16_t";
+    case Primitive::kUint16: return "uint16_t";
+    case Primitive::kInt32: return "int32_t";
+    case Primitive::kUint32: return "uint32_t";
+    case Primitive::kInt64: return "int64_t";
+    case Primitive::kUint64: return "uint64_t";
+    case Primitive::kFloat32: return "float";
+    case Primitive::kFloat64: return "double";
+    case Primitive::kString: return "std::string";
+    case Primitive::kTime: return "::rsf::Time";
+    case Primitive::kDuration: return "::rsf::Time";
+  }
+  return "?";
+}
+
+std::string FieldType::ToIdl() const {
+  std::string base =
+      is_primitive ? PrimitiveName(primitive) : MessageKey();
+  switch (array) {
+    case ArrayKind::kNone:
+      return base;
+    case ArrayKind::kDynamic:
+      return base + "[]";
+    case ArrayKind::kFixed:
+      return base + "[" + std::to_string(fixed_size) + "]";
+  }
+  return base;
+}
+
+}  // namespace rsf::idl

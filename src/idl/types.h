@@ -1,0 +1,93 @@
+// Type model for the ROS1 `.msg` interface definition language, consumed by
+// the SFM Generator (paper §4.3.1) and the ROS-SF Converter (§4.3.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rsf::idl {
+
+/// The fixed-size primitive types ROS1 supports, plus string.
+enum class Primitive : int {
+  kBool,
+  kInt8,
+  kUint8,
+  kInt16,
+  kUint16,
+  kInt32,
+  kUint32,
+  kInt64,
+  kUint64,
+  kFloat32,
+  kFloat64,
+  kString,
+  kTime,      // (sec, nsec) pair
+  kDuration,  // (sec, nsec) pair
+};
+
+/// IDL spelling ("uint32") for a primitive.
+const char* PrimitiveName(Primitive p) noexcept;
+
+/// Parses an IDL type name ("uint32", "byte", "char", ...); nullopt if the
+/// name is not primitive.  "byte" => int8, "char" => uint8 (ROS1 aliases).
+std::optional<Primitive> ParsePrimitive(const std::string& name) noexcept;
+
+/// Size in bytes of a fixed-size primitive (string has no fixed size).
+size_t PrimitiveSize(Primitive p) noexcept;
+
+/// C++ type spelling used in generated regular message structs.
+const char* PrimitiveCppType(Primitive p) noexcept;
+
+enum class ArrayKind {
+  kNone,     // T
+  kDynamic,  // T[]
+  kFixed,    // T[N]
+};
+
+/// A field's type: either a primitive or a reference to another message
+/// ("pkg/Name" or bare "Name" resolved within the same package, with the
+/// ROS1 special case that bare "Header" means std_msgs/Header).
+struct FieldType {
+  bool is_primitive = true;
+  Primitive primitive = Primitive::kUint8;
+  std::string message_package;  // for message types
+  std::string message_name;
+  ArrayKind array = ArrayKind::kNone;
+  uint32_t fixed_size = 0;  // for kFixed
+
+  [[nodiscard]] bool IsMessage() const noexcept { return !is_primitive; }
+  [[nodiscard]] std::string MessageKey() const {
+    return message_package + "/" + message_name;
+  }
+  /// Canonical IDL spelling, e.g. "uint8[]", "geometry_msgs/Point32[4]".
+  [[nodiscard]] std::string ToIdl() const;
+};
+
+struct FieldSpec {
+  FieldType type;
+  std::string name;
+};
+
+/// `int32 FOO=42` / `string BAR=hello world`.
+struct ConstantSpec {
+  Primitive type = Primitive::kInt32;
+  std::string name;
+  std::string value_text;  // verbatim, as ROS does for strings
+};
+
+struct MessageSpec {
+  std::string package;
+  std::string name;
+  std::vector<FieldSpec> fields;
+  std::vector<ConstantSpec> constants;
+  std::string raw_text;  // original definition (for checksums)
+
+  /// Arena capacity hint from the `# @arena_capacity: N` pragma; 0 if unset.
+  size_t arena_capacity = 0;
+
+  [[nodiscard]] std::string Key() const { return package + "/" + name; }
+};
+
+}  // namespace rsf::idl

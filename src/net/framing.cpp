@@ -1,0 +1,42 @@
+#include "net/framing.h"
+
+#include "common/endian.h"
+
+namespace rsf::net {
+
+Status WriteFrame(TcpConnection& conn, std::span<const uint8_t> payload) {
+  uint8_t header[4];
+  StoreLE<uint32_t>(header, static_cast<uint32_t>(payload.size()));
+  RSF_RETURN_IF_ERROR(conn.WriteAll(header));
+  return conn.WriteAll(payload);
+}
+
+Status WriteFrameScattered(TcpConnection& conn, std::span<const uint8_t> head,
+                           std::span<const uint8_t> body) {
+  uint8_t header[4];
+  StoreLE<uint32_t>(header, static_cast<uint32_t>(head.size() + body.size()));
+  RSF_RETURN_IF_ERROR(conn.WriteAll(header));
+  if (!head.empty()) RSF_RETURN_IF_ERROR(conn.WriteAll(head));
+  return conn.WriteAll(body);
+}
+
+Status ReadFrame(TcpConnection& conn, const FrameAllocator& alloc,
+                 uint32_t* length) {
+  uint8_t header[4];
+  RSF_RETURN_IF_ERROR(conn.ReadExact(header));
+  const uint32_t len = LoadLE<uint32_t>(header);
+  if (len > kMaxFramePayload) {
+    return OutOfRangeError("frame payload too large: " + std::to_string(len));
+  }
+  uint8_t* dst = alloc(len);
+  if (dst == nullptr && len > 0) {
+    return ResourceExhaustedError("frame allocator returned null");
+  }
+  if (len > 0) {
+    RSF_RETURN_IF_ERROR(conn.ReadExact(std::span<uint8_t>(dst, len)));
+  }
+  *length = len;
+  return Status::Ok();
+}
+
+}  // namespace rsf::net

@@ -1,0 +1,40 @@
+// Length-prefixed message framing over a TcpConnection, mirroring TCPROS:
+// every unit on the wire is [uint32 little-endian length][payload].
+//
+// The frame reader takes an allocator callback so the receiving middleware
+// can decide where payload bytes land.  This is the hook that makes the
+// serialization-free receive path possible: for SFM topics the allocator
+// returns a pointer into a freshly registered message arena, so the bytes
+// coming off the socket *are* the message (paper §4.2, subscriber side).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace rsf::net {
+
+/// Maximum accepted frame payload (guards against corrupted lengths).
+inline constexpr uint32_t kMaxFramePayload = 256u * 1024u * 1024u;
+
+/// Writes one frame: 4-byte LE length then the payload.
+Status WriteFrame(TcpConnection& conn, std::span<const uint8_t> payload);
+
+/// Writes one frame whose payload is split across two spans (used to send a
+/// small header followed by a large zero-copy body without concatenating).
+Status WriteFrameScattered(TcpConnection& conn, std::span<const uint8_t> head,
+                           std::span<const uint8_t> body);
+
+/// Allocator: given the payload length, returns the destination buffer.
+/// Returning nullptr aborts the read with kResourceExhausted.
+using FrameAllocator = std::function<uint8_t*(uint32_t length)>;
+
+/// Reads one frame into memory provided by `alloc`; on success stores the
+/// payload length in `*length`.
+Status ReadFrame(TcpConnection& conn, const FrameAllocator& alloc,
+                 uint32_t* length);
+
+}  // namespace rsf::net

@@ -1,0 +1,23 @@
+#include "net/sim_link.h"
+
+#include <algorithm>
+
+namespace rsf::net {
+
+uint64_t SimLink::WireTimeNanos(size_t bytes) const {
+  if (config_.bandwidth_bps <= 0.0) return 0;
+  const double bits = static_cast<double>(bytes) * 8.0;
+  return static_cast<uint64_t>(bits / config_.bandwidth_bps * 1e9);
+}
+
+uint64_t SimLink::DelayFor(size_t bytes, uint64_t now_nanos) {
+  const uint64_t wire = WireTimeNanos(bytes);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t start = std::max(now_nanos, busy_until_nanos_);
+  const uint64_t done = start + wire;
+  busy_until_nanos_ = done;
+  const uint64_t deliver = done + config_.propagation_nanos;
+  return deliver > now_nanos ? deliver - now_nanos : 0;
+}
+
+}  // namespace rsf::net

@@ -1,0 +1,57 @@
+// Simulated network link: models the serialization delay (bytes / bandwidth)
+// and propagation delay of a point-to-point link, so the inter-machine
+// experiment of the paper (two hosts on Intel 82599 10 GbE, §5.2) can run on
+// one machine.
+//
+// The model is the standard store-and-forward pipe: a link is busy while a
+// frame's bits are on the wire, so frame i's delivery time is
+//     deliver(i) = max(send(i), deliver_busy_until) + bytes*8/bw + prop
+// The middleware applies the resulting extra delay on the receive path
+// before dispatching the callback (after the bytes have crossed the real
+// loopback socket, whose cost is also part of the measurement, as it is in
+// the paper's intra-machine runs).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace rsf::net {
+
+struct LinkConfig {
+  /// Link bandwidth in bits per second (0 = infinite).
+  double bandwidth_bps = 0.0;
+  /// One-way propagation delay in nanoseconds.
+  uint64_t propagation_nanos = 0;
+
+  /// 10 Gigabit Ethernet with a typical same-rack propagation+switch delay.
+  static LinkConfig TenGigE() {
+    return LinkConfig{10e9, 30'000};  // 10 Gbps, 30 us
+  }
+  /// 1 Gigabit Ethernet.
+  static LinkConfig OneGigE() { return LinkConfig{1e9, 50'000}; }
+  /// No shaping (pure loopback).
+  static LinkConfig Loopback() { return LinkConfig{}; }
+};
+
+/// Per-connection shaper.  Thread-safe.
+class SimLink {
+ public:
+  explicit SimLink(LinkConfig config) : config_(config) {}
+
+  /// Returns the number of nanoseconds the delivery of a frame of
+  /// `bytes` bytes, arriving at monotonic time `now_nanos`, must be delayed
+  /// to respect the link model.  Updates the busy-until bookkeeping.
+  uint64_t DelayFor(size_t bytes, uint64_t now_nanos);
+
+  /// Wire time for `bytes` at the configured bandwidth, in nanoseconds.
+  [[nodiscard]] uint64_t WireTimeNanos(size_t bytes) const;
+
+  [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+
+ private:
+  LinkConfig config_;
+  std::mutex mutex_;
+  uint64_t busy_until_nanos_ = 0;  // guarded by mutex_
+};
+
+}  // namespace rsf::net

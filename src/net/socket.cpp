@@ -1,0 +1,119 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rsf::net {
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return UnavailableError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void FdGuard::Reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpConnection> TcpConnection::Connect(const std::string& host,
+                                             uint16_t port) {
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("bad address: " + host);
+  }
+  if (::connect(fd.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return ErrnoStatus("connect");
+  }
+  return TcpConnection(std::move(fd));
+}
+
+Status TcpConnection::WriteAll(std::span<const uint8_t> data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(fd_.fd(), data.data() + written,
+                             data.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status TcpConnection::ReadExact(std::span<uint8_t> data) {
+  size_t got = 0;
+  while (got < data.size()) {
+    const ssize_t n = ::recv(fd_.fd(), data.data() + got, data.size() - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("recv");
+    }
+    if (n == 0) return UnavailableError("connection closed");
+    got += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status TcpConnection::SetNoDelay(bool enabled) {
+  const int flag = enabled ? 1 : 0;
+  if (::setsockopt(fd_.fd(), IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag)) != 0) {
+    return ErrnoStatus("setsockopt(TCP_NODELAY)");
+  }
+  return Status::Ok();
+}
+
+void TcpConnection::ShutdownBoth() noexcept {
+  if (fd_.valid()) ::shutdown(fd_.fd(), SHUT_RDWR);
+}
+
+Result<TcpListener> TcpListener::Listen(uint16_t port) {
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+
+  const int one = 1;
+  ::setsockopt(fd.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return ErrnoStatus("bind");
+  }
+  if (::listen(fd.fd(), 64) != 0) return ErrnoStatus("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return ErrnoStatus("getsockname");
+  }
+  return TcpListener(std::move(fd), ntohs(addr.sin_port));
+}
+
+Result<TcpConnection> TcpListener::Accept() {
+  const int client = ::accept(fd_.fd(), nullptr, nullptr);
+  if (client < 0) return ErrnoStatus("accept");
+  return TcpConnection(FdGuard(client));
+}
+
+void TcpListener::Close() noexcept {
+  if (fd_.valid()) ::shutdown(fd_.fd(), SHUT_RDWR);
+  fd_.Reset();
+}
+
+}  // namespace rsf::net

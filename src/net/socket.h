@@ -1,0 +1,105 @@
+// RAII TCP socket primitives over the BSD socket API.
+//
+// The middleware uses blocking I/O with one receive thread per connection
+// (the same structure as roscpp's TCPROS transport).  All data-path traffic
+// in the benchmarks flows through real loopback TCP sockets, matching the
+// paper's intra-machine experimental setup (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+
+namespace rsf::net {
+
+/// Owns a file descriptor; closes it on destruction.  Move-only.
+class FdGuard {
+ public:
+  FdGuard() noexcept = default;
+  explicit FdGuard(int fd) noexcept : fd_(fd) {}
+  ~FdGuard() { Reset(); }
+
+  FdGuard(FdGuard&& other) noexcept : fd_(other.Release()) {}
+  FdGuard& operator=(FdGuard&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Releases ownership without closing.
+  int Release() noexcept {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the descriptor (idempotent).
+  void Reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream.  Thread-compatible: one reader + one writer
+/// thread may operate concurrently (reads and writes never share state).
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  explicit TcpConnection(FdGuard fd) : fd_(std::move(fd)) {}
+
+  /// Connects to host:port (blocking).
+  static Result<TcpConnection> Connect(const std::string& host, uint16_t port);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
+
+  /// Writes the entire span; returns an error on EOF/failure.
+  Status WriteAll(std::span<const uint8_t> data);
+
+  /// Reads exactly data.size() bytes; kUnavailable on orderly EOF.
+  Status ReadExact(std::span<uint8_t> data);
+
+  /// Disables Nagle's algorithm (latency benchmarks need this, as does ROS).
+  Status SetNoDelay(bool enabled);
+
+  /// Shuts down both directions, unblocking any reader.
+  void ShutdownBoth() noexcept;
+
+  void Close() noexcept { fd_.Reset(); }
+
+  [[nodiscard]] int fd() const noexcept { return fd_.fd(); }
+
+ private:
+  FdGuard fd_;
+};
+
+/// A listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds and listens; port 0 picks an ephemeral port.
+  static Result<TcpListener> Listen(uint16_t port);
+
+  /// Blocks until a connection arrives; kUnavailable once closed.
+  Result<TcpConnection> Accept();
+
+  [[nodiscard]] uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
+
+  /// Unblocks Accept() by closing the listening socket.
+  void Close() noexcept;
+
+ private:
+  TcpListener(FdGuard fd, uint16_t port) : fd_(std::move(fd)), port_(port) {}
+  FdGuard fd_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace rsf::net

@@ -1,0 +1,48 @@
+// The node's callback queue: receive threads enqueue bound closures, the
+// spinner drains them — roscpp's CallbackQueue / ros::spin() structure.
+#pragma once
+
+#include <functional>
+
+#include "common/concurrent_queue.h"
+
+namespace ros {
+
+class CallbackQueue {
+ public:
+  CallbackQueue() : queue_(SIZE_MAX, rsf::QueueFullPolicy::kBlock) {}
+
+  void Enqueue(std::function<void()> callback) {
+    queue_.Push(std::move(callback));
+  }
+
+  /// Runs callbacks until Shutdown() — ros::spin().
+  void Spin() {
+    while (auto callback = queue_.Pop()) (*callback)();
+  }
+
+  /// Runs at most one pending callback; false if none ran — ros::spinOnce().
+  bool SpinOnce() {
+    auto callback = queue_.TryPop();
+    if (!callback.has_value()) return false;
+    (*callback)();
+    return true;
+  }
+
+  /// Blocks up to `timeout_nanos` for one callback; false on timeout.
+  bool SpinOnceFor(uint64_t timeout_nanos) {
+    auto callback = queue_.PopFor(timeout_nanos);
+    if (!callback.has_value()) return false;
+    (*callback)();
+    return true;
+  }
+
+  void Shutdown() { queue_.Shutdown(); }
+
+  [[nodiscard]] size_t Pending() const { return queue_.Size(); }
+
+ private:
+  rsf::ConcurrentQueue<std::function<void()>> queue_;
+};
+
+}  // namespace ros

@@ -1,0 +1,78 @@
+#include "ros/connection_header.h"
+
+#include "common/endian.h"
+
+namespace ros {
+
+std::vector<uint8_t> EncodeConnectionHeader(const ConnectionHeader& header) {
+  std::vector<uint8_t> out;
+  for (const auto& [key, value] : header) {
+    const std::string field = key + "=" + value;
+    uint8_t length[4];
+    rsf::StoreLE<uint32_t>(length, static_cast<uint32_t>(field.size()));
+    out.insert(out.end(), length, length + 4);
+    out.insert(out.end(), field.begin(), field.end());
+  }
+  return out;
+}
+
+rsf::Result<ConnectionHeader> DecodeConnectionHeader(const uint8_t* data,
+                                                     size_t size) {
+  ConnectionHeader header;
+  size_t at = 0;
+  while (at < size) {
+    if (at + 4 > size) {
+      return rsf::InvalidArgumentError("truncated header field length");
+    }
+    const auto length = rsf::LoadLE<uint32_t>(data + at);
+    at += 4;
+    if (at + length > size) {
+      return rsf::InvalidArgumentError("truncated header field");
+    }
+    const std::string field(reinterpret_cast<const char*>(data + at), length);
+    at += length;
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return rsf::InvalidArgumentError("header field without '=': " + field);
+    }
+    header[field.substr(0, eq)] = field.substr(eq + 1);
+  }
+  return header;
+}
+
+ConnectionHeader MakeSubscriberHeader(const std::string& topic,
+                                      const std::string& datatype,
+                                      const std::string& md5sum,
+                                      const std::string& callerid) {
+  return ConnectionHeader{{"topic", topic},
+                          {"type", datatype},
+                          {"md5sum", md5sum},
+                          {"callerid", callerid}};
+}
+
+rsf::Status ValidateSubscriberHeader(const ConnectionHeader& header,
+                                     const std::string& topic,
+                                     const std::string& datatype,
+                                     const std::string& md5sum) {
+  const auto get = [&](const char* key) -> const std::string* {
+    const auto it = header.find(key);
+    return it == header.end() ? nullptr : &it->second;
+  };
+  const std::string* got_topic = get("topic");
+  if (got_topic == nullptr || *got_topic != topic) {
+    return rsf::InvalidArgumentError("topic mismatch on " + topic);
+  }
+  const std::string* got_type = get("type");
+  if (got_type == nullptr || (*got_type != datatype && *got_type != "*")) {
+    return rsf::InvalidArgumentError(
+        "datatype mismatch on " + topic + ": publisher offers " + datatype +
+        ", subscriber wants " + (got_type ? *got_type : "<missing>"));
+  }
+  const std::string* got_md5 = get("md5sum");
+  if (got_md5 == nullptr || (*got_md5 != md5sum && *got_md5 != "*")) {
+    return rsf::InvalidArgumentError("md5sum mismatch on " + topic);
+  }
+  return rsf::Status::Ok();
+}
+
+}  // namespace ros

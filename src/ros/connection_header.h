@@ -1,0 +1,36 @@
+// TCPROS-style connection header: the key=value handshake exchanged when a
+// subscriber connects to a publisher.  Encoded exactly like ROS1:
+// repeated [uint32 length]["key=value"] fields inside one frame.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ros {
+
+using ConnectionHeader = std::map<std::string, std::string>;
+
+/// Encodes the header fields (without the outer frame length).
+std::vector<uint8_t> EncodeConnectionHeader(const ConnectionHeader& header);
+
+/// Decodes a header payload; rejects malformed field lengths / missing '='.
+rsf::Result<ConnectionHeader> DecodeConnectionHeader(const uint8_t* data,
+                                                     size_t size);
+
+/// Builds the subscriber-side handshake for a topic.
+ConnectionHeader MakeSubscriberHeader(const std::string& topic,
+                                      const std::string& datatype,
+                                      const std::string& md5sum,
+                                      const std::string& callerid);
+
+/// Validates a subscriber handshake against what the publisher offers.
+/// Returns OK or a descriptive error (also sent back over the wire).
+rsf::Status ValidateSubscriberHeader(const ConnectionHeader& header,
+                                     const std::string& topic,
+                                     const std::string& datatype,
+                                     const std::string& md5sum);
+
+}  // namespace ros

@@ -1,0 +1,108 @@
+#include "ros/master.h"
+
+#include <algorithm>
+
+namespace ros {
+
+rsf::Status Master::CheckTypeLocked(Topic& topic, const std::string& datatype,
+                                    const std::string& md5sum,
+                                    const std::string& topic_name) {
+  // "*" is the wildcard used by type-agnostic tools (rosbag record,
+  // rostopic): it matches any concrete type and never pins the topic's.
+  if (datatype == "*" && md5sum == "*") return rsf::Status::Ok();
+  if (topic.datatype.empty() || topic.datatype == "*") {
+    topic.datatype = datatype;
+    topic.md5sum = md5sum;
+    return rsf::Status::Ok();
+  }
+  if (topic.datatype != datatype || topic.md5sum != md5sum) {
+    return rsf::FailedPreconditionError(
+        "topic " + topic_name + " already has type " + topic.datatype +
+        " (md5 " + topic.md5sum + "); cannot use " + datatype);
+  }
+  return rsf::Status::Ok();
+}
+
+rsf::Status Master::RegisterPublisher(const std::string& topic_name,
+                                      const std::string& datatype,
+                                      const std::string& md5sum,
+                                      const TopicEndpoint& endpoint) {
+  std::vector<PublisherUpdateFn> to_notify;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Topic& topic = topics_[topic_name];
+    RSF_RETURN_IF_ERROR(CheckTypeLocked(topic, datatype, md5sum, topic_name));
+    topic.publishers.push_back(endpoint);
+    to_notify.reserve(topic.subscribers.size());
+    for (const auto& [id, fn] : topic.subscribers) to_notify.push_back(fn);
+  }
+  // Notify outside the lock: callbacks connect sockets / spawn threads.
+  for (const auto& fn : to_notify) fn(endpoint);
+  return rsf::Status::Ok();
+}
+
+void Master::UnregisterPublisher(const std::string& topic_name,
+                                 const TopicEndpoint& endpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = topics_.find(topic_name);
+  if (it == topics_.end()) return;
+  auto& publishers = it->second.publishers;
+  publishers.erase(std::remove(publishers.begin(), publishers.end(), endpoint),
+                   publishers.end());
+}
+
+rsf::Result<uint64_t> Master::RegisterSubscriber(
+    const std::string& topic_name, const std::string& datatype,
+    const std::string& md5sum, PublisherUpdateFn on_publisher) {
+  uint64_t id = 0;
+  std::vector<TopicEndpoint> existing;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Topic& topic = topics_[topic_name];
+    RSF_RETURN_IF_ERROR(CheckTypeLocked(topic, datatype, md5sum, topic_name));
+    id = next_subscriber_id_++;
+    topic.subscribers.emplace(id, on_publisher);
+    existing = topic.publishers;
+  }
+  for (const auto& endpoint : existing) on_publisher(endpoint);
+  return id;
+}
+
+void Master::UnregisterSubscriber(const std::string& topic_name, uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = topics_.find(topic_name);
+  if (it == topics_.end()) return;
+  it->second.subscribers.erase(id);
+}
+
+std::vector<TopicInfo> Master::Topics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TopicInfo> out;
+  out.reserve(topics_.size());
+  for (const auto& [name, topic] : topics_) {
+    out.push_back(TopicInfo{name, topic.datatype, topic.md5sum,
+                            topic.publishers.size(),
+                            topic.subscribers.size()});
+  }
+  return out;
+}
+
+std::vector<TopicEndpoint> Master::PublishersOf(
+    const std::string& topic_name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = topics_.find(topic_name);
+  return it == topics_.end() ? std::vector<TopicEndpoint>{}
+                             : it->second.publishers;
+}
+
+void Master::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  topics_.clear();
+}
+
+Master& master() {
+  static Master instance;
+  return instance;
+}
+
+}  // namespace ros

@@ -1,0 +1,116 @@
+// Serialization traits: the seam where ROS-SF replaces roscpp's generated
+// serialize/de-serialize routines (paper §4.3.1, "Overloaded ROS
+// serialization routine" / "Overloaded ROS de-serialization routine").
+//
+// Regular messages take the classic path:
+//   publish:  allocate a buffer, run the generated serializer (one full copy)
+//   receive:  read the frame into a scratch buffer, run the generated
+//             de-serializer into a fresh message object (another full copy)
+//
+// SFM messages take the serialization-free path:
+//   publish:  ask the global message manager for an aliased buffer pointer
+//             covering the whole message — zero copy
+//   receive:  read the frame straight into a newly adopted arena and
+//             reinterpret it as the message — the "dummy de-serialization
+//             routine" of Fig. 9 — zero copy
+#pragma once
+
+#include <memory>
+
+#include "common/status.h"
+#include "serialization/field_model.h"
+#include "serialization/ros1.h"
+#include "sfm/sfm.h"
+#include "ros/serialized_message.h"
+
+namespace ros {
+
+using rsf::ser::Message;
+
+/// A frame destination handed to the transport's frame reader, plus the
+/// typed finalization once the bytes are in.
+template <Message M>
+struct Serializer;
+
+// ---- regular messages ----
+
+template <Message M>
+struct Serializer {
+  static constexpr bool kSerializationFree = false;
+
+  static SerializedMessage ToWire(const M& msg) {
+    const size_t length = rsf::ser::ros1::SerializedLength(msg);
+    auto buffer = std::shared_ptr<uint8_t[]>(new uint8_t[length]);
+    rsf::ser::ros1::Serialize(msg, buffer.get());
+    return SerializedMessage{std::move(buffer), length};
+  }
+
+  struct ReceiveArena {
+    std::unique_ptr<uint8_t[]> block;
+
+    uint8_t* Allocate(uint32_t length) {
+      // Default-initialized: the socket read fills it (make_unique would
+      // value-initialize, i.e. memset the whole block).
+      block.reset(new uint8_t[length == 0 ? 1 : length]);
+      return block.get();
+    }
+  };
+
+  static rsf::Result<std::shared_ptr<const M>> FromWire(ReceiveArena arena,
+                                                        uint32_t length) {
+    auto msg = std::make_shared<M>();
+    RSF_RETURN_IF_ERROR(
+        rsf::ser::ros1::Deserialize(arena.block.get(), length, *msg));
+    return std::shared_ptr<const M>(std::move(msg));
+  }
+};
+
+// ---- serialization-free messages ----
+
+template <Message M>
+  requires(::sfm::is_sfm_message_v<M>)
+struct Serializer<M> {
+  static constexpr bool kSerializationFree = true;
+
+  static SerializedMessage ToWire(const M& msg) {
+    // The common case: the message lives in a managed arena (the ROS-SF
+    // Converter guarantees heap allocation), so publishing is one aliased
+    // shared_ptr copy.
+    if (auto buffer = ::sfm::gmm().Publish(&msg)) {
+      return SerializedMessage{std::move(buffer->data), buffer->size};
+    }
+    // A stack-allocated message can only reach here if it never grew (any
+    // variable-size use would have raised kUnmanagedMessage); its skeleton
+    // alone is a complete whole message, so snapshot it.
+    auto buffer = std::shared_ptr<uint8_t[]>(new uint8_t[sizeof(M)]);
+    std::memcpy(buffer.get(), &msg, sizeof(M));
+    return SerializedMessage{std::move(buffer), sizeof(M)};
+  }
+
+  struct ReceiveArena {
+    ::sfm::PooledBlock block;
+    size_t capacity = 0;
+
+    uint8_t* Allocate(uint32_t length) {
+      capacity = ::sfm::ArenaCapacityFor(M::DataType(), M::kArenaCapacity);
+      if (capacity < length) capacity = length;
+      // Pooled + default-initialized: arenas are megabytes (sized for the
+      // largest message of the type), so recycling keeps pages warm and a
+      // value-initializing allocation would memset the full capacity.
+      block = ::sfm::AcquireArenaBlock(capacity);
+      return block.get();
+    }
+  };
+
+  static rsf::Result<std::shared_ptr<const M>> FromWire(ReceiveArena arena,
+                                                        uint32_t length) {
+    if (length < sizeof(M)) {
+      return rsf::OutOfRangeError("SFM frame smaller than the skeleton");
+    }
+    const uint8_t* start = ::sfm::gmm().AdoptReceived(
+        M::DataType(), std::move(arena.block), arena.capacity, length);
+    return ::sfm::WrapReceived<M>(start);
+  }
+};
+
+}  // namespace ros

@@ -1,0 +1,183 @@
+// The developer-facing API — the same programming pattern as roscpp
+// (paper Fig. 3):
+//
+//   ros::NodeHandle nh("pub");
+//   ros::Publisher pub = nh.advertise<sensor_msgs::Image>("/image", 10);
+//   ...
+//   pub.publish(img);
+//
+//   ros::NodeHandle nh("sub");
+//   ros::Subscriber sub = nh.subscribe<sensor_msgs::Image>(
+//       "/image", 10, [](const sensor_msgs::Image::ConstPtr& msg) {...});
+//   nh.spin();
+//
+// Swapping sensor_msgs::Image for sensor_msgs::sfm::Image — what the
+// paper's regenerated headers do underneath unchanged source — flips the
+// whole pipeline to the serialization-free path; nothing else changes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ros/callback_queue.h"
+#include "ros/master.h"
+#include "ros/message_traits.h"
+#include "ros/publication.h"
+#include "ros/subscription.h"
+
+namespace ros {
+
+/// Checksum negotiated on the wire.  Regular and SFM variants of a message
+/// share the IDL MD5 but not the wire format, so the SFM side is marked —
+/// mixing them on one topic is refused at the master and in the handshake.
+template <Message M>
+std::string TransportChecksum() {
+  std::string md5 = M::Md5Sum();
+  if constexpr (::sfm::is_sfm_message_v<M>) md5 += "-sfm";
+  return md5;
+}
+
+/// Handle to an advertised topic; copyable, reference-counted.  The last
+/// handle going out of scope tears the publication down (roscpp semantics).
+class Publisher {
+ public:
+  Publisher() = default;
+
+  /// Serializes (regular) or aliases (SFM) the message and enqueues it to
+  /// every connected subscriber.
+  template <Message M>
+  void publish(const M& msg) const {
+    SFM_CHECK_MSG(impl_ != nullptr, "publish on an invalid Publisher");
+    SFM_CHECK_MSG(impl_->datatype() == M::DataType(),
+                  "publish type does not match advertise type");
+    impl_->Publish(Serializer<M>::ToWire(msg));
+  }
+
+  template <Message M>
+  void publish(const std::shared_ptr<M>& msg) const {
+    publish(*msg);
+  }
+  template <Message M>
+  void publish(const std::shared_ptr<const M>& msg) const {
+    publish(*msg);
+  }
+
+  [[nodiscard]] size_t getNumSubscribers() const {
+    return impl_ ? impl_->NumSubscribers() : 0;
+  }
+  [[nodiscard]] std::string getTopic() const {
+    return impl_ ? impl_->topic() : std::string();
+  }
+  [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+  void shutdown() { impl_.reset(); }
+
+ private:
+  friend class NodeHandle;
+  explicit Publisher(std::shared_ptr<Publication> impl)
+      : impl_(std::move(impl)) {}
+  std::shared_ptr<Publication> impl_;
+};
+
+/// Handle to a subscription; copyable, reference-counted.
+class Subscriber {
+ public:
+  Subscriber() = default;
+
+  [[nodiscard]] std::string getTopic() const {
+    return impl_ ? impl_->topic() : std::string();
+  }
+  [[nodiscard]] uint64_t receivedCount() const {
+    return impl_ ? impl_->ReceivedCount() : 0;
+  }
+  [[nodiscard]] size_t getNumPublishers() const {
+    return impl_ ? impl_->NumPublishers() : 0;
+  }
+  [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+  void shutdown() {
+    if (impl_) impl_->Shutdown();
+    impl_.reset();
+  }
+
+ private:
+  friend class NodeHandle;
+  explicit Subscriber(std::shared_ptr<SubscriptionBase> impl)
+      : impl_(std::move(impl)) {}
+  std::shared_ptr<SubscriptionBase> impl_;
+};
+
+class NodeHandle {
+ public:
+  explicit NodeHandle(std::string name = "node")
+      : name_(std::move(name)),
+        queue_(std::make_shared<CallbackQueue>()) {}
+
+  ~NodeHandle() { shutdown(); }
+  NodeHandle(const NodeHandle&) = delete;
+  NodeHandle& operator=(const NodeHandle&) = delete;
+
+  /// Declares a topic and returns the publishing handle (paper Fig. 3).
+  template <Message M>
+  Publisher advertise(const std::string& topic, size_t queue_size) {
+    auto publication = Publication::Create(topic, M::DataType(),
+                                           TransportChecksum<M>(), name_,
+                                           queue_size);
+    SFM_CHECK_MSG(publication.ok(), publication.status().ToString().c_str());
+    const auto status = master().RegisterPublisher(
+        topic, M::DataType(), TransportChecksum<M>(),
+        TopicEndpoint{"127.0.0.1", (*publication)->port(), name_});
+    if (!status.ok()) {
+      (*publication)->Shutdown();
+      throw std::runtime_error(status.ToString());
+    }
+    registered_publications_.push_back(
+        {topic, TopicEndpoint{"127.0.0.1", (*publication)->port(), name_}});
+    return Publisher(*std::move(publication));
+  }
+
+  /// Registers a callback for a topic (paper Fig. 3).  The callback runs on
+  /// this node's callback queue, driven by spin()/spinOnce().
+  template <Message M>
+  Subscriber subscribe(
+      const std::string& topic, size_t queue_size,
+      std::function<void(const std::shared_ptr<const M>&)> callback,
+      SubscribeOptions options = {}) {
+    options.queue_size = queue_size;
+    auto subscription =
+        Subscription<M>::Create(topic, TransportChecksum<M>(), name_, options,
+                                std::move(callback), queue_);
+    if (!subscription.ok()) {
+      throw std::runtime_error(subscription.status().ToString());
+    }
+    return Subscriber(*std::move(subscription));
+  }
+
+  /// Processes callbacks until shutdown() — ros::spin().
+  void spin() { queue_->Spin(); }
+  /// Processes one pending callback if any — ros::spinOnce().
+  bool spinOnce() { return queue_->SpinOnce(); }
+  bool spinOnceFor(uint64_t timeout_nanos) {
+    return queue_->SpinOnceFor(timeout_nanos);
+  }
+
+  /// Stops spin() and unregisters this node's publishers from the master.
+  void shutdown() {
+    queue_->Shutdown();
+    for (const auto& [topic, endpoint] : registered_publications_) {
+      master().UnregisterPublisher(topic, endpoint);
+    }
+    registered_publications_.clear();
+  }
+
+  [[nodiscard]] const std::string& getName() const noexcept { return name_; }
+  [[nodiscard]] std::shared_ptr<CallbackQueue> getCallbackQueue() const {
+    return queue_;
+  }
+
+ private:
+  std::string name_;
+  std::shared_ptr<CallbackQueue> queue_;
+  std::vector<std::pair<std::string, TopicEndpoint>> registered_publications_;
+};
+
+}  // namespace ros

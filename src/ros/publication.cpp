@@ -1,0 +1,151 @@
+#include "ros/publication.h"
+
+#include "common/log.h"
+#include "net/framing.h"
+#include "ros/connection_header.h"
+
+namespace ros {
+
+rsf::Result<std::shared_ptr<Publication>> Publication::Create(
+    const std::string& topic, const std::string& datatype,
+    const std::string& md5sum, const std::string& callerid,
+    size_t queue_size) {
+  auto listener = rsf::net::TcpListener::Listen(0);
+  if (!listener.ok()) return listener.status();
+  auto publication = std::shared_ptr<Publication>(
+      new Publication(topic, datatype, md5sum, callerid, queue_size,
+                      *std::move(listener)));
+  publication->Start();
+  return publication;
+}
+
+Publication::Publication(const std::string& topic, const std::string& datatype,
+                         const std::string& md5sum,
+                         const std::string& callerid, size_t queue_size,
+                         rsf::net::TcpListener listener)
+    : topic_(topic),
+      datatype_(datatype),
+      md5sum_(md5sum),
+      callerid_(callerid),
+      queue_size_(queue_size == 0 ? 1 : queue_size),
+      listener_(std::move(listener)),
+      port_(listener_.port()) {}
+
+void Publication::Start() {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+Publication::~Publication() { Shutdown(); }
+
+bool Publication::Handshake(rsf::net::TcpConnection& conn) {
+  // Read the subscriber's connection header frame.
+  std::vector<uint8_t> request;
+  uint32_t length = 0;
+  const auto read_status = rsf::net::ReadFrame(
+      conn,
+      [&](uint32_t len) {
+        request.resize(len == 0 ? 1 : len);
+        return request.data();
+      },
+      &length);
+  if (!read_status.ok()) return false;
+
+  auto header = DecodeConnectionHeader(request.data(), length);
+  rsf::Status valid = header.ok()
+                          ? ValidateSubscriberHeader(*header, topic_,
+                                                     datatype_, md5sum_)
+                          : header.status();
+
+  ConnectionHeader reply;
+  if (valid.ok()) {
+    reply = {{"type", datatype_}, {"md5sum", md5sum_}, {"callerid", callerid_}};
+  } else {
+    reply = {{"error", valid.ToString()}};
+    RSF_WARN("rejecting subscriber on %s: %s", topic_.c_str(),
+             valid.ToString().c_str());
+  }
+  const auto encoded = EncodeConnectionHeader(reply);
+  if (!rsf::net::WriteFrame(conn, encoded).ok()) return false;
+  return valid.ok();
+}
+
+void Publication::AcceptLoop() {
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    auto conn = listener_.Accept();
+    if (!conn.ok()) {
+      if (!shutdown_.load(std::memory_order_acquire)) {
+        RSF_DEBUG("accept on %s ended: %s", topic_.c_str(),
+                  conn.status().ToString().c_str());
+      }
+      return;
+    }
+    (void)conn->SetNoDelay(true);
+    if (!Handshake(*conn)) continue;
+
+    auto link = std::make_unique<SubscriberLink>(*std::move(conn), queue_size_);
+    SubscriberLink* raw = link.get();
+    raw->sender = std::thread([this, raw] { SenderLoop(raw); });
+    std::lock_guard<std::mutex> lock(links_mutex_);
+    links_.push_back(std::move(link));
+  }
+}
+
+void Publication::SenderLoop(SubscriberLink* link) {
+  while (true) {
+    auto message = link->queue.Pop();
+    if (!message.has_value()) return;  // queue shut down
+    const auto status = rsf::net::WriteFrame(
+        link->connection,
+        std::span<const uint8_t>(message->data.get(), message->size));
+    if (!status.ok()) {
+      link->dead.store(true, std::memory_order_release);
+      return;  // subscriber went away; the link is culled on next publish
+    }
+  }
+}
+
+void Publication::Publish(SerializedMessage message) {
+  std::lock_guard<std::mutex> lock(links_mutex_);
+  // Cull links whose sender hit a broken pipe.
+  for (auto it = links_.begin(); it != links_.end();) {
+    if ((*it)->dead.load(std::memory_order_acquire)) {
+      (*it)->queue.Shutdown();
+      (*it)->sender.join();
+      it = links_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& link : links_) {
+    // Aliased shared buffer: fan-out costs one shared_ptr copy per link.
+    link->queue.Push(message);
+    sent_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+size_t Publication::NumSubscribers() const {
+  std::lock_guard<std::mutex> lock(links_mutex_);
+  size_t alive = 0;
+  for (const auto& link : links_) {
+    if (!link->dead.load(std::memory_order_acquire)) ++alive;
+  }
+  return alive;
+}
+
+void Publication::Shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) return;
+
+  listener_.Close();  // unblocks Accept
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::lock_guard<std::mutex> lock(links_mutex_);
+  for (const auto& link : links_) {
+    link->queue.Shutdown();
+    link->connection.ShutdownBoth();
+    if (link->sender.joinable()) link->sender.join();
+  }
+  links_.clear();
+}
+
+}  // namespace ros

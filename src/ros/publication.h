@@ -1,0 +1,102 @@
+// Publisher-side transport for one advertised topic: a listening socket, an
+// accept loop that performs the TCPROS handshake, and one outgoing queue +
+// sender thread per connected subscriber.
+//
+// Publication is untyped: it moves SerializedMessage units.  The typed
+// Publisher handle (node_handle.h) serializes — or, for SFM topics, aliases
+// — messages before enqueueing them here.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/concurrent_queue.h"
+#include "common/status.h"
+#include "net/socket.h"
+#include "ros/serialized_message.h"
+
+namespace ros {
+
+class Publication {
+ public:
+  /// Binds a listener on an ephemeral loopback port and starts accepting.
+  static rsf::Result<std::shared_ptr<Publication>> Create(
+      const std::string& topic, const std::string& datatype,
+      const std::string& md5sum, const std::string& callerid,
+      size_t queue_size);
+
+  ~Publication();
+  Publication(const Publication&) = delete;
+  Publication& operator=(const Publication&) = delete;
+
+  /// Fans the message out to every connected subscriber (aliased shared
+  /// buffer: no per-subscriber copy).  Messages queued while a link's queue
+  /// is full evict the oldest (roscpp behaviour).
+  void Publish(SerializedMessage message);
+
+  /// Number of live subscriber links.
+  [[nodiscard]] size_t NumSubscribers() const;
+
+  /// Total messages accepted for sending (all links).
+  [[nodiscard]] uint64_t SentCount() const noexcept {
+    return sent_count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const std::string& topic() const noexcept { return topic_; }
+  [[nodiscard]] const std::string& datatype() const noexcept {
+    return datatype_;
+  }
+  [[nodiscard]] const std::string& md5sum() const noexcept { return md5sum_; }
+
+  /// Stops accepting, closes all links, joins all threads.  Idempotent.
+  void Shutdown();
+
+ private:
+  Publication(const std::string& topic, const std::string& datatype,
+              const std::string& md5sum, const std::string& callerid,
+              size_t queue_size, rsf::net::TcpListener listener);
+
+  /// Starts the accept loop (called once by Create).
+  void Start();
+
+  struct SubscriberLink {
+    rsf::net::TcpConnection connection;
+    rsf::ConcurrentQueue<SerializedMessage> queue;
+    std::thread sender;
+    std::atomic<bool> dead{false};
+
+    SubscriberLink(rsf::net::TcpConnection conn, size_t queue_size)
+        : connection(std::move(conn)),
+          queue(queue_size, rsf::QueueFullPolicy::kDropOldest) {}
+  };
+
+  void AcceptLoop();
+  void SenderLoop(SubscriberLink* link);
+  // Performs the handshake; returns false to drop the connection.
+  bool Handshake(rsf::net::TcpConnection& conn);
+
+  const std::string topic_;
+  const std::string datatype_;
+  const std::string md5sum_;
+  const std::string callerid_;
+  const size_t queue_size_;
+
+  rsf::net::TcpListener listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> sent_count_{0};
+  // Started by Start() after construction completes, NEVER in the
+  // constructor: the accept loop reads shutdown_/links_, which are declared
+  // after it and would not be initialized yet.
+  std::thread accept_thread_;
+
+  mutable std::mutex links_mutex_;
+  std::vector<std::unique_ptr<SubscriberLink>> links_;
+};
+
+}  // namespace ros

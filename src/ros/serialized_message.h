@@ -1,0 +1,19 @@
+// The unit the transport queues and writes: a shared, immutable byte
+// buffer.  For regular messages it owns a freshly serialized buffer; for
+// SFM messages it *aliases the message arena itself* (the buffer pointer of
+// paper Fig. 8) — publishing never copies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace ros {
+
+struct SerializedMessage {
+  std::shared_ptr<const uint8_t[]> data;
+  size_t size = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return data != nullptr; }
+};
+
+}  // namespace ros

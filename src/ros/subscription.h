@@ -1,0 +1,248 @@
+// Subscriber-side transport for one topic: connects to every publisher
+// endpoint the master reports, performs the TCPROS handshake, and runs one
+// read loop per publisher link.
+//
+// The read loop is where the serialization-free receive path happens: the
+// frame allocator from Serializer<M> decides whether payload bytes land in
+// a scratch buffer (regular messages, de-serialized afterwards) or directly
+// in a registered message arena (SFM messages, re-interpreted in place).
+//
+// A SubscribeOptions::link configuration routes delivery through a
+// SimLink shaper — the stand-in for the paper's two-machine 10 GbE testbed
+// (§5.2; see DESIGN.md substitutions).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/concurrent_queue.h"
+#include "common/log.h"
+#include "net/framing.h"
+#include "net/sim_link.h"
+#include "net/socket.h"
+#include "ros/callback_queue.h"
+#include "ros/connection_header.h"
+#include "ros/master.h"
+#include "ros/message_traits.h"
+
+namespace ros {
+
+struct SubscribeOptions {
+  /// Incoming message queue depth; overflow drops the oldest (roscpp).
+  size_t queue_size = 10;
+  /// Simulated link applied to this subscription's deliveries.
+  rsf::net::LinkConfig link{};
+  /// Run the callback on the receive thread instead of the callback queue.
+  bool inline_dispatch = false;
+};
+
+/// Type-erased base so NodeHandle / Subscriber handles can own any
+/// Subscription<M>.
+class SubscriptionBase {
+ public:
+  virtual ~SubscriptionBase() = default;
+  virtual void Shutdown() = 0;
+  [[nodiscard]] virtual const std::string& topic() const = 0;
+  [[nodiscard]] virtual uint64_t ReceivedCount() const = 0;
+  [[nodiscard]] virtual uint64_t DroppedCount() const = 0;
+  [[nodiscard]] virtual size_t NumPublishers() const = 0;
+};
+
+template <Message M>
+class Subscription final
+    : public SubscriptionBase,
+      public std::enable_shared_from_this<Subscription<M>> {
+ public:
+  using MessagePtr = std::shared_ptr<const M>;
+  using Callback = std::function<void(const MessagePtr&)>;
+
+  /// Registers with the master and starts connecting to publishers.
+  /// `transport_md5` is the negotiated checksum (the SFM variant is marked,
+  /// so a serialization-free publisher can never feed a regular subscriber).
+  static rsf::Result<std::shared_ptr<Subscription>> Create(
+      const std::string& topic, const std::string& transport_md5,
+      const std::string& callerid, const SubscribeOptions& options,
+      Callback callback, std::shared_ptr<CallbackQueue> queue) {
+    auto subscription = std::shared_ptr<Subscription>(new Subscription(
+        topic, transport_md5, callerid, options, std::move(callback),
+        std::move(queue)));
+    std::weak_ptr<Subscription> weak = subscription;
+    auto id = master().RegisterSubscriber(
+        topic, M::DataType(), transport_md5,
+        [weak](const TopicEndpoint& endpoint) {
+          if (auto self = weak.lock()) self->OnPublisher(endpoint);
+        });
+    if (!id.ok()) return id.status();
+    subscription->master_id_ = *id;
+    return subscription;
+  }
+
+  ~Subscription() override { Shutdown(); }
+
+  void Shutdown() override {
+    bool expected = false;
+    if (!shutdown_.compare_exchange_strong(expected, true)) return;
+    master().UnregisterSubscriber(topic_, master_id_);
+    pending_.Shutdown();
+    std::lock_guard<std::mutex> lock(links_mutex_);
+    for (const auto& link : links_) {
+      link->connection.ShutdownBoth();
+      if (!link->reader.joinable()) continue;
+      // The reader's closure holds a shared_ptr to this subscription, so
+      // the destructor (and this Shutdown) can run ON a reader thread when
+      // that reference is the last one; a thread cannot join itself.
+      if (link->reader.get_id() == std::this_thread::get_id()) {
+        link->reader.detach();
+      } else {
+        link->reader.join();
+      }
+    }
+    links_.clear();
+  }
+
+  [[nodiscard]] const std::string& topic() const override { return topic_; }
+  [[nodiscard]] uint64_t ReceivedCount() const override {
+    return received_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t DroppedCount() const override {
+    return pending_.DroppedCount();
+  }
+  [[nodiscard]] size_t NumPublishers() const override {
+    std::lock_guard<std::mutex> lock(links_mutex_);
+    return links_.size();
+  }
+
+ private:
+  struct PublisherLink {
+    rsf::net::TcpConnection connection;
+    std::thread reader;
+  };
+
+  Subscription(const std::string& topic, const std::string& transport_md5,
+               const std::string& callerid, const SubscribeOptions& options,
+               Callback callback, std::shared_ptr<CallbackQueue> queue)
+      : topic_(topic),
+        transport_md5_(transport_md5),
+        callerid_(callerid),
+        options_(options),
+        callback_(std::move(callback)),
+        queue_(std::move(queue)),
+        shaper_(options.link),
+        pending_(options.queue_size == 0 ? 1 : options.queue_size,
+                 rsf::QueueFullPolicy::kDropOldest) {}
+
+  void OnPublisher(const TopicEndpoint& endpoint) {
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    auto conn = rsf::net::TcpConnection::Connect(endpoint.host, endpoint.port);
+    if (!conn.ok()) {
+      RSF_WARN("connect to publisher of %s failed: %s", topic_.c_str(),
+               conn.status().ToString().c_str());
+      return;
+    }
+    (void)conn->SetNoDelay(true);
+    if (!Handshake(*conn)) return;
+
+    auto link = std::make_unique<PublisherLink>();
+    link->connection = *std::move(conn);
+    PublisherLink* raw = link.get();
+    // Thread creation stays under the lock so Shutdown() cannot clear the
+    // link between registration and the reader becoming joinable.
+    std::lock_guard<std::mutex> lock(links_mutex_);
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    auto self = this->shared_from_this();
+    raw->reader = std::thread([self, raw] { self->ReadLoop(raw); });
+    links_.push_back(std::move(link));
+  }
+
+  bool Handshake(rsf::net::TcpConnection& conn) {
+    const auto request = EncodeConnectionHeader(
+        MakeSubscriberHeader(topic_, M::DataType(), transport_md5_, callerid_));
+    if (!rsf::net::WriteFrame(conn, request).ok()) return false;
+
+    std::vector<uint8_t> reply;
+    uint32_t length = 0;
+    const auto status = rsf::net::ReadFrame(
+        conn,
+        [&](uint32_t len) {
+          reply.resize(len == 0 ? 1 : len);
+          return reply.data();
+        },
+        &length);
+    if (!status.ok()) return false;
+    auto header = DecodeConnectionHeader(reply.data(), length);
+    if (!header.ok()) return false;
+    if (const auto it = header->find("error"); it != header->end()) {
+      RSF_WARN("publisher rejected subscription to %s: %s", topic_.c_str(),
+               it->second.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  void ReadLoop(PublisherLink* link) {
+    while (!shutdown_.load(std::memory_order_acquire)) {
+      typename Serializer<M>::ReceiveArena arena;
+      uint32_t length = 0;
+      const auto status = rsf::net::ReadFrame(
+          link->connection,
+          [&](uint32_t len) { return arena.Allocate(len); }, &length);
+      if (!status.ok()) return;  // publisher gone or shutdown
+
+      auto msg = Serializer<M>::FromWire(std::move(arena), length);
+      if (!msg.ok()) {
+        RSF_ERROR("dropping malformed message on %s: %s", topic_.c_str(),
+                  msg.status().ToString().c_str());
+        continue;
+      }
+      received_.fetch_add(1, std::memory_order_relaxed);
+
+      // Simulated-link shaping: hold delivery for wire + propagation time.
+      if (options_.link.bandwidth_bps > 0 ||
+          options_.link.propagation_nanos > 0) {
+        const uint64_t delay =
+            shaper_.DelayFor(length + 4, rsf::MonotonicNanos());
+        if (delay > 0) rsf::SleepForNanos(delay);
+      }
+
+      Dispatch(*std::move(msg));
+    }
+  }
+
+  void Dispatch(MessagePtr msg) {
+    if (options_.inline_dispatch) {
+      callback_(msg);
+      return;
+    }
+    pending_.Push(std::move(msg));
+    auto self = this->shared_from_this();
+    queue_->Enqueue([self] {
+      if (auto pending = self->pending_.TryPop()) {
+        self->callback_(*pending);
+      }
+    });
+  }
+
+  const std::string topic_;
+  const std::string transport_md5_;
+  const std::string callerid_;
+  const SubscribeOptions options_;
+  const Callback callback_;
+  const std::shared_ptr<CallbackQueue> queue_;
+
+  rsf::net::SimLink shaper_;
+  rsf::ConcurrentQueue<MessagePtr> pending_;
+  uint64_t master_id_ = 0;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> received_{0};
+
+  mutable std::mutex links_mutex_;
+  std::vector<std::unique_ptr<PublisherLink>> links_;
+};
+
+}  // namespace ros

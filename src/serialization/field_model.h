@@ -1,0 +1,82 @@
+// Compile-time field model shared by every serializer in this module.
+//
+// Generated message classes (both regular and SFM variants) expose a
+// uniform `for_each_field(visitor)` that visits `(name, field&)` pairs in
+// declaration order.  The serializers below are written against that model,
+// dispatching on the field category derived here — so one implementation of
+// each wire format covers every message type.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/clock.h"
+#include "sfm/string.h"
+#include "sfm/vector.h"
+
+namespace rsf::ser {
+
+/// A generated message type (regular or SFM variant).
+template <typename T>
+concept Message = requires(const T& t) {
+  { T::DataType() } -> std::convertible_to<const char*>;
+  { T::Md5Sum() } -> std::convertible_to<const char*>;
+  t.for_each_field([](const char*, const auto&) {});
+};
+
+template <typename T>
+inline constexpr bool is_std_vector_v = false;
+template <typename T, typename A>
+inline constexpr bool is_std_vector_v<std::vector<T, A>> = true;
+
+template <typename T>
+inline constexpr bool is_std_array_v = false;
+template <typename T, size_t N>
+inline constexpr bool is_std_array_v<std::array<T, N>> = true;
+
+template <typename T>
+inline constexpr bool is_string_like_v =
+    std::is_same_v<T, std::string> || std::is_same_v<T, ::sfm::string>;
+
+template <typename T>
+inline constexpr bool is_vector_like_v =
+    is_std_vector_v<T> || ::sfm::is_sfm_vector_v<T>;
+
+template <typename T>
+inline constexpr bool is_time_v = std::is_same_v<T, ::rsf::Time>;
+
+/// Fixed-size scalar on the ROS wire (numbers and timestamps).
+template <typename T>
+inline constexpr bool is_scalar_v = std::is_arithmetic_v<T> || is_time_v<T>;
+
+template <typename T>
+struct element_of {
+  using type = void;
+};
+template <typename T, typename A>
+struct element_of<std::vector<T, A>> {
+  using type = T;
+};
+template <typename T>
+struct element_of<::sfm::vector<T>> {
+  using type = T;
+};
+template <typename T, size_t N>
+struct element_of<std::array<T, N>> {
+  using type = T;
+};
+template <typename T>
+using element_of_t = typename element_of<T>::type;
+
+/// Number of fields a message visits (compile-time constant at run time).
+template <Message M>
+size_t FieldCount(const M& msg) {
+  size_t count = 0;
+  msg.for_each_field([&](const char*, const auto&) { ++count; });
+  return count;
+}
+
+}  // namespace rsf::ser

@@ -1,0 +1,162 @@
+#include "serialization/flatbuf_mini.h"
+
+#include <cstring>
+
+#include "common/status.h"
+
+namespace rsf::ser::fb {
+
+void Builder::AlignTo(size_t align) {
+  while (buffer_.size() % align != 0) buffer_.push_back(0);
+}
+
+Ref Builder::CreateString(std::string_view text) {
+  AlignTo(4);
+  const auto pos = static_cast<uint32_t>(buffer_.size());
+  AppendScalar<uint32_t>(static_cast<uint32_t>(text.size()));
+  buffer_.insert(buffer_.end(), text.begin(), text.end());
+  buffer_.push_back(0);  // FlatBuffers null-terminates strings
+  AlignTo(4);
+  return Ref{pos};
+}
+
+Ref Builder::CreateRefVector(const std::vector<Ref>& refs) {
+  AlignTo(4);
+  const auto pos = static_cast<uint32_t>(buffer_.size());
+  AppendScalar<uint32_t>(static_cast<uint32_t>(refs.size()));
+  for (const Ref& ref : refs) {
+    // Element stores the distance back from its own position to the target.
+    const auto at = static_cast<uint32_t>(buffer_.size());
+    AppendScalar<uint32_t>(at - ref.pos);
+  }
+  return Ref{pos};
+}
+
+void Builder::StartTable(size_t field_count) {
+  SFM_CHECK_MSG(!table_open_, "nested StartTable without FinishTable");
+  table_open_ = true;
+  pending_field_count_ = field_count;
+  pending_.clear();
+}
+
+void Builder::AddScalarSlot(size_t slot, const void* value, size_t size,
+                            size_t align) {
+  SFM_CHECK_MSG(table_open_, "AddScalar outside a table");
+  PendingField field;
+  field.slot = slot;
+  field.is_ref = false;
+  field.size = size;
+  field.align = align;
+  std::memcpy(field.inline_value, value, size);
+  pending_.push_back(field);
+}
+
+void Builder::AddRef(size_t slot, Ref ref) {
+  SFM_CHECK_MSG(table_open_, "AddRef outside a table");
+  PendingField field;
+  field.slot = slot;
+  field.is_ref = true;
+  field.ref = ref;
+  field.size = 4;
+  field.align = 4;
+  pending_.push_back(field);
+}
+
+Ref Builder::FinishTable() {
+  SFM_CHECK_MSG(table_open_, "FinishTable without StartTable");
+  table_open_ = false;
+
+  AlignTo(4);
+  const auto table_pos = static_cast<uint32_t>(buffer_.size());
+
+  // Slot 0 of the table is the int32 vtable offset (patched below).
+  AppendScalar<int32_t>(0);
+
+  std::vector<uint16_t> slot_offsets(pending_field_count_, 0);
+  for (const PendingField& field : pending_) {
+    AlignTo(field.align);
+    const auto at = static_cast<uint32_t>(buffer_.size());
+    slot_offsets.at(field.slot) = static_cast<uint16_t>(at - table_pos);
+    if (field.is_ref) {
+      AppendScalar<uint32_t>(field.ref.valid() ? at - field.ref.pos : 0);
+    } else {
+      const size_t end = buffer_.size();
+      buffer_.resize(end + field.size);
+      std::memcpy(buffer_.data() + end, field.inline_value, field.size);
+    }
+  }
+  AlignTo(4);
+  const auto table_size = static_cast<uint16_t>(buffer_.size() - table_pos);
+
+  // vtable follows the table; the table's first word holds the distance.
+  const auto vtable_pos = static_cast<uint32_t>(buffer_.size());
+  AppendScalar<uint16_t>(
+      static_cast<uint16_t>(4 + 2 * pending_field_count_));  // vtable size
+  AppendScalar<uint16_t>(table_size);
+  for (const uint16_t offset : slot_offsets) AppendScalar<uint16_t>(offset);
+  AlignTo(4);
+
+  StoreLE<int32_t>(buffer_.data() + table_pos,
+                   static_cast<int32_t>(vtable_pos) -
+                       static_cast<int32_t>(table_pos));
+  return Ref{table_pos};
+}
+
+std::vector<uint8_t> Builder::Finish(Ref root) {
+  SFM_CHECK_MSG(!table_open_, "Finish with an open table");
+  StoreLE<uint32_t>(buffer_.data(), root.pos);
+  return std::move(buffer_);
+}
+
+uint16_t TableView::SlotOffset(size_t slot) const {
+  const auto vtable_delta = LoadLE<int32_t>(buffer_ + table_pos_);
+  const uint32_t vtable_pos =
+      static_cast<uint32_t>(static_cast<int32_t>(table_pos_) + vtable_delta);
+  const auto vtable_size = LoadLE<uint16_t>(buffer_ + vtable_pos);
+  const size_t entry = 4 + 2 * slot;
+  if (entry + 2 > vtable_size) return 0;
+  return LoadLE<uint16_t>(buffer_ + vtable_pos + entry);
+}
+
+uint32_t TableView::RefTarget(size_t slot) const {
+  const uint16_t off = SlotOffset(slot);
+  if (off == 0) return 0;
+  const uint32_t at = table_pos_ + off;
+  const auto back = LoadLE<uint32_t>(buffer_ + at);
+  if (back == 0) return 0;
+  return at - back;
+}
+
+std::string_view TableView::GetString(size_t slot) const {
+  const uint32_t payload = RefTarget(slot);
+  if (payload == 0) return {};
+  const auto length = LoadLE<uint32_t>(buffer_ + payload);
+  return {reinterpret_cast<const char*>(buffer_ + payload + 4), length};
+}
+
+TableView TableView::GetTable(size_t slot) const {
+  const uint32_t payload = RefTarget(slot);
+  if (payload == 0) return {};
+  return TableView(buffer_, payload);
+}
+
+size_t TableView::GetRefVectorSize(size_t slot) const {
+  const uint32_t payload = RefTarget(slot);
+  if (payload == 0) return 0;
+  return LoadLE<uint32_t>(buffer_ + payload);
+}
+
+TableView TableView::GetTableElement(size_t slot, size_t index) const {
+  const uint32_t payload = RefTarget(slot);
+  if (payload == 0) return {};
+  const uint32_t element_at = payload + 4 + static_cast<uint32_t>(index) * 4;
+  const auto back = LoadLE<uint32_t>(buffer_ + element_at);
+  return TableView(buffer_, element_at - back);
+}
+
+TableView GetRoot(const uint8_t* buffer, size_t size) {
+  if (size < 8) return {};
+  return TableView(buffer, LoadLE<uint32_t>(buffer));
+}
+
+}  // namespace rsf::ser::fb

@@ -1,0 +1,417 @@
+// msgpack_mini — a miniature of the MessagePack wire format (related work
+// the paper groups with ProtoBuf as prefix-encoded serialization, §2.2).
+//
+// Each message encodes as a MessagePack array of its field values in
+// declaration order (the compact convention msgpack-rpc uses):
+//   ints     fixint / uint8/16/32/64 / int8/16/32/64 (smallest that fits)
+//   floats   float32 / float64
+//   strings  fixstr / str8/16/32
+//   uint8[]  bin8/16/32          (raw bytes)
+//   other[]  array of elements
+//   nested   array (recursive)
+//   Time     uint64 of nanoseconds
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "common/endian.h"
+#include "common/status.h"
+#include "serialization/field_model.h"
+
+namespace rsf::ser::mp {
+
+namespace internal {
+
+// MessagePack stores multi-byte values big-endian.
+template <typename T>
+void PushBE(std::vector<uint8_t>& out, T value) {
+  using U = std::conditional_t<
+      sizeof(T) == 1, uint8_t,
+      std::conditional_t<sizeof(T) == 2, uint16_t,
+                         std::conditional_t<sizeof(T) == 4, uint32_t,
+                                            uint64_t>>>;
+  U raw;
+  std::memcpy(&raw, &value, sizeof(T));
+  if constexpr (sizeof(T) > 1) raw = ByteSwap(raw);
+  const size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &raw, sizeof(T));
+}
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size)
+      : cursor_(data), end_(data + size) {}
+
+  Status Byte(uint8_t* value) {
+    if (cursor_ >= end_) return OutOfRangeError("truncated msgpack");
+    *value = *cursor_++;
+    return Status::Ok();
+  }
+
+  template <typename T>
+  Status BE(T* value) {
+    if (Remaining() < sizeof(T)) return OutOfRangeError("truncated msgpack");
+    using U = std::conditional_t<
+        sizeof(T) == 1, uint8_t,
+        std::conditional_t<sizeof(T) == 2, uint16_t,
+                           std::conditional_t<sizeof(T) == 4, uint32_t,
+                                              uint64_t>>>;
+    U raw;
+    std::memcpy(&raw, cursor_, sizeof(T));
+    if constexpr (sizeof(T) > 1) raw = ByteSwap(raw);
+    std::memcpy(value, &raw, sizeof(T));
+    cursor_ += sizeof(T);
+    return Status::Ok();
+  }
+
+  Status Bytes(void* dst, size_t count) {
+    if (Remaining() < count) return OutOfRangeError("truncated msgpack");
+    std::memcpy(dst, cursor_, count);
+    cursor_ += count;
+    return Status::Ok();
+  }
+
+  [[nodiscard]] size_t Remaining() const noexcept {
+    return static_cast<size_t>(end_ - cursor_);
+  }
+
+ private:
+  const uint8_t* cursor_;
+  const uint8_t* end_;
+};
+
+inline void WriteArrayHeader(std::vector<uint8_t>& out, size_t count) {
+  if (count < 16) {
+    out.push_back(static_cast<uint8_t>(0x90 | count));
+  } else if (count <= 0xFFFF) {
+    out.push_back(0xDC);
+    PushBE<uint16_t>(out, static_cast<uint16_t>(count));
+  } else {
+    out.push_back(0xDD);
+    PushBE<uint32_t>(out, static_cast<uint32_t>(count));
+  }
+}
+
+inline Status ReadArrayHeader(Reader& in, size_t* count) {
+  uint8_t tag = 0;
+  RSF_RETURN_IF_ERROR(in.Byte(&tag));
+  if ((tag & 0xF0) == 0x90) {
+    *count = tag & 0x0F;
+    return Status::Ok();
+  }
+  if (tag == 0xDC) {
+    uint16_t n = 0;
+    RSF_RETURN_IF_ERROR(in.BE(&n));
+    *count = n;
+    return Status::Ok();
+  }
+  if (tag == 0xDD) {
+    uint32_t n = 0;
+    RSF_RETURN_IF_ERROR(in.BE(&n));
+    *count = n;
+    return Status::Ok();
+  }
+  return InvalidArgumentError("expected msgpack array");
+}
+
+inline void WriteUint(std::vector<uint8_t>& out, uint64_t value) {
+  if (value < 128) {
+    out.push_back(static_cast<uint8_t>(value));
+  } else if (value <= 0xFF) {
+    out.push_back(0xCC);
+    out.push_back(static_cast<uint8_t>(value));
+  } else if (value <= 0xFFFF) {
+    out.push_back(0xCD);
+    PushBE<uint16_t>(out, static_cast<uint16_t>(value));
+  } else if (value <= 0xFFFFFFFFull) {
+    out.push_back(0xCE);
+    PushBE<uint32_t>(out, static_cast<uint32_t>(value));
+  } else {
+    out.push_back(0xCF);
+    PushBE<uint64_t>(out, value);
+  }
+}
+
+inline void WriteInt(std::vector<uint8_t>& out, int64_t value) {
+  if (value >= 0) {
+    WriteUint(out, static_cast<uint64_t>(value));
+    return;
+  }
+  if (value >= -32) {
+    out.push_back(static_cast<uint8_t>(value));  // negative fixint
+  } else if (value >= INT8_MIN) {
+    out.push_back(0xD0);
+    out.push_back(static_cast<uint8_t>(value));
+  } else if (value >= INT16_MIN) {
+    out.push_back(0xD1);
+    PushBE<int16_t>(out, static_cast<int16_t>(value));
+  } else if (value >= INT32_MIN) {
+    out.push_back(0xD2);
+    PushBE<int32_t>(out, static_cast<int32_t>(value));
+  } else {
+    out.push_back(0xD3);
+    PushBE<int64_t>(out, value);
+  }
+}
+
+inline Status ReadInt(Reader& in, int64_t* value) {
+  uint8_t tag = 0;
+  RSF_RETURN_IF_ERROR(in.Byte(&tag));
+  if (tag < 0x80) {
+    *value = tag;
+    return Status::Ok();
+  }
+  if (tag >= 0xE0) {
+    *value = static_cast<int8_t>(tag);
+    return Status::Ok();
+  }
+  switch (tag) {
+    case 0xCC: {
+      uint8_t v;
+      RSF_RETURN_IF_ERROR(in.Byte(&v));
+      *value = v;
+      return Status::Ok();
+    }
+    case 0xCD: {
+      uint16_t v;
+      RSF_RETURN_IF_ERROR(in.BE(&v));
+      *value = v;
+      return Status::Ok();
+    }
+    case 0xCE: {
+      uint32_t v;
+      RSF_RETURN_IF_ERROR(in.BE(&v));
+      *value = v;
+      return Status::Ok();
+    }
+    case 0xCF: {
+      uint64_t v;
+      RSF_RETURN_IF_ERROR(in.BE(&v));
+      *value = static_cast<int64_t>(v);
+      return Status::Ok();
+    }
+    case 0xD0: {
+      uint8_t v;
+      RSF_RETURN_IF_ERROR(in.Byte(&v));
+      *value = static_cast<int8_t>(v);
+      return Status::Ok();
+    }
+    case 0xD1: {
+      int16_t v;
+      RSF_RETURN_IF_ERROR(in.BE(&v));
+      *value = v;
+      return Status::Ok();
+    }
+    case 0xD2: {
+      int32_t v;
+      RSF_RETURN_IF_ERROR(in.BE(&v));
+      *value = v;
+      return Status::Ok();
+    }
+    case 0xD3: {
+      int64_t v;
+      RSF_RETURN_IF_ERROR(in.BE(&v));
+      *value = v;
+      return Status::Ok();
+    }
+    default:
+      return InvalidArgumentError("expected msgpack int");
+  }
+}
+
+template <Message M>
+void WriteMessage(std::vector<uint8_t>& out, const M& msg);
+
+template <typename T>
+void WriteValue(std::vector<uint8_t>& out, const T& value) {
+  if constexpr (std::is_same_v<T, float>) {
+    out.push_back(0xCA);
+    PushBE(out, value);
+  } else if constexpr (std::is_same_v<T, double>) {
+    out.push_back(0xCB);
+    PushBE(out, value);
+  } else if constexpr (is_time_v<T>) {
+    WriteUint(out, value.ToNanos());
+  } else if constexpr (std::is_unsigned_v<T>) {
+    WriteUint(out, value);
+  } else if constexpr (std::is_integral_v<T>) {
+    WriteInt(out, value);
+  } else if constexpr (is_string_like_v<T>) {
+    const size_t n = value.size();
+    if (n < 32) {
+      out.push_back(static_cast<uint8_t>(0xA0 | n));
+    } else if (n <= 0xFF) {
+      out.push_back(0xD9);
+      out.push_back(static_cast<uint8_t>(n));
+    } else {
+      out.push_back(0xDA);
+      PushBE<uint16_t>(out, static_cast<uint16_t>(n));
+    }
+    out.insert(out.end(), value.data(), value.data() + n);
+  } else if constexpr (is_vector_like_v<T> || is_std_array_v<T>) {
+    using E = element_of_t<T>;
+    if constexpr (std::is_same_v<E, uint8_t> || std::is_same_v<E, int8_t>) {
+      const size_t n = value.size();
+      if (n <= 0xFF) {
+        out.push_back(0xC4);
+        out.push_back(static_cast<uint8_t>(n));
+      } else if (n <= 0xFFFF) {
+        out.push_back(0xC5);
+        PushBE<uint16_t>(out, static_cast<uint16_t>(n));
+      } else {
+        out.push_back(0xC6);
+        PushBE<uint32_t>(out, static_cast<uint32_t>(n));
+      }
+      const auto* bytes = reinterpret_cast<const uint8_t*>(value.data());
+      out.insert(out.end(), bytes, bytes + n);
+    } else {
+      WriteArrayHeader(out, value.size());
+      for (const auto& element : value) WriteValue(out, element);
+    }
+  } else {
+    WriteMessage(out, value);
+  }
+}
+
+template <Message M>
+void WriteMessage(std::vector<uint8_t>& out, const M& msg) {
+  WriteArrayHeader(out, FieldCount(msg));
+  msg.for_each_field(
+      [&](const char*, const auto& field) { WriteValue(out, field); });
+}
+
+template <Message M>
+Status ReadMessage(Reader& in, M& msg);
+
+template <typename T>
+Status ReadValue(Reader& in, T& value) {
+  if constexpr (std::is_same_v<T, float>) {
+    uint8_t tag;
+    RSF_RETURN_IF_ERROR(in.Byte(&tag));
+    if (tag != 0xCA) return InvalidArgumentError("expected float32");
+    return in.BE(&value);
+  } else if constexpr (std::is_same_v<T, double>) {
+    uint8_t tag;
+    RSF_RETURN_IF_ERROR(in.Byte(&tag));
+    if (tag != 0xCB) return InvalidArgumentError("expected float64");
+    return in.BE(&value);
+  } else if constexpr (is_time_v<T>) {
+    int64_t nanos = 0;
+    RSF_RETURN_IF_ERROR(ReadInt(in, &nanos));
+    value = ::rsf::Time::FromNanos(static_cast<uint64_t>(nanos));
+    return Status::Ok();
+  } else if constexpr (std::is_integral_v<T>) {
+    int64_t raw = 0;
+    RSF_RETURN_IF_ERROR(ReadInt(in, &raw));
+    value = static_cast<T>(raw);
+    return Status::Ok();
+  } else if constexpr (is_string_like_v<T>) {
+    uint8_t tag;
+    RSF_RETURN_IF_ERROR(in.Byte(&tag));
+    size_t length = 0;
+    if ((tag & 0xE0) == 0xA0) {
+      length = tag & 0x1F;
+    } else if (tag == 0xD9) {
+      uint8_t n;
+      RSF_RETURN_IF_ERROR(in.Byte(&n));
+      length = n;
+    } else if (tag == 0xDA) {
+      uint16_t n;
+      RSF_RETURN_IF_ERROR(in.BE(&n));
+      length = n;
+    } else {
+      return InvalidArgumentError("expected msgpack str");
+    }
+    std::string scratch(length, '\0');
+    RSF_RETURN_IF_ERROR(in.Bytes(scratch.data(), length));
+    value = scratch;
+    return Status::Ok();
+  } else if constexpr (is_vector_like_v<T> || is_std_array_v<T>) {
+    using E = element_of_t<T>;
+    if constexpr (std::is_same_v<E, uint8_t> || std::is_same_v<E, int8_t>) {
+      uint8_t tag;
+      RSF_RETURN_IF_ERROR(in.Byte(&tag));
+      size_t length = 0;
+      if (tag == 0xC4) {
+        uint8_t n;
+        RSF_RETURN_IF_ERROR(in.Byte(&n));
+        length = n;
+      } else if (tag == 0xC5) {
+        uint16_t n;
+        RSF_RETURN_IF_ERROR(in.BE(&n));
+        length = n;
+      } else if (tag == 0xC6) {
+        uint32_t n;
+        RSF_RETURN_IF_ERROR(in.BE(&n));
+        length = n;
+      } else {
+        return InvalidArgumentError("expected msgpack bin");
+      }
+      if constexpr (is_std_array_v<T>) {
+        if (length != value.size()) {
+          return InvalidArgumentError("fixed array count mismatch");
+        }
+      } else {
+        value.resize(length);
+      }
+      return in.Bytes(value.data(), length);
+    } else {
+      size_t count = 0;
+      RSF_RETURN_IF_ERROR(ReadArrayHeader(in, &count));
+      if constexpr (is_std_array_v<T>) {
+        if (count != value.size()) {
+          return InvalidArgumentError("fixed array count mismatch");
+        }
+      } else {
+        value.resize(count);
+      }
+      for (size_t i = 0; i < count; ++i) {
+        if constexpr (is_scalar_v<E>) {
+          E element{};
+          RSF_RETURN_IF_ERROR(ReadValue(in, element));
+          value[i] = element;
+        } else {
+          RSF_RETURN_IF_ERROR(ReadValue(in, value[i]));
+        }
+      }
+      return Status::Ok();
+    }
+  } else {
+    return ReadMessage(in, value);
+  }
+}
+
+template <Message M>
+Status ReadMessage(Reader& in, M& msg) {
+  size_t count = 0;
+  RSF_RETURN_IF_ERROR(ReadArrayHeader(in, &count));
+  if (count != FieldCount(msg)) {
+    return InvalidArgumentError("msgpack field count mismatch");
+  }
+  Status status;
+  msg.for_each_field([&](const char*, auto& field) {
+    if (status.ok()) status = ReadValue(in, field);
+  });
+  return status;
+}
+
+}  // namespace internal
+
+/// Encodes `msg` as a MessagePack array.
+template <Message M>
+std::vector<uint8_t> Encode(const M& msg) {
+  std::vector<uint8_t> out;
+  internal::WriteMessage(out, msg);
+  return out;
+}
+
+/// Decodes `msg` from MessagePack bytes.
+template <Message M>
+Status Decode(const uint8_t* data, size_t size, M& msg) {
+  internal::Reader reader(data, size);
+  return internal::ReadMessage(reader, msg);
+}
+
+}  // namespace rsf::ser::mp

@@ -1,0 +1,376 @@
+// protobuf_mini — a faithful miniature of the Protocol Buffers wire format
+// (one of the paper's Fig. 14 comparators), generic over the field model.
+//
+// Encoding rules (matching protobuf's encoding spec):
+//   field tag      varint  (field_number << 3) | wire_type
+//   bool/ints      wire type 0: 64-bit varint (two's complement)
+//   float          wire type 5: fixed32 LE
+//   double/Time    wire type 1: fixed64 LE
+//   string/bytes   wire type 2: varint length + raw bytes
+//   uint8 vector   wire type 2 ("bytes"): raw
+//   other vectors  wire type 2, packed: elements use their scalar encoding
+//   nested message wire type 2: varint length + encoded submessage
+//
+// Field numbers are assigned by declaration order (1-based).  The prefix
+// (varint) encoding is what gives ProtoBuf its size advantage on small
+// values — and its extra ser/deser time on large ones, the effect Fig. 14
+// isolates.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "common/endian.h"
+#include "common/status.h"
+#include "serialization/field_model.h"
+
+namespace rsf::ser::pb {
+
+namespace internal {
+
+enum WireType : uint32_t {
+  kVarint = 0,
+  kFixed64 = 1,
+  kLengthDelimited = 2,
+  kFixed32 = 5,
+};
+
+inline size_t VarintSize(uint64_t value) noexcept {
+  size_t size = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++size;
+  }
+  return size;
+}
+
+inline void WriteVarint(std::vector<uint8_t>& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size)
+      : cursor_(data), end_(data + size) {}
+
+  Status ReadVarint(uint64_t* value) {
+    *value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (cursor_ >= end_) return OutOfRangeError("truncated varint");
+      const uint8_t byte = *cursor_++;
+      *value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return Status::Ok();
+    }
+    return InvalidArgumentError("varint longer than 10 bytes");
+  }
+
+  Status ReadBytes(void* dst, size_t count) {
+    if (Remaining() < count) return OutOfRangeError("truncated field");
+    std::memcpy(dst, cursor_, count);
+    cursor_ += count;
+    return Status::Ok();
+  }
+
+  Status Skip(size_t count) {
+    if (Remaining() < count) return OutOfRangeError("truncated skip");
+    cursor_ += count;
+    return Status::Ok();
+  }
+
+  [[nodiscard]] const uint8_t* cursor() const noexcept { return cursor_; }
+  [[nodiscard]] size_t Remaining() const noexcept {
+    return static_cast<size_t>(end_ - cursor_);
+  }
+
+ private:
+  const uint8_t* cursor_;
+  const uint8_t* end_;
+};
+
+// ---- scalar encoding ----
+
+template <typename T>
+constexpr WireType ScalarWire() {
+  if constexpr (std::is_same_v<T, float>) {
+    return kFixed32;
+  } else if constexpr (std::is_same_v<T, double> || is_time_v<T>) {
+    return kFixed64;
+  } else {
+    return kVarint;
+  }
+}
+
+template <typename T>
+size_t ScalarSize(const T& value) {
+  if constexpr (std::is_same_v<T, float>) {
+    return 4;
+  } else if constexpr (std::is_same_v<T, double> || is_time_v<T>) {
+    return 8;
+  } else {
+    return VarintSize(static_cast<uint64_t>(
+        static_cast<int64_t>(value)));  // sign-extend like proto int32/64
+  }
+}
+
+template <typename T>
+void WriteScalar(std::vector<uint8_t>& out, const T& value) {
+  if constexpr (std::is_same_v<T, float>) {
+    uint8_t bytes[4];
+    StoreLE(bytes, value);
+    out.insert(out.end(), bytes, bytes + 4);
+  } else if constexpr (std::is_same_v<T, double> || is_time_v<T>) {
+    uint8_t bytes[8];
+    StoreLE(bytes, value);
+    out.insert(out.end(), bytes, bytes + 8);
+  } else {
+    WriteVarint(out, static_cast<uint64_t>(static_cast<int64_t>(value)));
+  }
+}
+
+template <typename T>
+Status ReadScalar(Reader& in, T& value) {
+  if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double> ||
+                is_time_v<T>) {
+    return in.ReadBytes(&value, sizeof(T));
+  } else {
+    uint64_t raw = 0;
+    RSF_RETURN_IF_ERROR(in.ReadVarint(&raw));
+    value = static_cast<T>(raw);
+    return Status::Ok();
+  }
+}
+
+// ---- field encoding ----
+
+template <Message M>
+size_t MessageSize(const M& msg);
+
+template <typename T>
+size_t PayloadSize(const T& field) {
+  if constexpr (is_scalar_v<T>) {
+    return ScalarSize(field);
+  } else if constexpr (is_string_like_v<T>) {
+    return VarintSize(field.size()) + field.size();
+  } else if constexpr (is_vector_like_v<T> || is_std_array_v<T>) {
+    using E = element_of_t<T>;
+    size_t body = 0;
+    if constexpr (std::is_same_v<E, uint8_t> || std::is_same_v<E, int8_t>) {
+      body = field.size();
+    } else if constexpr (is_scalar_v<E>) {
+      for (const auto& element : field) body += ScalarSize(element);
+    } else {
+      for (const auto& element : field) {
+        const size_t sub = MessageSize(element);
+        body += VarintSize(sub) + sub;
+      }
+    }
+    return VarintSize(body) + body;
+  } else {
+    const size_t sub = MessageSize(field);
+    return VarintSize(sub) + sub;
+  }
+}
+
+template <Message M>
+size_t MessageSize(const M& msg) {
+  size_t total = 0;
+  uint32_t number = 0;
+  msg.for_each_field([&](const char*, const auto& field) {
+    ++number;
+    total += VarintSize(number << 3) + PayloadSize(field);
+  });
+  return total;
+}
+
+template <typename T>
+void WriteFieldBody(std::vector<uint8_t>& out, const T& field);
+
+template <Message M>
+void WriteMessageBody(std::vector<uint8_t>& out, const M& msg) {
+  uint32_t number = 0;
+  msg.for_each_field([&](const char*, const auto& field) {
+    ++number;
+    uint32_t wire;
+    using T = std::decay_t<decltype(field)>;
+    if constexpr (is_scalar_v<T>) {
+      wire = ScalarWire<T>();
+    } else {
+      wire = kLengthDelimited;
+    }
+    WriteVarint(out, (static_cast<uint64_t>(number) << 3) | wire);
+    WriteFieldBody(out, field);
+  });
+}
+
+template <typename T>
+void WriteFieldBody(std::vector<uint8_t>& out, const T& field) {
+  if constexpr (is_scalar_v<T>) {
+    WriteScalar(out, field);
+  } else if constexpr (is_string_like_v<T>) {
+    WriteVarint(out, field.size());
+    out.insert(out.end(), field.data(), field.data() + field.size());
+  } else if constexpr (is_vector_like_v<T> || is_std_array_v<T>) {
+    using E = element_of_t<T>;
+    if constexpr (std::is_same_v<E, uint8_t> || std::is_same_v<E, int8_t>) {
+      WriteVarint(out, field.size());
+      const auto* bytes = reinterpret_cast<const uint8_t*>(field.data());
+      out.insert(out.end(), bytes, bytes + field.size());
+    } else if constexpr (is_scalar_v<E>) {
+      size_t body = 0;
+      for (const auto& element : field) body += ScalarSize(element);
+      WriteVarint(out, body);
+      for (const auto& element : field) WriteScalar(out, element);
+    } else {
+      size_t body = 0;
+      for (const auto& element : field) {
+        const size_t sub = MessageSize(element);
+        body += VarintSize(sub) + sub;
+      }
+      WriteVarint(out, body);
+      for (const auto& element : field) {
+        WriteVarint(out, MessageSize(element));
+        WriteMessageBody(out, element);
+      }
+    }
+  } else {
+    WriteVarint(out, MessageSize(field));
+    WriteMessageBody(out, field);
+  }
+}
+
+// ---- decoding ----
+
+template <Message M>
+Status ReadMessageBody(Reader& in, size_t length, M& msg);
+
+template <typename T>
+Status ReadFieldBody(Reader& in, uint32_t wire, T& field) {
+  if constexpr (is_scalar_v<T>) {
+    if (wire != ScalarWire<T>()) {
+      return InvalidArgumentError("wire type mismatch on scalar field");
+    }
+    return ReadScalar(in, field);
+  } else {
+    if (wire != kLengthDelimited) {
+      return InvalidArgumentError("wire type mismatch on delimited field");
+    }
+    uint64_t length = 0;
+    RSF_RETURN_IF_ERROR(in.ReadVarint(&length));
+    if (in.Remaining() < length) return OutOfRangeError("truncated payload");
+
+    if constexpr (is_string_like_v<T>) {
+      std::string scratch(static_cast<size_t>(length), '\0');
+      RSF_RETURN_IF_ERROR(in.ReadBytes(scratch.data(), scratch.size()));
+      field = scratch;
+      return Status::Ok();
+    } else if constexpr (is_vector_like_v<T> || is_std_array_v<T>) {
+      using E = element_of_t<T>;
+      if constexpr (std::is_same_v<E, uint8_t> || std::is_same_v<E, int8_t>) {
+        if constexpr (!is_std_array_v<T>) field.resize(length);
+        return in.ReadBytes(field.data(), static_cast<size_t>(length));
+      } else if constexpr (is_scalar_v<E>) {
+        // Packed: element count is only known for fixed-width types; for
+        // varints we must parse to the end of the payload.
+        const uint8_t* payload_end = in.cursor() + length;
+        std::vector<E> scratch;
+        while (in.cursor() < payload_end) {
+          E value{};
+          RSF_RETURN_IF_ERROR(ReadScalar(in, value));
+          scratch.push_back(value);
+        }
+        if constexpr (is_std_array_v<T>) {
+          if (scratch.size() != field.size()) {
+            return InvalidArgumentError("fixed array count mismatch");
+          }
+          std::copy(scratch.begin(), scratch.end(), field.begin());
+        } else {
+          field.resize(scratch.size());
+          for (size_t i = 0; i < scratch.size(); ++i) field[i] = scratch[i];
+        }
+        return Status::Ok();
+      } else {
+        const uint8_t* payload_end = in.cursor() + length;
+        size_t count = 0;
+        {
+          // First pass over the payload to count elements (repeated
+          // messages carry per-element length prefixes).
+          Reader probe(in.cursor(), static_cast<size_t>(length));
+          while (probe.cursor() < payload_end) {
+            uint64_t sub = 0;
+            RSF_RETURN_IF_ERROR(probe.ReadVarint(&sub));
+            RSF_RETURN_IF_ERROR(probe.Skip(static_cast<size_t>(sub)));
+            ++count;
+          }
+        }
+        field.resize(count);
+        for (size_t i = 0; i < count; ++i) {
+          uint64_t sub = 0;
+          RSF_RETURN_IF_ERROR(in.ReadVarint(&sub));
+          RSF_RETURN_IF_ERROR(
+              ReadMessageBody(in, static_cast<size_t>(sub), field[i]));
+        }
+        return Status::Ok();
+      }
+    } else {
+      return ReadMessageBody(in, static_cast<size_t>(length), field);
+    }
+  }
+}
+
+template <Message M>
+Status ReadMessageBody(Reader& in, size_t length, M& msg) {
+  const uint8_t* end = in.cursor() + length;
+  while (in.cursor() < end) {
+    uint64_t tag = 0;
+    RSF_RETURN_IF_ERROR(in.ReadVarint(&tag));
+    const auto number = static_cast<uint32_t>(tag >> 3);
+    const auto wire = static_cast<uint32_t>(tag & 7);
+
+    Status status;
+    bool matched = false;
+    uint32_t index = 0;
+    msg.for_each_field([&](const char*, auto& field) {
+      ++index;
+      if (index == number && !matched) {
+        matched = true;
+        status = ReadFieldBody(in, wire, field);
+      }
+    });
+    if (!matched) {
+      return InvalidArgumentError("unknown field number " +
+                                  std::to_string(number));
+    }
+    RSF_RETURN_IF_ERROR(status);
+  }
+  return Status::Ok();
+}
+
+}  // namespace internal
+
+/// Encoded size of `msg`.
+template <Message M>
+size_t EncodedSize(const M& msg) {
+  return internal::MessageSize(msg);
+}
+
+/// Encodes `msg` into a fresh buffer.
+template <Message M>
+std::vector<uint8_t> Encode(const M& msg) {
+  std::vector<uint8_t> out;
+  out.reserve(internal::MessageSize(msg));
+  internal::WriteMessageBody(out, msg);
+  return out;
+}
+
+/// Decodes `msg` from `data`.
+template <Message M>
+Status Decode(const uint8_t* data, size_t size, M& msg) {
+  internal::Reader reader(data, size);
+  return internal::ReadMessageBody(reader, size, msg);
+}
+
+}  // namespace rsf::ser::pb

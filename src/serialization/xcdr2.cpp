@@ -1,0 +1,110 @@
+#include "serialization/xcdr2.h"
+
+namespace rsf::ser::xcdr2 {
+
+void Builder::AddString(uint32_t index, std::string_view text) {
+  Append32(MakeHeader(kVariable, index));
+  // Fig. 5: the stored length covers content + NUL + padding ("rgb8" -> 8).
+  const auto padded = static_cast<uint32_t>(((text.size() + 1 + 3) / 4) * 4);
+  Append32(padded);
+  const size_t at = buffer_.size();
+  buffer_.resize(at + padded, 0);
+  std::memcpy(buffer_.data() + at, text.data(), text.size());
+}
+
+size_t Builder::BeginNested(uint32_t index) {
+  Append32(MakeHeader(kNested, index));
+  const size_t mark = buffer_.size();
+  Append32(0);  // DHEADER placeholder
+  return mark;
+}
+
+void Builder::EndNested(size_t mark) {
+  const auto bytes = static_cast<uint32_t>(buffer_.size() - mark - 4);
+  StoreLE<uint32_t>(buffer_.data() + mark, bytes);
+}
+
+size_t Builder::BeginElement() {
+  const size_t mark = buffer_.size();
+  Append32(0);  // element DHEADER placeholder
+  return mark;
+}
+
+void Builder::EndElement(size_t mark) { EndNested(mark); }
+
+void Builder::Append32(uint32_t value) {
+  const size_t at = buffer_.size();
+  buffer_.resize(at + 4);
+  StoreLE(buffer_.data() + at, value);
+}
+
+bool View::FindMember(uint32_t index, Member* out) const {
+  size_t at = 0;
+  while (at + 4 <= size_) {
+    const auto header = LoadLE<uint32_t>(data_ + at);
+    const Kind kind = HeaderKind(header);
+    at += 4;
+
+    size_t payload_bytes = 0;
+    size_t advance = 0;
+    switch (kind) {
+      case kByte1:
+        payload_bytes = 1;
+        advance = 4;
+        break;
+      case kByte2:
+        payload_bytes = 2;
+        advance = 4;
+        break;
+      case kByte4:
+        payload_bytes = 4;
+        advance = 4;
+        break;
+      case kByte8:
+        payload_bytes = 8;
+        advance = 8;
+        break;
+      case kVariable:
+      case kNested: {
+        if (at + 4 > size_) return false;
+        const auto length = LoadLE<uint32_t>(data_ + at);
+        payload_bytes = length;
+        advance = 4 + ((length + 3) / 4) * 4;
+        break;
+      }
+      default:
+        return false;
+    }
+    if (at + advance > size_) return false;
+
+    if (HeaderIndex(header) == index) {
+      out->kind = kind;
+      out->payload = data_ + at;
+      out->payload_bytes = payload_bytes;
+      return true;
+    }
+    at += advance;
+  }
+  return false;
+}
+
+std::string_view View::GetString(uint32_t index) const {
+  Member member;
+  if (!FindMember(index, &member) || member.kind != kVariable) return {};
+  const auto padded = LoadLE<uint32_t>(member.payload);
+  const auto* content = reinterpret_cast<const char*>(member.payload + 4);
+  // Trim NUL + padding back to the logical length.
+  size_t length = padded;
+  while (length > 0 && content[length - 1] == '\0') --length;
+  return {content, length};
+}
+
+View View::GetNested(uint32_t index) const {
+  Member member;
+  if (!FindMember(index, &member) || member.kind != kNested) {
+    return View(data_, 0);
+  }
+  return View(member.payload + 4, member.payload_bytes);
+}
+
+}  // namespace rsf::ser::xcdr2

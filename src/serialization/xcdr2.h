@@ -1,0 +1,302 @@
+// xcdr2 — a miniature of the Extended CDR v2 "parameter list" encoding used
+// by DDS, the format behind both of the paper's RTI comparators:
+//
+//   * "RTI" (Fig. 14): ordinary Connext — construct a regular struct, then
+//     serialize to this format and de-serialize on receipt.
+//   * "RTI-FlatData" (Fig. 14): the same bytes constructed *in place* with a
+//     Builder (no serialize step) and read through accessors that must
+//     traverse the member list to locate a field by index — the exact
+//     access pattern the paper's Fig. 5 discussion criticizes.
+//
+// Per-member encoding (structurally matching Fig. 5):
+//   EMHEADER   uint32 = (kind << 28) | member_index
+//     kind 0   1-byte scalar   (value padded to 4)
+//     kind 1   2-byte scalar   (value padded to 4)
+//     kind 2   4-byte scalar
+//     kind 3   8-byte scalar
+//     kind 4   variable:  uint32 byte-length, bytes, pad to 4
+//              (strings store content+NUL+padding, Fig. 5's "length 8"
+//               for "rgb8"; scalar vectors store count*sizeof(elem))
+//     kind 5   nested:    uint32 DHEADER byte-length, nested member list
+//              (vectors of messages: uint32 count, then each element as
+//               DHEADER + member list)
+// Member indexes follow declaration order starting at 0.
+#pragma once
+
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "common/endian.h"
+#include "common/status.h"
+#include "serialization/field_model.h"
+
+namespace rsf::ser::xcdr2 {
+
+enum Kind : uint32_t {
+  kByte1 = 0,
+  kByte2 = 1,
+  kByte4 = 2,
+  kByte8 = 3,
+  kVariable = 4,
+  kNested = 5,
+};
+
+inline uint32_t MakeHeader(Kind kind, uint32_t index) noexcept {
+  return (static_cast<uint32_t>(kind) << 28) | (index & 0x0FFFFFFFu);
+}
+inline Kind HeaderKind(uint32_t header) noexcept {
+  return static_cast<Kind>(header >> 28);
+}
+inline uint32_t HeaderIndex(uint32_t header) noexcept {
+  return header & 0x0FFFFFFFu;
+}
+
+/// In-place writer for the parameter-list format.  Used both by the
+/// serializer (via BuildFromMessage) and directly by "FlatData"-style
+/// application code that constructs the message as if already serialized.
+class Builder {
+ public:
+  Builder() = default;
+
+  template <typename T>
+  void AddScalar(uint32_t index, T value) {
+    static_assert(is_scalar_v<T>);
+    constexpr Kind kind = sizeof(T) == 1   ? kByte1
+                          : sizeof(T) == 2 ? kByte2
+                          : sizeof(T) == 4 ? kByte4
+                                           : kByte8;
+    Append32(MakeHeader(kind, index));
+    const size_t at = buffer_.size();
+    buffer_.resize(at + sizeof(T));
+    StoreLE(buffer_.data() + at, value);
+    Pad4();
+  }
+
+  /// String member: stores content + NUL, padded (Fig. 5 semantics).
+  void AddString(uint32_t index, std::string_view text);
+
+  /// Scalar-vector member: byte length then raw elements.
+  template <typename T>
+  void AddVector(uint32_t index, const T* data, size_t count) {
+    static_assert(is_scalar_v<T>);
+    Append32(MakeHeader(kVariable, index));
+    const size_t bytes = count * sizeof(T);
+    Append32(static_cast<uint32_t>(bytes));
+    const size_t at = buffer_.size();
+    buffer_.resize(at + bytes);
+    if (bytes > 0) std::memcpy(buffer_.data() + at, data, bytes);
+    Pad4();
+  }
+
+  /// Uninitialized scalar-vector member exposing its storage, so content
+  /// can be produced directly in the serialized buffer (the FlatData idiom).
+  template <typename T>
+  T* AddUninitializedVector(uint32_t index, size_t count) {
+    static_assert(is_scalar_v<T>);
+    Append32(MakeHeader(kVariable, index));
+    const size_t bytes = count * sizeof(T);
+    Append32(static_cast<uint32_t>(bytes));
+    const size_t at = buffer_.size();
+    buffer_.resize(at + bytes);
+    Pad4();
+    return reinterpret_cast<T*>(buffer_.data() + at);
+  }
+
+  /// Nested member (kind 5).  Usage:
+  ///   auto mark = b.BeginNested(index);
+  ///   ...add nested members...
+  ///   b.EndNested(mark);
+  size_t BeginNested(uint32_t index);
+  void EndNested(size_t mark);
+
+  /// Vector-of-messages member: BeginNested, then Append32(count), then per
+  /// element BeginElement/EndElement pairs, then EndNested.
+  size_t BeginElement();
+  void EndElement(size_t mark);
+  void Append32(uint32_t value);
+
+  [[nodiscard]] size_t size() const noexcept { return buffer_.size(); }
+  std::vector<uint8_t> Finish() { return std::move(buffer_); }
+
+ private:
+  void Pad4() {
+    while (buffer_.size() % 4 != 0) buffer_.push_back(0);
+  }
+  std::vector<uint8_t> buffer_;
+};
+
+/// Accessor over a parameter list.  Locating member `index` scans the
+/// member headers from the front — the traversal cost of FlatData access.
+class View {
+ public:
+  View(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  struct Member {
+    Kind kind = kByte4;
+    const uint8_t* payload = nullptr;  // points at value / length word
+    size_t payload_bytes = 0;          // scalar size or variable byte length
+  };
+
+  /// Scans for member `index`; false if absent or malformed.
+  bool FindMember(uint32_t index, Member* out) const;
+
+  template <typename T>
+  [[nodiscard]] T GetScalar(uint32_t index, T fallback = T{}) const {
+    Member member;
+    if (!FindMember(index, &member)) return fallback;
+    return LoadLE<T>(member.payload);
+  }
+
+  /// String member content (without padding).
+  [[nodiscard]] std::string_view GetString(uint32_t index) const;
+
+  /// Scalar vector member: pointer + element count.
+  template <typename T>
+  [[nodiscard]] std::pair<const T*, size_t> GetVector(uint32_t index) const {
+    Member member;
+    if (!FindMember(index, &member) || member.kind != kVariable) {
+      return {nullptr, 0};
+    }
+    return {reinterpret_cast<const T*>(member.payload + 4),
+            LoadLE<uint32_t>(member.payload) / sizeof(T)};
+  }
+
+  /// Nested member as a sub-view (over the nested member list).
+  [[nodiscard]] View GetNested(uint32_t index) const;
+
+  [[nodiscard]] const uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] size_t size() const noexcept { return size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+// ---- generic bridges over the field model ----
+
+namespace internal {
+
+template <Message M>
+void BuildMembers(Builder& builder, const M& msg);
+
+template <typename T>
+void BuildMember(Builder& builder, uint32_t index, const T& field) {
+  if constexpr (is_scalar_v<T>) {
+    builder.AddScalar(index, field);
+  } else if constexpr (is_string_like_v<T>) {
+    builder.AddString(index, std::string_view(field.data(), field.size()));
+  } else if constexpr (is_vector_like_v<T> || is_std_array_v<T>) {
+    using E = element_of_t<T>;
+    if constexpr (is_scalar_v<E>) {
+      builder.AddVector(index, field.data(), field.size());
+    } else {
+      const size_t mark = builder.BeginNested(index);
+      builder.Append32(static_cast<uint32_t>(field.size()));
+      for (const auto& element : field) {
+        const size_t element_mark = builder.BeginElement();
+        BuildMembers(builder, element);
+        builder.EndElement(element_mark);
+      }
+      builder.EndNested(mark);
+    }
+  } else {
+    const size_t mark = builder.BeginNested(index);
+    BuildMembers(builder, field);
+    builder.EndNested(mark);
+  }
+}
+
+template <Message M>
+void BuildMembers(Builder& builder, const M& msg) {
+  uint32_t index = 0;
+  msg.for_each_field([&](const char*, const auto& field) {
+    BuildMember(builder, index++, field);
+  });
+}
+
+template <Message M>
+Status ReadMembers(const View& view, M& msg);
+
+template <typename T>
+Status ReadMember(const View& view, uint32_t index, T& field) {
+  if constexpr (is_scalar_v<T>) {
+    View::Member member;
+    if (!view.FindMember(index, &member)) {
+      return NotFoundError("missing member " + std::to_string(index));
+    }
+    std::memcpy(&field, member.payload, sizeof(T));
+    return Status::Ok();
+  } else if constexpr (is_string_like_v<T>) {
+    field = view.GetString(index);
+    return Status::Ok();
+  } else if constexpr (is_vector_like_v<T> || is_std_array_v<T>) {
+    using E = element_of_t<T>;
+    if constexpr (is_scalar_v<E>) {
+      const auto [data, count] = view.GetVector<E>(index);
+      if constexpr (is_std_array_v<T>) {
+        if (count != field.size()) {
+          return InvalidArgumentError("fixed array count mismatch");
+        }
+        std::memcpy(field.data(), data, count * sizeof(E));
+      } else {
+        field.resize(count);
+        if (count > 0) std::memcpy(field.data(), data, count * sizeof(E));
+      }
+      return Status::Ok();
+    } else {
+      const View nested = view.GetNested(index);
+      if (nested.size() < 4) return OutOfRangeError("bad nested vector");
+      const auto count = LoadLE<uint32_t>(nested.data());
+      field.resize(count);
+      size_t at = 4;
+      for (uint32_t i = 0; i < count; ++i) {
+        if (at + 4 > nested.size()) return OutOfRangeError("bad element");
+        const auto element_bytes = LoadLE<uint32_t>(nested.data() + at);
+        at += 4;
+        RSF_RETURN_IF_ERROR(ReadMembers(
+            View(nested.data() + at, element_bytes), field[i]));
+        at += element_bytes;
+      }
+      return Status::Ok();
+    }
+  } else {
+    return ReadMembers(view.GetNested(index), field);
+  }
+}
+
+template <Message M>
+Status ReadMembers(const View& view, M& msg) {
+  Status status;
+  uint32_t index = 0;
+  msg.for_each_field([&](const char*, auto& field) {
+    if (status.ok()) status = ReadMember(view, index, field);
+    ++index;
+  });
+  return status;
+}
+
+}  // namespace internal
+
+/// "RTI" serialize: regular struct -> XCDR2 buffer.
+template <Message M>
+std::vector<uint8_t> Serialize(const M& msg) {
+  Builder builder;
+  internal::BuildMembers(builder, msg);
+  return builder.Finish();
+}
+
+/// "RTI" de-serialize: XCDR2 buffer -> regular struct.
+template <Message M>
+Status Deserialize(const uint8_t* data, size_t size, M& msg) {
+  return internal::ReadMembers(View(data, size), msg);
+}
+
+/// "RTI-FlatData" construct: build the wire bytes directly (no separate
+/// serialization step; application code uses Builder natively).
+template <Message M>
+std::vector<uint8_t> BuildFromMessage(const M& msg) {
+  return Serialize(msg);
+}
+
+}  // namespace rsf::ser::xcdr2

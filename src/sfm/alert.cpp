@@ -1,0 +1,66 @@
+#include "sfm/alert.h"
+
+#include <atomic>
+
+#include "common/log.h"
+
+namespace sfm {
+namespace {
+
+std::atomic<int> g_action{static_cast<int>(AlertAction::kThrow)};
+std::atomic<uint64_t> g_counts[static_cast<int>(Violation::kCount_)];
+
+}  // namespace
+
+const char* ViolationName(Violation v) noexcept {
+  switch (v) {
+    case Violation::kStringReassignment:
+      return "One-Shot String Assignment violation";
+    case Violation::kVectorMultiResize:
+      return "One-Shot Vector Resizing violation";
+    case Violation::kUnmanagedMessage:
+      return "unmanaged SFM message";
+    case Violation::kArenaOverflow:
+      return "arena overflow";
+    case Violation::kCount_:
+      break;
+  }
+  return "unknown violation";
+}
+
+AlertAction SetAlertAction(AlertAction action) noexcept {
+  return static_cast<AlertAction>(
+      g_action.exchange(static_cast<int>(action), std::memory_order_relaxed));
+}
+
+AlertAction GetAlertAction() noexcept {
+  return static_cast<AlertAction>(g_action.load(std::memory_order_relaxed));
+}
+
+AlertStats GetAlertStats() noexcept {
+  AlertStats stats;
+  for (int i = 0; i < static_cast<int>(Violation::kCount_); ++i) {
+    stats.counts[i] = g_counts[i].load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+void ResetAlertStats() noexcept {
+  for (auto& c : g_counts) c.store(0, std::memory_order_relaxed);
+}
+
+void RaiseAlert(Violation violation, const std::string& detail) {
+  g_counts[static_cast<int>(violation)].fetch_add(1, std::memory_order_relaxed);
+
+  const bool fatal = violation == Violation::kUnmanagedMessage ||
+                     violation == Violation::kArenaOverflow;
+  const AlertAction action = GetAlertAction();
+  if (fatal || action == AlertAction::kThrow) {
+    throw AlertError(violation, detail);
+  }
+  if (action == AlertAction::kLog) {
+    RSF_WARN("SFM alert: %s: %s", ViolationName(violation), detail.c_str());
+  }
+}
+
+}  // namespace sfm

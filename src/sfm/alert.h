@@ -1,0 +1,89 @@
+// Alert machinery for the three SFM applicability assumptions (paper §4.3.3,
+// §5.4) plus the runtime preconditions of the arena allocator.
+//
+// The paper's framework "raises an alert" when the One-Shot String
+// Assignment or One-Shot Vector Resizing assumption is violated, and relies
+// on a compile error for the No Modifier assumption.  Here an alert either
+// throws (default — the violation is a bug to fix), logs, or is silently
+// counted; in the two one-shot cases a correct-but-wasteful fallback path
+// (re-expansion of the arena) lets log/silent runs proceed, mirroring how a
+// developer would keep a system running while fixing the reported sites.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sfm {
+
+enum class Violation : int {
+  kStringReassignment = 0,  // One-Shot String Assignment Assumption
+  kVectorMultiResize = 1,   // One-Shot Vector Resizing Assumption
+  kUnmanagedMessage = 2,    // message not allocated through the arena (stack)
+  kArenaOverflow = 3,       // whole message exceeded its arena capacity
+  kCount_,
+};
+
+const char* ViolationName(Violation v) noexcept;
+
+enum class AlertAction {
+  kThrow,   // throw sfm::AlertError (default)
+  kLog,     // log a warning, count, then fall back where possible
+  kSilent,  // count only
+};
+
+/// Thrown by RaiseAlert under kThrow (always thrown for kUnmanagedMessage
+/// and kArenaOverflow, which have no safe fallback).
+class AlertError : public std::runtime_error {
+ public:
+  AlertError(Violation violation, const std::string& detail)
+      : std::runtime_error(std::string(ViolationName(violation)) + ": " +
+                           detail),
+        violation_(violation) {}
+
+  [[nodiscard]] Violation violation() const noexcept { return violation_; }
+
+ private:
+  Violation violation_;
+};
+
+/// Per-violation counters since the last Reset (process-wide, atomic).
+struct AlertStats {
+  uint64_t counts[static_cast<int>(Violation::kCount_)] = {};
+  [[nodiscard]] uint64_t For(Violation v) const noexcept {
+    return counts[static_cast<int>(v)];
+  }
+  [[nodiscard]] uint64_t Total() const noexcept {
+    uint64_t total = 0;
+    for (uint64_t c : counts) total += c;
+    return total;
+  }
+};
+
+/// Sets the process-wide action for recoverable violations; returns previous.
+AlertAction SetAlertAction(AlertAction action) noexcept;
+AlertAction GetAlertAction() noexcept;
+
+AlertStats GetAlertStats() noexcept;
+void ResetAlertStats() noexcept;
+
+/// Records the violation and applies the current action.  For
+/// kUnmanagedMessage and kArenaOverflow this always throws: execution cannot
+/// continue safely.  Returns (under kLog/kSilent) so the caller can run its
+/// fallback path.
+void RaiseAlert(Violation violation, const std::string& detail);
+
+/// RAII override of the alert action (tests).
+class ScopedAlertAction {
+ public:
+  explicit ScopedAlertAction(AlertAction action)
+      : previous_(SetAlertAction(action)) {}
+  ~ScopedAlertAction() { SetAlertAction(previous_); }
+  ScopedAlertAction(const ScopedAlertAction&) = delete;
+  ScopedAlertAction& operator=(const ScopedAlertAction&) = delete;
+
+ private:
+  AlertAction previous_;
+};
+
+}  // namespace sfm

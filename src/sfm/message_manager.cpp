@@ -1,0 +1,325 @@
+#include "sfm/message_manager.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/status.h"
+#include "sfm/alert.h"
+
+namespace sfm {
+namespace {
+
+size_t AlignUp(size_t value, size_t align) noexcept {
+  return (value + align - 1) & ~(align - 1);
+}
+
+std::mutex g_capacity_mutex;
+std::map<std::string, size_t>& CapacityOverrides() {
+  static std::map<std::string, size_t> overrides;
+  return overrides;
+}
+
+// ---- arena block pool ----
+//
+// Blocks are recycled by exact capacity.  Bounded so pathological capacity
+// mixes cannot hoard memory; beyond the bound, blocks fall back to the
+// heap.
+constexpr size_t kMaxPoolBytes = 512ull * 1024 * 1024;
+constexpr size_t kMaxBlocksPerCapacity = 8;
+
+struct ArenaPool {
+  std::mutex mutex;
+  std::map<size_t, std::vector<uint8_t*>> free_blocks;
+  size_t bytes = 0;
+
+  ~ArenaPool() {
+    for (auto& [capacity, blocks] : free_blocks) {
+      for (uint8_t* block : blocks) delete[] block;
+    }
+  }
+};
+
+ArenaPool& Pool() {
+  static auto* pool = new ArenaPool();  // leaked: outlives all arenas
+  return *pool;
+}
+
+}  // namespace
+
+void PooledDeleter::operator()(uint8_t* block) const noexcept {
+  if (block == nullptr) return;
+  ArenaPool& pool = Pool();
+  {
+    std::lock_guard<std::mutex> lock(pool.mutex);
+    auto& blocks = pool.free_blocks[capacity];
+    if (blocks.size() < kMaxBlocksPerCapacity &&
+        pool.bytes + capacity <= kMaxPoolBytes) {
+      blocks.push_back(block);
+      pool.bytes += capacity;
+      return;
+    }
+  }
+  delete[] block;
+}
+
+PooledBlock AcquireArenaBlock(size_t capacity) {
+  ArenaPool& pool = Pool();
+  {
+    std::lock_guard<std::mutex> lock(pool.mutex);
+    const auto it = pool.free_blocks.find(capacity);
+    if (it != pool.free_blocks.end() && !it->second.empty()) {
+      uint8_t* block = it->second.back();
+      it->second.pop_back();
+      pool.bytes -= capacity;
+      return PooledBlock(block, PooledDeleter{capacity});
+    }
+  }
+  return PooledBlock(new uint8_t[capacity], PooledDeleter{capacity});
+}
+
+size_t ArenaPoolBytes() {
+  ArenaPool& pool = Pool();
+  std::lock_guard<std::mutex> lock(pool.mutex);
+  return pool.bytes;
+}
+
+void TrimArenaPool() {
+  ArenaPool& pool = Pool();
+  std::lock_guard<std::mutex> lock(pool.mutex);
+  for (auto& [capacity, blocks] : pool.free_blocks) {
+    for (uint8_t* block : blocks) delete[] block;
+  }
+  pool.free_blocks.clear();
+  pool.bytes = 0;
+}
+
+const char* MessageStateName(MessageState state) noexcept {
+  switch (state) {
+    case MessageState::kAllocated:
+      return "Allocated";
+    case MessageState::kPublished:
+      return "Published";
+  }
+  return "?";
+}
+
+void* MessageManager::Allocate(const char* datatype, size_t capacity,
+                               size_t skeleton_size) {
+  SFM_CHECK_MSG(skeleton_size <= capacity,
+                "arena capacity smaller than message skeleton");
+  PooledBlock pooled = AcquireArenaBlock(capacity);
+  auto block =
+      std::shared_ptr<uint8_t[]>(pooled.release(), PooledDeleter{capacity});
+  uint8_t* start = block.get();
+  std::memset(start, 0, skeleton_size);
+
+  Record record;
+  record.start = start;
+  record.capacity = capacity;
+  record.size = skeleton_size;
+  record.state = MessageState::kAllocated;
+  record.buffer = std::move(block);
+  record.datatype = datatype;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.emplace(reinterpret_cast<uintptr_t>(start), std::move(record));
+  ++stats_.allocations;
+  return start;
+}
+
+bool MessageManager::Release(void* start) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(reinterpret_cast<uintptr_t>(start));
+  if (it == records_.end()) return false;
+  // Erasing the record drops the manager's buffer pointer; the block is
+  // freed by shared_ptr once any in-flight transport references die.
+  records_.erase(it);
+  ++stats_.releases;
+  return true;
+}
+
+MessageManager::Record* MessageManager::FindLocked(const void* addr) {
+  const auto key = reinterpret_cast<uintptr_t>(addr);
+  auto it = records_.upper_bound(key);
+  if (it == records_.begin()) return nullptr;
+  --it;
+  Record& record = it->second;
+  if (key >= it->first + record.capacity) return nullptr;
+  return &record;
+}
+
+const MessageManager::Record* MessageManager::FindLocked(
+    const void* addr) const {
+  return const_cast<MessageManager*>(this)->FindLocked(addr);
+}
+
+void* MessageManager::Expand(const void* field_addr, size_t bytes,
+                             size_t align) {
+  SFM_CHECK_MSG(align != 0 && (align & (align - 1)) == 0,
+                "alignment must be a power of two");
+  std::lock_guard<std::mutex> lock(mutex_);
+  Record* record = FindLocked(field_addr);
+  if (record == nullptr) {
+    RaiseAlert(Violation::kUnmanagedMessage,
+               "an sfm field requested memory but its message is not "
+               "arena-allocated; declare the message on the heap (the ROS-SF "
+               "Converter rewrites stack declarations automatically)");
+    return nullptr;  // unreachable: kUnmanagedMessage always throws
+  }
+  const size_t aligned_end = AlignUp(record->size, align);
+  if (aligned_end + bytes > record->capacity) {
+    RaiseAlert(Violation::kArenaOverflow,
+               "whole message for " + std::string(record->datatype) +
+                   " would grow to " + std::to_string(aligned_end + bytes) +
+                   " bytes, over the arena capacity of " +
+                   std::to_string(record->capacity) +
+                   "; raise it in the IDL (@arena_capacity) or via "
+                   "sfm::SetArenaCapacity()");
+    return nullptr;  // unreachable: kArenaOverflow always throws
+  }
+  uint8_t* out = record->start + aligned_end;
+  std::memset(out, 0, bytes);
+  record->size = aligned_end + bytes;
+  ++stats_.expansions;
+  return out;
+}
+
+std::optional<BufferRef> MessageManager::Publish(const void* start) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(reinterpret_cast<uintptr_t>(start));
+  if (it == records_.end()) return std::nullopt;
+  Record& record = it->second;
+  record.state = MessageState::kPublished;
+  ++stats_.publishes;
+  return BufferRef{std::shared_ptr<const uint8_t[]>(record.buffer),
+                   record.size};
+}
+
+const uint8_t* MessageManager::AdoptReceived(const char* datatype,
+                                             std::unique_ptr<uint8_t[]> block,
+                                             size_t capacity, size_t size) {
+  SFM_CHECK_MSG(size <= capacity, "received message larger than its block");
+  uint8_t* start = block.get();
+
+  Record record;
+  record.start = start;
+  record.capacity = capacity;
+  record.size = size;
+  record.state = MessageState::kPublished;  // paper Fig. 9: enters Published
+  record.buffer = std::shared_ptr<uint8_t[]>(block.release(),
+                                             std::default_delete<uint8_t[]>());
+  record.datatype = datatype;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.emplace(reinterpret_cast<uintptr_t>(start), std::move(record));
+  ++stats_.received_adoptions;
+  return start;
+}
+
+bool MessageManager::TryWholeCopy(void* dst, const void* src,
+                                  size_t skeleton_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto dst_it = records_.find(reinterpret_cast<uintptr_t>(dst));
+  if (dst_it == records_.end()) return false;
+  Record& dst_record = dst_it->second;
+
+  const Record* src_record = FindLocked(src);
+  size_t src_size = skeleton_size;
+  if (src_record != nullptr) {
+    if (src_record->start != static_cast<const uint8_t*>(src)) {
+      // src is a nested field of some arena, not a whole message; the
+      // caller must copy field-wise so payloads land in dst's arena.
+      return false;
+    }
+    src_size = src_record->size;
+  }
+  if (src_size > dst_record.capacity) {
+    RaiseAlert(Violation::kArenaOverflow,
+               "whole-message copy of " + std::to_string(src_size) +
+                   " bytes exceeds destination arena capacity of " +
+                   std::to_string(dst_record.capacity));
+    return true;  // unreachable: kArenaOverflow always throws
+  }
+  std::memcpy(dst_record.start, src, src_size);
+  dst_record.size = src_size;
+  return true;
+}
+
+const uint8_t* MessageManager::AdoptReceived(const char* datatype,
+                                             PooledBlock block,
+                                             size_t capacity, size_t size) {
+  SFM_CHECK_MSG(size <= capacity, "received message larger than its block");
+  uint8_t* start = block.get();
+
+  Record record;
+  record.start = start;
+  record.capacity = capacity;
+  record.size = size;
+  record.state = MessageState::kPublished;
+  record.buffer =
+      std::shared_ptr<uint8_t[]>(block.release(), PooledDeleter{capacity});
+  record.datatype = datatype;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.emplace(reinterpret_cast<uintptr_t>(start), std::move(record));
+  ++stats_.received_adoptions;
+  return start;
+}
+
+std::optional<RecordInfo> MessageManager::Find(const void* addr) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Record* record = FindLocked(addr);
+  if (record == nullptr) return std::nullopt;
+  RecordInfo info;
+  info.start = record->start;
+  info.capacity = record->capacity;
+  info.size = record->size;
+  info.state = record->state;
+  info.use_count = record->buffer.use_count();
+  info.datatype = record->datatype;
+  return info;
+}
+
+size_t MessageManager::SizeOf(const void* addr) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Record* record = FindLocked(addr);
+  return record == nullptr ? 0 : record->size;
+}
+
+size_t MessageManager::LiveCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+ManagerStats MessageManager::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void MessageManager::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = ManagerStats{};
+}
+
+MessageManager& gmm() {
+  static MessageManager manager;
+  return manager;
+}
+
+void SetArenaCapacity(const std::string& datatype, size_t bytes) {
+  std::lock_guard<std::mutex> lock(g_capacity_mutex);
+  if (bytes == 0) {
+    CapacityOverrides().erase(datatype);
+  } else {
+    CapacityOverrides()[datatype] = bytes;
+  }
+}
+
+size_t ArenaCapacityFor(const std::string& datatype, size_t default_bytes) {
+  std::lock_guard<std::mutex> lock(g_capacity_mutex);
+  const auto& overrides = CapacityOverrides();
+  const auto it = overrides.find(datatype);
+  return it != overrides.end() ? it->second : default_bytes;
+}
+
+}  // namespace sfm

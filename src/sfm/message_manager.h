@@ -1,0 +1,182 @@
+// The message manager (paper §4.2, §4.3.3: `sfm::mm` with one global
+// instance `sfm::gmm`).
+//
+// Every serialization-free message lives in one contiguous heap block, its
+// *arena*: the fixed-size skeleton at offset 0, variable-size payloads
+// (string contents, vector elements) appended behind it.  The manager keeps
+// one record per live arena:
+//
+//   [start, start+capacity)   the heap block
+//   size                      current extent of the *whole message*
+//   buffer                    the "buffer pointer" — a shared_ptr that owns
+//                             the block; publish() hands aliased copies to
+//                             the transport, so the block outlives the
+//                             developer-visible message object
+//   state                     Allocated -> Published  (Destructed == erased)
+//
+// Field types (sfm::string / sfm::vector) call Expand() with their own
+// address when they need payload space; the manager locates the containing
+// record by binary search over the address-ordered record map — exactly the
+// lookup structure the paper describes — bumps `size`, and returns the new
+// region.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace sfm {
+
+enum class MessageState { kAllocated, kPublished };
+
+const char* MessageStateName(MessageState state) noexcept;
+
+/// An aliased reference to a message arena: what `publish` puts on the wire.
+struct BufferRef {
+  std::shared_ptr<const uint8_t[]> data;
+  size_t size = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return data != nullptr; }
+};
+
+/// Introspection snapshot of one record (tests, debugging).
+struct RecordInfo {
+  const uint8_t* start = nullptr;
+  size_t capacity = 0;
+  size_t size = 0;
+  MessageState state = MessageState::kAllocated;
+  long use_count = 0;  // buffer-pointer reference count
+  std::string datatype;
+};
+
+/// Aggregate counters (tests, the ablation bench).
+struct ManagerStats {
+  uint64_t allocations = 0;
+  uint64_t releases = 0;
+  uint64_t expansions = 0;
+  uint64_t publishes = 0;
+  uint64_t received_adoptions = 0;
+};
+
+/// Deleter that returns an arena block to the process-wide block pool.
+struct PooledDeleter {
+  size_t capacity = 0;
+  void operator()(uint8_t* block) const noexcept;
+};
+
+/// An owned arena block that recycles itself.
+using PooledBlock = std::unique_ptr<uint8_t[], PooledDeleter>;
+
+/// Acquires a block of at least `capacity` bytes from the pool (or the
+/// heap).  Pooling matters for throughput: arenas are sized for the LARGEST
+/// message of a type (§4.2), typically megabytes, and allocating/releasing
+/// such blocks per message costs mmap + page-fault churn that can eat the
+/// serialization savings.  Recycled blocks keep their pages warm.
+PooledBlock AcquireArenaBlock(size_t capacity);
+
+/// Pool occupancy in bytes (tests / introspection).
+size_t ArenaPoolBytes();
+/// Drops all pooled blocks.
+void TrimArenaPool();
+
+/// The message manager.  All methods are thread-safe.
+class MessageManager {
+ public:
+  MessageManager() = default;
+  MessageManager(const MessageManager&) = delete;
+  MessageManager& operator=(const MessageManager&) = delete;
+
+  /// Allocates a fresh arena of `capacity` bytes, registers it, and returns
+  /// the message start address.  The first `skeleton_size` bytes are zeroed
+  /// (a zeroed skeleton is the valid default state for every SFM type) and
+  /// the whole-message size starts at `skeleton_size`.
+  void* Allocate(const char* datatype, size_t capacity, size_t skeleton_size);
+
+  /// Drops the record whose start address is `start` (object deleted by the
+  /// developer's code — the overloaded operator delete, or the subscriber
+  /// ConstPtr deleter).  The underlying block is freed once the transport
+  /// holds no aliased buffer pointers.  Returns false if `start` is not a
+  /// registered arena (the caller then owns the memory).
+  bool Release(void* start);
+
+  /// Grants `bytes` bytes (aligned to `align`) at the current end of the
+  /// whole message containing `field_addr`, zeroed, and grows the recorded
+  /// size.  Raises kUnmanagedMessage if no record contains `field_addr`
+  /// (stack-allocated message: the ROS-SF Converter was not applied) and
+  /// kArenaOverflow if capacity is exceeded.  Both are fatal alerts.
+  void* Expand(const void* field_addr, size_t bytes, size_t align);
+
+  /// Marks the message Published and returns an aliased buffer pointer
+  /// covering the whole message, for the transmission queue.  nullopt if
+  /// `start` is not registered.
+  std::optional<BufferRef> Publish(const void* start);
+
+  /// Receive path: registers an externally filled arena.  `block` is the
+  /// heap block (capacity bytes), `size` the received whole-message size.
+  /// The message enters the Published state directly (paper Fig. 9).
+  /// Returns the message start address.
+  const uint8_t* AdoptReceived(const char* datatype,
+                               std::unique_ptr<uint8_t[]> block,
+                               size_t capacity, size_t size);
+
+  /// Same, for a pooled block (the transport's receive path).
+  const uint8_t* AdoptReceived(const char* datatype, PooledBlock block,
+                               size_t capacity, size_t size);
+
+  /// Top-level assignment fast path for the generated copy constructor and
+  /// operator= (paper §4.3.1: "find the current size of the whole message
+  /// from the message manager and copy the message").  If `dst` is a
+  /// registered record *start*, copies src's whole-message bytes verbatim
+  /// (relative offsets make them position-independent) — or just the
+  /// skeleton when src is unregistered — resets dst's size, and returns
+  /// true.  Returns false when dst is not a record start, i.e. the
+  /// assignment target is a nested field and the caller must copy
+  /// field-wise.  Raises kArenaOverflow if dst cannot hold src.
+  bool TryWholeCopy(void* dst, const void* src, size_t skeleton_size);
+
+  /// Record lookup by any address inside the arena (tests / introspection).
+  std::optional<RecordInfo> Find(const void* addr) const;
+
+  /// Current whole-message size of the message containing `addr`;
+  /// 0 if unknown.
+  size_t SizeOf(const void* addr) const;
+
+  [[nodiscard]] size_t LiveCount() const;
+  [[nodiscard]] ManagerStats Stats() const;
+  void ResetStats();
+
+ private:
+  struct Record {
+    uint8_t* start = nullptr;
+    size_t capacity = 0;
+    size_t size = 0;
+    MessageState state = MessageState::kAllocated;
+    std::shared_ptr<uint8_t[]> buffer;  // the buffer pointer
+    const char* datatype = "";
+  };
+
+  // Returns the record containing `addr`, or nullptr.  Caller holds mutex_.
+  Record* FindLocked(const void* addr);
+  const Record* FindLocked(const void* addr) const;
+
+  mutable std::mutex mutex_;
+  std::map<uintptr_t, Record> records_;  // keyed by start address
+  ManagerStats stats_;
+};
+
+/// The global message manager (`sfm::gmm` in the paper).
+MessageManager& gmm();
+
+/// Overrides the arena capacity for a datatype at run time (takes precedence
+/// over the IDL-declared capacity baked into the generated header).  Pass 0
+/// to remove the override.
+void SetArenaCapacity(const std::string& datatype, size_t bytes);
+
+/// Capacity to use for `datatype` given its generated default.
+size_t ArenaCapacityFor(const std::string& datatype, size_t default_bytes);
+
+}  // namespace sfm

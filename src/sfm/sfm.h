@@ -1,0 +1,10 @@
+// Umbrella header for the SFM runtime (the paper's "ROS-SF Library",
+// §4.3.3): skeleton field types, the message manager, alerts, and the
+// allocation base used by generated message classes.
+#pragma once
+
+#include "sfm/alert.h"           // IWYU pragma: export
+#include "sfm/managed_message.h" // IWYU pragma: export
+#include "sfm/message_manager.h" // IWYU pragma: export
+#include "sfm/string.h"          // IWYU pragma: export
+#include "sfm/vector.h"          // IWYU pragma: export

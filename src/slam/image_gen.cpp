@@ -1,0 +1,103 @@
+#include "slam/image_gen.h"
+
+#include <cmath>
+
+namespace rsf::slam {
+namespace {
+
+/// 2D integer hash -> [0, 255] (deterministic texture lattice).
+uint32_t Hash2(uint64_t seed, int32_t x, int32_t y) noexcept {
+  uint64_t h = seed;
+  h ^= static_cast<uint64_t>(static_cast<uint32_t>(x)) * 0x9E3779B97F4A7C15ull;
+  h ^= static_cast<uint64_t>(static_cast<uint32_t>(y)) * 0xC2B2AE3D27D4EB4Full;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return static_cast<uint32_t>(h & 0xFF);
+}
+
+double Smooth(double t) noexcept { return t * t * (3.0 - 2.0 * t); }
+
+/// Bilinear value noise over the hash lattice.
+double ValueNoise(uint64_t seed, double u, double v) noexcept {
+  const auto x0 = static_cast<int32_t>(std::floor(u));
+  const auto y0 = static_cast<int32_t>(std::floor(v));
+  const double fx = Smooth(u - x0);
+  const double fy = Smooth(v - y0);
+  const double a = Hash2(seed, x0, y0);
+  const double b = Hash2(seed, x0 + 1, y0);
+  const double c = Hash2(seed, x0, y0 + 1);
+  const double d = Hash2(seed, x0 + 1, y0 + 1);
+  return (a * (1 - fx) + b * fx) * (1 - fy) + (c * (1 - fx) + d * fx) * fy;
+}
+
+}  // namespace
+
+FrameGenerator::FrameGenerator(uint32_t width, uint32_t height, uint64_t seed)
+    : width_(width), height_(height), seed_(seed) {}
+
+uint8_t FrameGenerator::SceneIntensity(double u, double v) const {
+  // Two noise octaves plus a checker component give broad structure...
+  double value = 0.6 * ValueNoise(seed_, u / 64.0, v / 64.0) +
+                 0.4 * ValueNoise(seed_ + 1, u / 16.0, v / 16.0);
+  const bool checker =
+      (static_cast<int64_t>(std::floor(u / 48.0)) +
+       static_cast<int64_t>(std::floor(v / 48.0))) % 2 == 0;
+  if (checker) value = 255.0 - value;
+
+  // ...and a sparse speckle lattice provides the strong, well-localized
+  // blobs the FAST segment test responds to (the "texture" of the scene).
+  constexpr double kCell = 14.0;
+  const auto cell_x = static_cast<int32_t>(std::floor(u / kCell));
+  const auto cell_y = static_cast<int32_t>(std::floor(v / kCell));
+  const uint32_t speckle = Hash2(seed_ + 3, cell_x, cell_y);
+  if (speckle < 96) {  // ~3/8 of cells carry a dot
+    const double center_u = (cell_x + 0.5) * kCell;
+    const double center_v = (cell_y + 0.5) * kCell;
+    const double du = u - center_u;
+    const double dv = v - center_v;
+    if (du * du + dv * dv < 4.5) {
+      value = (speckle & 1) ? 245.0 : 10.0;
+    }
+  }
+  return static_cast<uint8_t>(value < 0 ? 0 : (value > 255 ? 255 : value));
+}
+
+Frame FrameGenerator::Next() {
+  Frame frame;
+  frame.width = width_;
+  frame.height = height_;
+  frame.index = frame_index_;
+  frame.gray.resize(static_cast<size_t>(width_) * height_);
+  frame.rgb.resize(static_cast<size_t>(width_) * height_ * 3);
+
+  // Smooth TUM-fr1-like trajectory: slow pan + gentle rotation.
+  const double t = static_cast<double>(frame_index_);
+  frame.truth.x = 3.0 * t;
+  frame.truth.y = 40.0 * std::sin(t * 0.05);
+  frame.truth.yaw = 0.02 * std::sin(t * 0.03);
+
+  const double cos_yaw = std::cos(frame.truth.yaw);
+  const double sin_yaw = std::sin(frame.truth.yaw);
+  const double cx = width_ / 2.0;
+  const double cy = height_ / 2.0;
+
+  for (uint32_t y = 0; y < height_; ++y) {
+    for (uint32_t x = 0; x < width_; ++x) {
+      const double dx = x - cx;
+      const double dy = y - cy;
+      const double u = frame.truth.x + cx + dx * cos_yaw - dy * sin_yaw;
+      const double v = frame.truth.y + cy + dx * sin_yaw + dy * cos_yaw;
+      const uint8_t g = SceneIntensity(u, v);
+      const size_t at = static_cast<size_t>(y) * width_ + x;
+      frame.gray[at] = g;
+      frame.rgb[at * 3 + 0] = g;
+      frame.rgb[at * 3 + 1] = static_cast<uint8_t>((g * 3) / 4 + 32);
+      frame.rgb[at * 3 + 2] = static_cast<uint8_t>(255 - g);
+    }
+  }
+  ++frame_index_;
+  return frame;
+}
+
+}  // namespace rsf::slam

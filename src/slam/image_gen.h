@@ -1,0 +1,49 @@
+// Synthetic TUM-RGBD-like frame source (paper §5.3 substitute; see
+// DESIGN.md).  Renders a deterministic textured scene observed by a camera
+// on a smooth trajectory: multi-octave value noise gives the scene stable,
+// trackable intensity corners, and the camera pan/zoom between frames gives
+// the feature matcher real inter-frame motion to estimate — the properties
+// of the TUM sequences that the ORB-SLAM case study actually depends on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rsf::slam {
+
+struct CameraPose {
+  double x = 0;    // pan (pixels of scene space)
+  double y = 0;
+  double yaw = 0;  // radians
+};
+
+struct Frame {
+  uint32_t width = 0;
+  uint32_t height = 0;
+  std::vector<uint8_t> rgb;   // width*height*3
+  std::vector<uint8_t> gray;  // width*height
+  CameraPose truth;           // ground-truth camera pose for this frame
+  uint32_t index = 0;
+};
+
+class FrameGenerator {
+ public:
+  FrameGenerator(uint32_t width, uint32_t height, uint64_t seed = 42);
+
+  /// Renders the next frame along the trajectory.
+  Frame Next();
+
+  [[nodiscard]] uint32_t width() const noexcept { return width_; }
+  [[nodiscard]] uint32_t height() const noexcept { return height_; }
+
+ private:
+  /// Deterministic smooth scene intensity at world coordinate (u, v).
+  [[nodiscard]] uint8_t SceneIntensity(double u, double v) const;
+
+  uint32_t width_;
+  uint32_t height_;
+  uint64_t seed_;
+  uint32_t frame_index_ = 0;
+};
+
+}  // namespace rsf::slam

@@ -1,0 +1,302 @@
+// The ROS node graph of the application case study (paper §5.3, Fig. 17):
+//
+//   pub_tum --/camera/image--> orb_slam --+--/pose--------> pose sink
+//                                         +--/pointcloud--> cloud sink
+//                                         +--/debug_image-> debug sink
+//
+// Every node is templated on a message profile (RegularMsgs or SfmMsgs) —
+// the node bodies are IDENTICAL for both, which is the paper's
+// transparency claim in executable form: switching the generated header
+// variant flips the whole graph between ROS and ROS-SF.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "common/clock.h"
+#include "common/stats.h"
+#include "geometry_msgs/PoseStamped.h"
+#include "geometry_msgs/sfm/PoseStamped.h"
+#include "ros/ros.h"
+#include "sensor_msgs/Image.h"
+#include "sensor_msgs/PointCloud2.h"
+#include "sensor_msgs/sfm/Image.h"
+#include "sensor_msgs/sfm/PointCloud2.h"
+#include "slam/image_gen.h"
+#include "slam/pipeline.h"
+
+namespace rsf::slam {
+
+struct RegularMsgs {
+  using Image = ::sensor_msgs::Image;
+  using PoseStamped = ::geometry_msgs::PoseStamped;
+  using PointCloud2 = ::sensor_msgs::PointCloud2;
+  static constexpr const char* Name() { return "ROS"; }
+};
+
+struct SfmMsgs {
+  using Image = ::sensor_msgs::sfm::Image;
+  using PoseStamped = ::geometry_msgs::sfm::PoseStamped;
+  using PointCloud2 = ::sensor_msgs::sfm::PointCloud2;
+  static constexpr const char* Name() { return "ROS-SF"; }
+};
+
+/// Allocates a fresh message of either variant (SFM messages must come from
+/// the arena allocator; regular ones are ordinary shared_ptrs).
+template <typename M>
+std::shared_ptr<M> NewMessage() {
+  if constexpr (::sfm::is_sfm_message_v<M>) {
+    return ::sfm::make_message<M>();
+  } else {
+    return std::make_shared<M>();
+  }
+}
+
+/// pub_tum: publishes synthetic TUM-like RGB frames.  Frames are
+/// pre-rendered at construction and replayed in a cycle — like the paper's
+/// pub_tum, which plays back the pre-loaded TUM RGB-D dataset — so the
+/// timed path contains only message construction and transmission.
+template <typename Msgs>
+class TumPublisherNode {
+ public:
+  using Image = typename Msgs::Image;
+
+  TumPublisherNode(uint32_t width, uint32_t height, uint64_t seed = 42,
+                   size_t cache_frames = 16)
+      : generator_(width, height, seed) {
+    cache_.reserve(cache_frames);
+    for (size_t i = 0; i < cache_frames; ++i) {
+      cache_.push_back(generator_.Next());
+    }
+    publisher_ = node_.template advertise<Image>("/camera/image", 10);
+  }
+
+  /// Renders and publishes one frame.  The creation timestamp goes INTO the
+  /// message before the pixels are written, so downstream latencies include
+  /// message construction (the paper's measurement convention, §5.1).
+  void PublishOne() {
+    auto msg = NewMessage<Image>();
+    msg->header.stamp = rsf::Time::Now();
+    msg->header.seq = static_cast<uint32_t>(published_);
+    msg->header.frame_id = "camera";
+    const Frame& frame = cache_[published_ % cache_.size()];
+    msg->height = frame.height;
+    msg->width = frame.width;
+    msg->encoding = "rgb8";
+    msg->step = frame.width * 3;
+    msg->data.resize(frame.rgb.size());
+    std::memcpy(msg->data.data(), frame.rgb.data(), frame.rgb.size());
+    publisher_.publish(*msg);
+    ++published_;
+  }
+
+  [[nodiscard]] size_t NumSubscribers() const {
+    return publisher_.getNumSubscribers();
+  }
+  [[nodiscard]] uint64_t published() const noexcept { return published_; }
+
+ private:
+  ros::NodeHandle node_{"pub_tum"};
+  ros::Publisher publisher_;
+  FrameGenerator generator_;
+  std::vector<Frame> cache_;
+  uint64_t published_ = 0;
+};
+
+/// orb_slam: tracks frames and publishes pose, point cloud, debug image.
+template <typename Msgs>
+class SlamNode {
+ public:
+  using Image = typename Msgs::Image;
+  using PoseStamped = typename Msgs::PoseStamped;
+  using PointCloud2 = typename Msgs::PointCloud2;
+
+  struct Config {
+    OrbSlamLite::Config slam{};
+    /// 3D points emitted per matched feature — the stand-in for the dense
+    /// local map ORB-SLAM publishes (makes /pointcloud large, per §5.3).
+    uint32_t points_per_feature = 64;
+  };
+
+  SlamNode() : SlamNode(Config{}) {}
+  explicit SlamNode(Config config) : config_(config), slam_(config.slam) {
+    pose_pub_ = node_.template advertise<PoseStamped>("/pose", 10);
+    cloud_pub_ = node_.template advertise<PointCloud2>("/pointcloud", 10);
+    debug_pub_ = node_.template advertise<Image>("/debug_image", 10);
+    ros::SubscribeOptions options;
+    options.inline_dispatch = true;  // compute on the receive thread
+    subscriber_ = node_.template subscribe<Image>(
+        "/camera/image", 10,
+        [this](const typename Image::ConstPtr& msg) { OnImage(msg); },
+        options);
+  }
+
+  [[nodiscard]] uint64_t frames() const noexcept {
+    return slam_.frames_processed();
+  }
+  [[nodiscard]] double last_compute_millis() const noexcept {
+    return last_compute_millis_;
+  }
+
+ private:
+  void OnImage(const typename Image::ConstPtr& msg) {
+    const uint32_t width = msg->width;
+    const uint32_t height = msg->height;
+
+    // RGB -> grayscale (scratch buffer, part of the compute cost).
+    gray_.resize(static_cast<size_t>(width) * height);
+    const uint8_t* rgb = msg->data.data();
+    for (size_t i = 0; i < gray_.size(); ++i) {
+      gray_[i] = static_cast<uint8_t>(
+          (rgb[i * 3] * 77 + rgb[i * 3 + 1] * 150 + rgb[i * 3 + 2] * 29) >> 8);
+    }
+
+    const SlamResult result = slam_.ProcessFrame(gray_.data(), width, height);
+    last_compute_millis_ = result.compute_millis;
+
+    PublishPose(msg, result);
+    PublishCloud(msg, result);
+    PublishDebugImage(msg, result);
+  }
+
+  void PublishPose(const typename Image::ConstPtr& in,
+                   const SlamResult& result) {
+    auto pose = NewMessage<PoseStamped>();
+    pose->header.stamp = in->header.stamp;  // carries the source timestamp
+    pose->header.seq = in->header.seq;
+    pose->header.frame_id = "world";
+    pose->pose.position.x = result.pose.x / 100.0;
+    pose->pose.position.y = result.pose.y / 100.0;
+    pose->pose.position.z = 0.0;
+    pose->pose.orientation.z = std::sin(result.pose.yaw / 2.0);
+    pose->pose.orientation.w = std::cos(result.pose.yaw / 2.0);
+    pose_pub_.publish(*pose);
+  }
+
+  void PublishCloud(const typename Image::ConstPtr& in,
+                    const SlamResult& result) {
+    auto cloud = NewMessage<PointCloud2>();
+    cloud->header.stamp = in->header.stamp;
+    cloud->header.seq = in->header.seq;
+    cloud->header.frame_id = "world";
+
+    const uint32_t per = config_.points_per_feature;
+    const auto count =
+        static_cast<uint32_t>(result.matches.size()) * per;
+    cloud->height = 1;
+    cloud->width = count;
+    cloud->is_bigendian = 0;
+    cloud->point_step = 16;  // x y z intensity (float32 each)
+    cloud->row_step = count * 16;
+    cloud->is_dense = 1;
+
+    cloud->fields.resize(4);
+    const char* names[4] = {"x", "y", "z", "intensity"};
+    for (uint32_t f = 0; f < 4; ++f) {
+      cloud->fields[f].name = names[f];
+      cloud->fields[f].offset = f * 4;
+      cloud->fields[f].datatype = 7;  // FLOAT32
+      cloud->fields[f].count = 1;
+    }
+
+    cloud->data.resize(static_cast<size_t>(count) * 16);
+    uint8_t* out = cloud->data.data();
+    for (const Match& match : result.matches) {
+      const Keypoint& kp = result.keypoints[match.query];
+      for (uint32_t p = 0; p < per; ++p) {
+        // Back-project with synthetic depth; jitter per sub-point stands in
+        // for the dense neighbourhood of the map point.
+        const float depth = 1.0f + 0.01f * static_cast<float>(p);
+        const float values[4] = {
+            (static_cast<float>(kp.x) - 320.0f) * depth / 525.0f,
+            (static_cast<float>(kp.y) - 240.0f) * depth / 525.0f, depth,
+            static_cast<float>(match.distance)};
+        std::memcpy(out, values, 16);
+        out += 16;
+      }
+    }
+    cloud_pub_.publish(*cloud);
+  }
+
+  void PublishDebugImage(const typename Image::ConstPtr& in,
+                         const SlamResult& result) {
+    auto debug = NewMessage<Image>();
+    debug->header.stamp = in->header.stamp;
+    debug->header.seq = in->header.seq;
+    debug->header.frame_id = "camera";
+    debug->height = in->height;
+    debug->width = in->width;
+    debug->encoding = "rgb8";
+    debug->step = in->step;
+    debug->data.resize(in->data.size());
+    std::memcpy(debug->data.data(), in->data.data(), in->data.size());
+
+    // Draw green crosses on tracked features.
+    uint8_t* pixels = debug->data.data();
+    const uint32_t width = in->width;
+    for (const Keypoint& kp : result.keypoints) {
+      for (int d = -3; d <= 3; ++d) {
+        const size_t horizontal =
+            (static_cast<size_t>(kp.y) * width + kp.x + d) * 3;
+        const size_t vertical =
+            ((static_cast<size_t>(kp.y) + d) * width + kp.x) * 3;
+        if (horizontal + 2 < debug->data.size()) {
+          pixels[horizontal] = 0;
+          pixels[horizontal + 1] = 255;
+          pixels[horizontal + 2] = 0;
+        }
+        if (vertical + 2 < debug->data.size()) {
+          pixels[vertical] = 0;
+          pixels[vertical + 1] = 255;
+          pixels[vertical + 2] = 0;
+        }
+      }
+    }
+    debug_pub_.publish(*debug);
+  }
+
+  Config config_;
+  ros::NodeHandle node_{"orb_slam"};
+  ros::Publisher pose_pub_;
+  ros::Publisher cloud_pub_;
+  ros::Publisher debug_pub_;
+  ros::Subscriber subscriber_;
+  OrbSlamLite slam_;
+  std::vector<uint8_t> gray_;
+  double last_compute_millis_ = 0;
+};
+
+/// A latency-recording sink for any stamped message type.
+template <typename M>
+class LatencySinkNode {
+ public:
+  LatencySinkNode(const std::string& name, const std::string& topic)
+      : node_(name) {
+    ros::SubscribeOptions options;
+    options.inline_dispatch = true;
+    subscriber_ = node_.template subscribe<M>(
+        topic, 50,
+        [this](const std::shared_ptr<const M>& msg) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          recorder_.AddNanos(rsf::ElapsedSince(msg->header.stamp));
+        },
+        options);
+  }
+
+  [[nodiscard]] uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorder_.count();
+  }
+  [[nodiscard]] rsf::LatencyRecorder snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorder_;
+  }
+
+ private:
+  ros::NodeHandle node_;
+  ros::Subscriber subscriber_;
+  mutable std::mutex mutex_;
+  rsf::LatencyRecorder recorder_;
+};
+
+}  // namespace rsf::slam

@@ -1,0 +1,258 @@
+// Unit tests for the common substrate: status/result, logging, time, MD5,
+// string helpers, statistics, and the concurrent queue.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/clock.h"
+#include "common/concurrent_queue.h"
+#include "common/endian.h"
+#include "common/log.h"
+#include "common/md5.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace rsf {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status status = NotFoundError("missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+
+  Result<int> err = InvalidArgumentError("nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string moved = *std::move(r);
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(Log, SinkCapturesAtOrAboveLevel) {
+  std::vector<std::string> captured;
+  SetLogSink([&](LogLevel, const std::string& msg) {
+    captured.push_back(msg);
+  });
+  const LogLevel previous = SetLogLevel(LogLevel::kWarn);
+  RSF_INFO("hidden %d", 1);
+  RSF_WARN("visible %d", 2);
+  RSF_ERROR("also visible");
+  SetLogLevel(previous);
+  SetLogSink(nullptr);
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], "visible 2");
+}
+
+TEST(Log, ScopedLevelRestores) {
+  const LogLevel before = GetLogLevel();
+  {
+    ScopedLogLevel scoped(LogLevel::kOff);
+    EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+  }
+  EXPECT_EQ(GetLogLevel(), before);
+}
+
+TEST(Clock, TimeRoundTripsNanos) {
+  const Time t = Time::FromNanos(1234567890123456789ull);
+  EXPECT_EQ(t.ToNanos(), 1234567890123456789ull);
+  EXPECT_EQ(t.sec, 1234567890u);
+  EXPECT_EQ(t.nsec, 123456789u);
+}
+
+TEST(Clock, NowIsMonotonicEnough) {
+  const Time a = Time::Now();
+  SleepForNanos(2'000'000);
+  const Time b = Time::Now();
+  EXPECT_LT(a, b);
+  EXPECT_GE(ElapsedSince(a), 1'000'000ull);
+}
+
+TEST(Clock, RatePacesLoop) {
+  Rate rate(200.0);  // 5 ms period
+  const Stopwatch watch;
+  for (int i = 0; i < 5; ++i) rate.Sleep();
+  EXPECT_GE(watch.ElapsedNanos(), 20'000'000ull);  // >= 4 full periods
+}
+
+TEST(Clock, RateReportsOverrun) {
+  Rate rate(1000.0);  // 1 ms
+  SleepForNanos(5'000'000);
+  EXPECT_FALSE(rate.Sleep());  // overran
+  EXPECT_TRUE(rate.Sleep());   // schedule re-anchored
+}
+
+TEST(Md5, Rfc1321TestVectors) {
+  EXPECT_EQ(Md5::HexDigest(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::HexDigest("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::HexDigest("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::HexDigest("message digest"),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::HexDigest("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      Md5::HexDigest("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz01"
+                     "23456789"),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5::HexDigest(std::string(80, '1') /* len > one block */),
+            Md5::HexDigest(std::string(80, '1')));
+}
+
+TEST(Md5, IncrementalMatchesOneShot) {
+  Md5 md5;
+  md5.Update("hello ");
+  md5.Update("world");
+  uint8_t digest[16];
+  md5.Final(digest);
+
+  Md5 oneshot;
+  oneshot.Update("hello world");
+  uint8_t expected[16];
+  oneshot.Final(expected);
+  EXPECT_EQ(std::memcmp(digest, expected, 16), 0);
+}
+
+TEST(Endian, LoadStoreRoundTrip) {
+  uint8_t buffer[8];
+  StoreLE<uint32_t>(buffer, 0xDEADBEEFu);
+  EXPECT_EQ(buffer[0], 0xEF);
+  EXPECT_EQ(LoadLE<uint32_t>(buffer), 0xDEADBEEFu);
+  StoreLE<double>(buffer, 3.25);
+  EXPECT_DOUBLE_EQ(LoadLE<double>(buffer), 3.25);
+}
+
+TEST(Endian, ByteSwap) {
+  EXPECT_EQ(ByteSwap<uint16_t>(0x1234), 0x3412);
+  EXPECT_EQ(ByteSwap<uint32_t>(0x12345678u), 0x78563412u);
+  EXPECT_EQ(ByteSwap<uint64_t>(0x0102030405060708ull), 0x0807060504030201ull);
+}
+
+TEST(StringUtil, SplitAndJoin) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(SplitWhitespace("  a\t b\nc "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Join({"x", "y", "z"}, "::"), "x::y::z");
+}
+
+TEST(StringUtil, StripAndPredicates) {
+  EXPECT_EQ(Strip("  hi \t"), "hi");
+  EXPECT_TRUE(StartsWith("sensor_msgs/Image", "sensor_"));
+  EXPECT_TRUE(EndsWith("Image.msg", ".msg"));
+  EXPECT_TRUE(IsIdentifier("frame_id2"));
+  EXPECT_FALSE(IsIdentifier("2frame"));
+  EXPECT_FALSE(IsIdentifier("a-b"));
+  EXPECT_FALSE(IsIdentifier(""));
+}
+
+TEST(StringUtil, ReplaceAllAndHumanBytes) {
+  EXPECT_EQ(ReplaceAll("a.b.c", ".", "::"), "a::b::c");
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(200 * 1024), "200 KB");
+  EXPECT_EQ(HumanBytes(6 * 1024 * 1024), "6.0 MB");
+}
+
+TEST(Stats, OnlineMeanAndStddev) {
+  OnlineStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(Stats, Percentiles) {
+  LatencyRecorder recorder;
+  for (int i = 1; i <= 100; ++i) recorder.AddMillis(i);
+  EXPECT_NEAR(recorder.Percentile(0.5), 50.5, 0.01);
+  EXPECT_NEAR(recorder.Percentile(0.99), 99.01, 0.1);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(1.0), 100.0);
+}
+
+TEST(ConcurrentQueue, FifoOrder) {
+  ConcurrentQueue<int> queue;
+  queue.Push(1);
+  queue.Push(2);
+  queue.Push(3);
+  EXPECT_EQ(*queue.Pop(), 1);
+  EXPECT_EQ(*queue.Pop(), 2);
+  EXPECT_EQ(*queue.TryPop(), 3);
+  EXPECT_FALSE(queue.TryPop().has_value());
+}
+
+TEST(ConcurrentQueue, DropOldestPolicy) {
+  ConcurrentQueue<int> queue(2, QueueFullPolicy::kDropOldest);
+  queue.Push(1);
+  queue.Push(2);
+  queue.Push(3);  // evicts 1
+  EXPECT_EQ(queue.DroppedCount(), 1u);
+  EXPECT_EQ(*queue.Pop(), 2);
+  EXPECT_EQ(*queue.Pop(), 3);
+}
+
+TEST(ConcurrentQueue, RejectPolicy) {
+  ConcurrentQueue<int> queue(1, QueueFullPolicy::kReject);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_FALSE(queue.Push(2));
+}
+
+TEST(ConcurrentQueue, ShutdownWakesBlockedPop) {
+  ConcurrentQueue<int> queue;
+  std::thread waiter([&] { EXPECT_FALSE(queue.Pop().has_value()); });
+  SleepForNanos(10'000'000);
+  queue.Shutdown();
+  waiter.join();
+  EXPECT_FALSE(queue.Push(5)) << "push after shutdown must fail";
+}
+
+TEST(ConcurrentQueue, PopForTimesOut) {
+  ConcurrentQueue<int> queue;
+  const Stopwatch watch;
+  EXPECT_FALSE(queue.PopFor(20'000'000).has_value());
+  EXPECT_GE(watch.ElapsedNanos(), 15'000'000ull);
+}
+
+TEST(ConcurrentQueue, ConcurrentProducersConsumers) {
+  ConcurrentQueue<int> queue(1024, QueueFullPolicy::kBlock);
+  constexpr int kPerProducer = 500;
+  std::atomic<int> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 3; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) queue.Push(1);
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = queue.Pop()) sum.fetch_add(*v);
+    });
+  }
+  for (int p = 0; p < 3; ++p) threads[p].join();
+  while (!queue.Empty()) SleepForNanos(1'000'000);
+  queue.Shutdown();
+  threads[3].join();
+  threads[4].join();
+  EXPECT_EQ(sum.load(), 3 * kPerProducer);
+}
+
+}  // namespace
+}  // namespace rsf

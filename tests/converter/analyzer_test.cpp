@@ -1,0 +1,403 @@
+// Converter tests: lexer behaviour, assumption checking on the paper's
+// three failure cases (Figs. 19-21), alias/namespace resolution, the
+// Fig. 11 heap rewrite, and the Table 1 corpus reproduction.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "converter/analyzer.h"
+#include "converter/checker.h"
+#include "converter/corpus_synth.h"
+#include "converter/lexer.h"
+#include "converter/rewriter.h"
+#include "idl/parser.h"
+#include "idl/registry.h"
+
+namespace {
+
+using namespace rsf::conv;
+
+/// Registry mirroring the real message set (subset used by the tests).
+const rsf::idl::SpecRegistry& Registry() {
+  static const auto* registry = [] {
+    auto* r = new rsf::idl::SpecRegistry();
+    const auto add = [&](const char* pkg, const char* name, const char* text) {
+      auto spec = rsf::idl::ParseMessage(pkg, name, text);
+      SFM_CHECK(spec.ok());
+      SFM_CHECK(r->Add(*spec).ok());
+    };
+    add("std_msgs", "Header", "uint32 seq\ntime stamp\nstring frame_id\n");
+    add("geometry_msgs", "Point32", "float32 x\nfloat32 y\nfloat32 z\n");
+    add("sensor_msgs", "Image",
+        "Header header\nuint32 height\nuint32 width\nstring encoding\n"
+        "uint8 is_bigendian\nuint32 step\nuint8[] data\n");
+    add("sensor_msgs", "CompressedImage",
+        "Header header\nstring format\nuint8[] data\n");
+    add("sensor_msgs", "ChannelFloat32", "string name\nfloat32[] values\n");
+    add("sensor_msgs", "PointCloud",
+        "Header header\ngeometry_msgs/Point32[] points\n"
+        "ChannelFloat32[] channels\n");
+    add("sensor_msgs", "PointCloud2",
+        "Header header\nuint32 height\nuint32 width\nbool is_bigendian\n"
+        "uint32 point_step\nuint32 row_step\nuint8[] data\nbool is_dense\n");
+    add("sensor_msgs", "LaserScan",
+        "Header header\nfloat32 angle_min\nfloat32 angle_max\n"
+        "float32[] ranges\nfloat32[] intensities\n");
+    add("sensor_msgs", "RegionOfInterest",
+        "uint32 x_offset\nuint32 y_offset\nuint32 height\nuint32 width\n"
+        "bool do_rectify\n");
+    add("stereo_msgs", "DisparityImage",
+        "Header header\nsensor_msgs/Image image\nfloat32 f\nfloat32 T\n"
+        "sensor_msgs/RegionOfInterest valid_window\n");
+    return r;
+  }();
+  return *registry;
+}
+
+const TypeTable& Types() {
+  static const TypeTable table = TypeTable::FromRegistry(Registry());
+  return table;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+// ---------------- lexer ----------------
+
+TEST(Lexer, TokenizesIdentifiersPunctAndStrings) {
+  const auto tokens = Tokenize("img->data.resize(10 * 10 * 3); // px\n");
+  std::vector<std::string> texts;
+  for (const auto& t : tokens) texts.push_back(t.text);
+  const std::vector<std::string> expected = {
+      "img", "->", "data", ".", "resize", "(", "10", "*", "10",
+      "*",   "3",  ")",    ";", ""};
+  EXPECT_EQ(texts, expected);
+}
+
+TEST(Lexer, SkipsCommentsAndPreprocessor) {
+  const auto tokens =
+      Tokenize("#include <x>\n/* block\ncomment */ a // line\nb");
+  ASSERT_EQ(tokens.size(), 3u);  // a, b, EOF
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[1].line, 4);
+}
+
+TEST(Lexer, HandlesStringEscapes) {
+  const auto tokens = Tokenize(R"(s = "a\"b";)");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[2].text, R"("a\"b")");
+}
+
+// ---------------- assumption checking ----------------
+
+TEST(Analyzer, CleanPublisherIsApplicable) {
+  const auto report = AnalyzeSource(R"cpp(
+    #include "sensor_msgs/Image.h"
+    void publish(ros::Publisher& pub) {
+      sensor_msgs::Image img;
+      img.encoding = "rgb8";
+      img.height = 10;
+      img.width = 10;
+      img.data.resize(10 * 10 * 3);
+      pub.publish(img);
+    }
+  )cpp",
+                                    Types());
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_TRUE(report.Uses("sensor_msgs/Image"));
+  EXPECT_TRUE(report.Applicable("sensor_msgs/Image"));
+  ASSERT_EQ(report.stack_decls.size(), 1u);
+  EXPECT_EQ(report.stack_decls[0].variable, "img");
+}
+
+TEST(Analyzer, DirectStringReassignmentIsFlagged) {
+  const auto report = AnalyzeSource(R"cpp(
+    void f() {
+      sensor_msgs::Image img;
+      img.encoding = "rgb8";
+      img.encoding = "mono8";
+    }
+  )cpp",
+                                    Types());
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].kind, FindingKind::kStringReassignment);
+  EXPECT_EQ(report.findings[0].path, "img.encoding");
+  EXPECT_EQ(report.findings[0].message_class, "sensor_msgs/Image");
+}
+
+TEST(Analyzer, DoubleResizeIsFlagged) {
+  const auto report = AnalyzeSource(R"cpp(
+    void f(int n) {
+      sensor_msgs::LaserScan scan;
+      scan.ranges.resize(n);
+      scan.ranges.resize(2 * n);
+    }
+  )cpp",
+                                    Types());
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].kind, FindingKind::kVectorMultiResize);
+}
+
+TEST(Analyzer, ResizeZeroFirstIsExempt) {
+  const auto report = AnalyzeSource(R"cpp(
+    void f(int n) {
+      sensor_msgs::LaserScan scan;
+      scan.ranges.resize(0);
+      scan.ranges.resize(n);
+    }
+  )cpp",
+                                    Types());
+  EXPECT_TRUE(report.findings.empty()) << report.findings[0].note;
+}
+
+TEST(Analyzer, ModifierCallIsFlagged) {
+  const auto report = AnalyzeSource(R"cpp(
+    void f(sensor_msgs::PointCloud& cloud) {
+      geometry_msgs::Point32 pt;
+      cloud.points.push_back(pt);
+    }
+  )cpp",
+                                    Types());
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].kind, FindingKind::kModifierCall);
+  EXPECT_EQ(report.findings[0].message_class, "sensor_msgs/PointCloud");
+}
+
+TEST(Analyzer, UsingNamespaceResolvesBareNames) {
+  const auto report = AnalyzeSource(R"cpp(
+    using namespace sensor_msgs;
+    void f() {
+      Image img;
+      img.encoding = "a";
+      img.encoding = "b";
+    }
+  )cpp",
+                                    Types());
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].message_class, "sensor_msgs/Image");
+}
+
+TEST(Analyzer, TypedefAliasesResolve) {
+  const auto report = AnalyzeSource(R"cpp(
+    typedef sensor_msgs::LaserScan Scan;
+    void f(int n) {
+      Scan s;
+      s.ranges.resize(n);
+      s.ranges.resize(n + 1);
+    }
+  )cpp",
+                                    Types());
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].message_class, "sensor_msgs/LaserScan");
+}
+
+TEST(Analyzer, UsingAliasResolves) {
+  const auto report = AnalyzeSource(R"cpp(
+    using Cloud = sensor_msgs::PointCloud;
+    void f(Cloud& out) {
+      out.points.resize(10);
+    }
+  )cpp",
+                                    Types());
+  // Single resize, but through an output reference parameter: possible
+  // violation, counted as a failure (paper §5.4).
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].kind, FindingKind::kVectorMultiResize);
+}
+
+TEST(Analyzer, NestedStringFieldsAreTracked) {
+  const auto report = AnalyzeSource(R"cpp(
+    void f() {
+      sensor_msgs::Image img;
+      img.header.frame_id = "a";
+      img.header.frame_id = "b";
+    }
+  )cpp",
+                                    Types());
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].path, "img.header.frame_id");
+}
+
+TEST(Analyzer, SubtreeAssignThenFieldWriteIsReassignment) {
+  const auto report = AnalyzeSource(R"cpp(
+    void f(const std_msgs::Header& src) {
+      sensor_msgs::Image img;
+      img.header = src;
+      img.header.frame_id = "patched";
+    }
+  )cpp",
+                                    Types());
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].kind, FindingKind::kStringReassignment);
+}
+
+TEST(Analyzer, ScopeEndsDropVariables) {
+  const auto report = AnalyzeSource(R"cpp(
+    void f() {
+      { sensor_msgs::Image img; img.encoding = "x"; }
+      { sensor_msgs::Image img; img.encoding = "y"; }
+    }
+  )cpp",
+                                    Types());
+  // Distinct scopes: each string assigned once.
+  EXPECT_TRUE(report.findings.empty());
+}
+
+// ---------------- the paper's failure cases ----------------
+
+TEST(Analyzer, PaperFailureCase1HelperThenPatch) {
+  const auto report =
+      AnalyzeSource(ReadFile("corpus/failure_case_1_image_rotate.cpp"),
+                    Types());
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings[0].kind, FindingKind::kStringReassignment);
+  EXPECT_EQ(report.findings[0].path, "out_img.header.frame_id");
+  EXPECT_FALSE(report.Applicable("sensor_msgs/Image"));
+}
+
+TEST(Analyzer, PaperFailureCase1RewrittenIsClean) {
+  const auto report = AnalyzeSource(
+      ReadFile("corpus/failure_case_1_rewritten.cpp"), Types());
+  EXPECT_TRUE(report.findings.empty())
+      << report.findings[0].path << ": " << report.findings[0].note;
+}
+
+TEST(Analyzer, PaperFailureCase2OutputParamResize) {
+  const auto report = AnalyzeSource(
+      ReadFile("corpus/failure_case_2_stereo_processor.cpp"), Types());
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings[0].kind, FindingKind::kVectorMultiResize);
+  EXPECT_EQ(report.findings[0].path, "disparity.image.data");
+  EXPECT_EQ(report.findings[0].message_class, "stereo_msgs/DisparityImage");
+}
+
+TEST(Analyzer, PaperFailureCase3PushBack) {
+  const auto report = AnalyzeSource(
+      ReadFile("corpus/failure_case_3_point_cloud.cpp"), Types());
+  ASSERT_FALSE(report.findings.empty());
+  bool has_modifier = false;
+  for (const auto& finding : report.findings) {
+    if (finding.kind == FindingKind::kModifierCall) has_modifier = true;
+    // resize(0) must NOT be flagged.
+    EXPECT_NE(finding.kind, FindingKind::kVectorMultiResize)
+        << finding.path;
+  }
+  EXPECT_TRUE(has_modifier);
+}
+
+TEST(Analyzer, PaperFailureCase3RewrittenIsClean) {
+  const auto report = AnalyzeSource(
+      ReadFile("corpus/failure_case_3_rewritten.cpp"), Types());
+  EXPECT_TRUE(report.findings.empty())
+      << report.findings[0].path << ": " << report.findings[0].note;
+}
+
+// ---------------- the Fig. 11 rewrite ----------------
+
+TEST(Rewriter, ConvertsStackDeclarationToHeap) {
+  const std::string source = R"cpp(
+void f(ros::Publisher& pub) {
+  sensor_msgs::Image img;
+  img.encoding = "8UC3";
+  img.height = 10;
+  img.data.resize(10 * 10 * 3);
+  pub.publish(img);
+}
+)cpp";
+  const auto report = AnalyzeSource(source, Types());
+  ASSERT_EQ(report.stack_decls.size(), 1u);
+
+  const auto result = RewriteStackDeclarations(source, report);
+  EXPECT_EQ(result.rewritten, 1u);
+  EXPECT_NE(result.source.find("std::shared_ptr<sensor_msgs::Image> "
+                               "ptmp_img(new sensor_msgs::Image);"),
+            std::string::npos);
+  EXPECT_NE(result.source.find("sensor_msgs::Image & img = *ptmp_img;"),
+            std::string::npos);
+  // The following statements are untouched.
+  EXPECT_NE(result.source.find("img.encoding = \"8UC3\";"), std::string::npos);
+}
+
+TEST(Rewriter, IsIdempotent) {
+  const std::string source = "void f() { sensor_msgs::Image img; }";
+  const auto once =
+      RewriteStackDeclarations(source, AnalyzeSource(source, Types()));
+  const auto twice = RewriteStackDeclarations(
+      once.source, AnalyzeSource(once.source, Types()));
+  EXPECT_EQ(twice.rewritten, 0u);
+  EXPECT_EQ(twice.source, once.source);
+}
+
+TEST(Rewriter, PreservesConstructorArguments) {
+  const std::string source = "void f() { sensor_msgs::Image img(make()); }";
+  const auto report = AnalyzeSource(source, Types());
+  ASSERT_EQ(report.stack_decls.size(), 1u);
+  const auto result = RewriteStackDeclarations(source, report);
+  EXPECT_NE(result.source.find("new sensor_msgs::Image(make())"),
+            std::string::npos);
+}
+
+TEST(Rewriter, RewritesMultipleDeclarations) {
+  const std::string source = R"cpp(
+void f() {
+  sensor_msgs::Image a;
+  sensor_msgs::PointCloud b;
+}
+)cpp";
+  const auto result =
+      RewriteStackDeclarations(source, AnalyzeSource(source, Types()));
+  EXPECT_EQ(result.rewritten, 2u);
+  EXPECT_NE(result.source.find("ptmp_a"), std::string::npos);
+  EXPECT_NE(result.source.find("ptmp_b"), std::string::npos);
+}
+
+// ---------------- Table 1 reproduction ----------------
+
+TEST(Table1, SynthesizedCorpusReproducesPaperCounts) {
+  const std::string dir = "synth_corpus_test";
+  ASSERT_TRUE(SynthesizeCorpus(dir).ok());
+
+  auto reports = AnalyzeDirectory(dir, Types());
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(reports->size(), 103u);  // 49+7+14+15+18
+
+  const auto rows = AggregateTable(
+      *reports, {"sensor_msgs/Image", "sensor_msgs/CompressedImage",
+                 "sensor_msgs/PointCloud", "sensor_msgs/PointCloud2",
+                 "sensor_msgs/LaserScan"});
+  const auto expected = Table1Expected();
+  ASSERT_EQ(rows.size(), expected.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].message_class, expected[i].message_class);
+    EXPECT_EQ(rows[i].total, expected[i].total) << rows[i].message_class;
+    EXPECT_EQ(rows[i].applicable, expected[i].applicable)
+        << rows[i].message_class;
+    EXPECT_EQ(rows[i].string_reassignment, expected[i].string_reassignment)
+        << rows[i].message_class;
+    EXPECT_EQ(rows[i].vector_multi_resize, expected[i].vector_multi_resize)
+        << rows[i].message_class;
+    EXPECT_EQ(rows[i].other_methods, expected[i].other_methods)
+        << rows[i].message_class;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Table1, HandWrittenCorpusVerdicts) {
+  auto reports = AnalyzeDirectory("corpus", Types());
+  ASSERT_TRUE(reports.ok());
+  EXPECT_GE(reports->size(), 7u);
+
+  size_t failures = 0;
+  for (const auto& [file, report] : *reports) {
+    if (!report.findings.empty()) ++failures;
+  }
+  EXPECT_EQ(failures, 3u);  // exactly the three paper failure cases
+}
+
+}  // namespace

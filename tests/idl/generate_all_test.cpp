@@ -1,0 +1,98 @@
+// Tests for the full-tree generation path (what the build-time sfmgen run
+// does): directory loading, output layout, and rewrite-only-when-changed.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "gen/emitter.h"
+#include "idl/parser.h"
+#include "idl/registry.h"
+
+namespace {
+namespace fs = std::filesystem;
+
+class GenerateAllTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) / "genall";
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "msgs" / "demo_msgs");
+    Write("msgs/demo_msgs/Header.msg",
+          "uint32 seq\ntime stamp\nstring frame_id\n");
+    Write("msgs/demo_msgs/Scan.msg",
+          "# @arena_capacity: 128K\nHeader header\nfloat32[] ranges\n");
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void Write(const std::string& relative, const std::string& content) {
+    std::ofstream out(root_ / relative);
+    out << content;
+  }
+
+  std::string Read(const std::string& relative) {
+    std::ifstream in(root_ / relative);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  fs::path root_;
+};
+
+TEST_F(GenerateAllTest, EmitsBothVariantsForEveryMessage) {
+  rsf::idl::SpecRegistry registry;
+  // Note: bare "Header" in Scan.msg resolves to std_msgs/Header (the ROS1
+  // special case), which is absent here — provide it.
+  Write("msgs/demo_msgs/Scan.msg",
+        "# @arena_capacity: 128K\ndemo_msgs/Header header\n"
+        "float32[] ranges\n");
+  ASSERT_TRUE(registry.LoadDirectory((root_ / "msgs").string()).ok());
+  ASSERT_TRUE(
+      rsf::gen::GenerateAll(registry, (root_ / "out").string()).ok());
+
+  EXPECT_TRUE(fs::exists(root_ / "out" / "demo_msgs" / "Header.h"));
+  EXPECT_TRUE(fs::exists(root_ / "out" / "demo_msgs" / "Scan.h"));
+  EXPECT_TRUE(fs::exists(root_ / "out" / "demo_msgs" / "sfm" / "Header.h"));
+  EXPECT_TRUE(fs::exists(root_ / "out" / "demo_msgs" / "sfm" / "Scan.h"));
+
+  const std::string sfm_scan = Read("out/demo_msgs/sfm/Scan.h");
+  EXPECT_NE(sfm_scan.find("kArenaCapacity = 131072"), std::string::npos);
+  EXPECT_NE(sfm_scan.find("::demo_msgs::sfm::Header header{};"),
+            std::string::npos);
+}
+
+TEST_F(GenerateAllTest, UnchangedFilesKeepTheirTimestamp) {
+  rsf::idl::SpecRegistry registry;
+  Write("msgs/demo_msgs/Scan.msg", "demo_msgs/Header header\n");
+  ASSERT_TRUE(registry.LoadDirectory((root_ / "msgs").string()).ok());
+  const std::string out_dir = (root_ / "out").string();
+  ASSERT_TRUE(rsf::gen::GenerateAll(registry, out_dir).ok());
+
+  const auto path = root_ / "out" / "demo_msgs" / "Header.h";
+  const auto first_write = fs::last_write_time(path);
+  ASSERT_TRUE(rsf::gen::GenerateAll(registry, out_dir).ok());
+  EXPECT_EQ(fs::last_write_time(path), first_write)
+      << "unchanged content must not be rewritten (ninja hygiene)";
+}
+
+TEST_F(GenerateAllTest, DanglingReferenceFailsLoudly) {
+  rsf::idl::SpecRegistry registry;
+  Write("msgs/demo_msgs/Bad.msg", "other_msgs/Missing field\n");
+  ASSERT_TRUE(registry.LoadDirectory((root_ / "msgs").string()).ok());
+  EXPECT_FALSE(
+      rsf::gen::GenerateAll(registry, (root_ / "out").string()).ok());
+}
+
+TEST_F(GenerateAllTest, LoadDirectoryRejectsMissingDir) {
+  rsf::idl::SpecRegistry registry;
+  EXPECT_EQ(registry.LoadDirectory((root_ / "nope").string()).code(),
+            rsf::StatusCode::kNotFound);
+}
+
+TEST_F(GenerateAllTest, LoadDirectoryRejectsBadIdl) {
+  rsf::idl::SpecRegistry registry;
+  Write("msgs/demo_msgs/Broken.msg", "uint32\n");
+  EXPECT_FALSE(registry.LoadDirectory((root_ / "msgs").string()).ok());
+}
+
+}  // namespace

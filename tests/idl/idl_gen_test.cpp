@@ -1,0 +1,232 @@
+// Tests for the IDL parser, the spec registry (dependencies, MD5
+// checksums), and the code generators (skeleton layout, emitted headers).
+#include <gtest/gtest.h>
+
+#include "gen/emitter.h"
+#include "gen/layout.h"
+#include "idl/parser.h"
+#include "idl/registry.h"
+
+namespace {
+
+using namespace rsf::idl;
+
+TEST(Parser, FieldsOfEveryShape) {
+  const auto spec = ParseMessage("pkg", "Msg", R"(
+# a comment
+uint32 plain
+string name
+float64[] dynamic
+int16[4] fixed
+Header header
+geometry_msgs/Point point
+)");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->fields.size(), 6u);
+
+  EXPECT_EQ(spec->fields[0].type.ToIdl(), "uint32");
+  EXPECT_EQ(spec->fields[1].type.primitive, Primitive::kString);
+  EXPECT_EQ(spec->fields[2].type.array, ArrayKind::kDynamic);
+  EXPECT_EQ(spec->fields[3].type.array, ArrayKind::kFixed);
+  EXPECT_EQ(spec->fields[3].type.fixed_size, 4u);
+  // Bare Header is the ROS1 special case.
+  EXPECT_EQ(spec->fields[4].type.MessageKey(), "std_msgs/Header");
+  EXPECT_EQ(spec->fields[5].type.MessageKey(), "geometry_msgs/Point");
+}
+
+TEST(Parser, BareTypeResolvesToSamePackage) {
+  const auto spec = ParseMessage("sensor_msgs", "PointCloud",
+                                 "ChannelFloat32[] channels\n");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->fields[0].type.MessageKey(), "sensor_msgs/ChannelFloat32");
+}
+
+TEST(Parser, ByteAndCharAliases) {
+  const auto spec = ParseMessage("p", "M", "byte b\nchar c\n");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->fields[0].type.primitive, Primitive::kInt8);
+  EXPECT_EQ(spec->fields[1].type.primitive, Primitive::kUint8);
+}
+
+TEST(Parser, Constants) {
+  const auto spec = ParseMessage("p", "M", R"(
+uint8 FOO=1
+int32 BAR=-7
+string NAME=hello world
+float32 RATE=2.5
+uint8 value
+)");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->constants.size(), 4u);
+  EXPECT_EQ(spec->constants[0].name, "FOO");
+  EXPECT_EQ(spec->constants[1].value_text, "-7");
+  EXPECT_EQ(spec->constants[2].value_text, "hello world");
+  ASSERT_EQ(spec->fields.size(), 1u);
+}
+
+TEST(Parser, ArenaCapacityPragma) {
+  const auto spec =
+      ParseMessage("p", "M", "# @arena_capacity: 8M\nuint8[] data\n");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->arena_capacity, 8u * 1024 * 1024);
+}
+
+TEST(Parser, ByteSizeSuffixes) {
+  EXPECT_EQ(*ParseByteSize("4096"), 4096u);
+  EXPECT_EQ(*ParseByteSize("64K"), 64u * 1024);
+  EXPECT_EQ(*ParseByteSize("2M"), 2u * 1024 * 1024);
+  EXPECT_EQ(*ParseByteSize("1G"), 1024u * 1024 * 1024);
+  EXPECT_FALSE(ParseByteSize("12Q").ok());
+  EXPECT_FALSE(ParseByteSize("").ok());
+  EXPECT_FALSE(ParseByteSize("4Kx").ok());
+}
+
+TEST(Parser, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseMessage("p", "M", "uint32\n").ok());
+  EXPECT_FALSE(ParseMessage("p", "M", "uint32 a b\n").ok());
+  EXPECT_FALSE(ParseMessage("p", "M", "uint32[ x\n").ok());
+  EXPECT_FALSE(ParseMessage("p", "M", "uint32[0] x\n").ok());
+  EXPECT_FALSE(ParseMessage("p", "M", "pkg/Type/Extra x\n").ok());
+  EXPECT_FALSE(ParseMessage("bad pkg", "M", "uint32 x\n").ok());
+}
+
+SpecRegistry MakeRegistry() {
+  SpecRegistry registry;
+  SFM_CHECK(registry
+                .Add(*ParseMessage("std_msgs", "Header",
+                                   "uint32 seq\ntime stamp\nstring frame_id\n"))
+                .ok());
+  SFM_CHECK(registry
+                .Add(*ParseMessage("sensor_msgs", "Image",
+                                   "Header header\nuint32 height\n"
+                                   "uint32 width\nstring encoding\n"
+                                   "uint8 is_bigendian\nuint32 step\n"
+                                   "uint8[] data\n"))
+                .ok());
+  return registry;
+}
+
+TEST(Registry, DuplicateRejected) {
+  auto registry = MakeRegistry();
+  EXPECT_EQ(registry.Add(*ParseMessage("std_msgs", "Header", "uint32 seq\n"))
+                .code(),
+            rsf::StatusCode::kAlreadyExists);
+}
+
+TEST(Registry, ValidateCatchesDanglingReference) {
+  SpecRegistry registry;
+  SFM_CHECK(
+      registry.Add(*ParseMessage("a", "M", "b/Missing field\n")).ok());
+  EXPECT_EQ(registry.ValidateReferences().code(),
+            rsf::StatusCode::kNotFound);
+}
+
+TEST(Registry, TopologicalOrderPutsDependenciesFirst) {
+  const auto registry = MakeRegistry();
+  const auto order = registry.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  const auto pos = [&](const std::string& key) {
+    return std::find(order->begin(), order->end(), key) - order->begin();
+  };
+  EXPECT_LT(pos("std_msgs/Header"), pos("sensor_msgs/Image"));
+}
+
+TEST(Registry, Md5MatchesRealRosForKnownTypes) {
+  // Our canonicalization reproduces genmsg's checksums for real ROS1
+  // definitions — verified against the published values.
+  const auto registry = MakeRegistry();
+  EXPECT_EQ(*registry.Md5For("std_msgs/Header"),
+            "2176decaecbce78abc3b96ef049fabed");
+  EXPECT_EQ(*registry.Md5For("sensor_msgs/Image"),
+            "060021388200f6f0f447d0fcd9c64743");
+}
+
+TEST(Registry, Md5ChangesWithDefinition) {
+  SpecRegistry a;
+  SFM_CHECK(a.Add(*ParseMessage("p", "M", "uint32 x\n")).ok());
+  SpecRegistry b;
+  SFM_CHECK(b.Add(*ParseMessage("p", "M", "uint32 y\n")).ok());
+  EXPECT_NE(*a.Md5For("p/M"), *b.Md5For("p/M"));
+}
+
+TEST(Layout, ImageSkeletonMatchesGeneratedStruct) {
+  const auto registry = MakeRegistry();
+  const auto layout = rsf::gen::ComputeSfmLayout(registry, "sensor_msgs/Image");
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->size, 52u);  // asserted against sizeof in sfm tests
+  EXPECT_EQ(layout->align, 4u);
+
+  // Nested header fields are flattened with dotted names.
+  ASSERT_GE(layout->fields.size(), 8u);
+  EXPECT_EQ(layout->fields[0].name, "header.seq");
+  EXPECT_EQ(layout->fields[2].name, "header.frame_id");
+  EXPECT_TRUE(layout->fields[2].variable);
+  EXPECT_EQ(layout->fields[2].offset, 12u);
+}
+
+TEST(Layout, AlignmentPaddingIsModelled) {
+  SpecRegistry registry;
+  SFM_CHECK(registry
+                .Add(*ParseMessage("p", "M",
+                                   "uint8 a\nfloat64 b\nuint8 c\n"))
+                .ok());
+  const auto layout = rsf::gen::ComputeSfmLayout(registry, "p/M");
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->fields[1].offset, 8u);   // b aligned to 8
+  EXPECT_EQ(layout->fields[2].offset, 16u);  // c after b
+  EXPECT_EQ(layout->size, 24u);              // tail padding to align 8
+  EXPECT_EQ(layout->align, 8u);
+}
+
+TEST(Layout, FixedArraysAreInline) {
+  SpecRegistry registry;
+  SFM_CHECK(registry.Add(*ParseMessage("p", "M", "float64[9] K\nuint8 z\n"))
+                .ok());
+  const auto layout = rsf::gen::ComputeSfmLayout(registry, "p/M");
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->fields[0].size, 72u);
+  EXPECT_EQ(layout->fields[1].offset, 72u);
+}
+
+TEST(Emitter, RegularHeaderShape) {
+  const auto registry = MakeRegistry();
+  const auto header = rsf::gen::EmitRegularHeader(registry, "sensor_msgs/Image");
+  ASSERT_TRUE(header.ok());
+  EXPECT_NE(header->find("struct Image {"), std::string::npos);
+  EXPECT_NE(header->find("std::string encoding{};"), std::string::npos);
+  EXPECT_NE(header->find("std::vector<uint8_t> data{};"), std::string::npos);
+  EXPECT_NE(header->find("kIsSfmMessage = false"), std::string::npos);
+  EXPECT_NE(header->find("060021388200f6f0f447d0fcd9c64743"),
+            std::string::npos);
+  EXPECT_NE(header->find("for_each_field"), std::string::npos);
+}
+
+TEST(Emitter, SfmHeaderShape) {
+  const auto registry = MakeRegistry();
+  const auto header = rsf::gen::EmitSfmHeader(registry, "sensor_msgs/Image");
+  ASSERT_TRUE(header.ok());
+  EXPECT_NE(header->find("::sfm::ManagedMessage<Image>"), std::string::npos);
+  EXPECT_NE(header->find("::sfm::string encoding{};"), std::string::npos);
+  EXPECT_NE(header->find("::sfm::vector<uint8_t> data{};"), std::string::npos);
+  EXPECT_NE(header->find("TryWholeCopy"), std::string::npos);
+  EXPECT_NE(header->find("static_assert(sizeof(Image) == 52"),
+            std::string::npos);
+  EXPECT_NE(header->find("kArenaCapacity"), std::string::npos);
+}
+
+TEST(Emitter, ConstantsAreEmitted) {
+  SpecRegistry registry;
+  SFM_CHECK(registry
+                .Add(*ParseMessage("p", "M",
+                                   "uint8 FLOAT32=7\nstring NAME=abc\n"
+                                   "uint32 v\n"))
+                .ok());
+  const auto header = rsf::gen::EmitRegularHeader(registry, "p/M");
+  ASSERT_TRUE(header.ok());
+  EXPECT_NE(header->find("static constexpr uint8_t FLOAT32 = 7;"),
+            std::string::npos);
+  EXPECT_NE(header->find("static constexpr const char* NAME = \"abc\";"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Tests for the network substrate: RAII sockets, framing (including the
+// allocator hook the serialization-free receive path depends on), and the
+// simulated link model used by the inter-machine experiment.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/endian.h"
+#include "net/framing.h"
+#include "net/sim_link.h"
+#include "net/socket.h"
+
+namespace rsf::net {
+namespace {
+
+std::pair<TcpConnection, TcpConnection> MakePair() {
+  auto listener = TcpListener::Listen(0);
+  SFM_CHECK(listener.ok());
+  TcpConnection server;
+  std::thread acceptor([&] {
+    auto conn = listener->Accept();
+    SFM_CHECK(conn.ok());
+    server = *std::move(conn);
+  });
+  auto client = TcpConnection::Connect("127.0.0.1", listener->port());
+  SFM_CHECK(client.ok());
+  acceptor.join();
+  return {*std::move(client), std::move(server)};
+}
+
+TEST(Socket, ListenerPicksEphemeralPort) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  EXPECT_GT(listener->port(), 0);
+}
+
+TEST(Socket, RoundTripBytes) {
+  auto [client, server] = MakePair();
+  const uint8_t payload[] = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(client.WriteAll(payload).ok());
+  uint8_t received[5] = {};
+  ASSERT_TRUE(server.ReadExact(received).ok());
+  EXPECT_EQ(std::memcmp(payload, received, 5), 0);
+}
+
+TEST(Socket, ReadAfterPeerCloseReportsUnavailable) {
+  auto [client, server] = MakePair();
+  client.Close();
+  uint8_t byte;
+  EXPECT_EQ(server.ReadExact({&byte, 1}).code(), StatusCode::kUnavailable);
+}
+
+TEST(Socket, ShutdownUnblocksReader) {
+  auto [client, server] = MakePair();
+  std::thread reader([&] {
+    uint8_t byte;
+    EXPECT_FALSE(server.ReadExact({&byte, 1}).ok());
+  });
+  SleepForNanos(20'000'000);
+  server.ShutdownBoth();
+  reader.join();
+  (void)client;
+}
+
+TEST(Socket, ConnectToBadAddressFails) {
+  EXPECT_FALSE(TcpConnection::Connect("not-an-ip", 1234).ok());
+}
+
+TEST(Socket, FdGuardMoveSemantics) {
+  FdGuard a(100000);  // not a real fd; never dereferenced before release
+  FdGuard b(std::move(a));
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(b.fd(), 100000);
+  EXPECT_EQ(b.Release(), 100000);
+  EXPECT_FALSE(b.valid());
+}
+
+TEST(Framing, RoundTripSmallAndLarge) {
+  auto [client, server] = MakePair();
+  for (const size_t size : {size_t{0}, size_t{1}, size_t{100000}}) {
+    std::vector<uint8_t> payload(size, 0xAB);
+    std::thread writer(
+        [&] { ASSERT_TRUE(WriteFrame(client, payload).ok()); });
+    std::vector<uint8_t> received;
+    uint32_t length = 0;
+    ASSERT_TRUE(ReadFrame(
+                    server,
+                    [&](uint32_t len) {
+                      received.resize(len == 0 ? 1 : len);
+                      return received.data();
+                    },
+                    &length)
+                    .ok());
+    writer.join();
+    EXPECT_EQ(length, size);
+    if (size > 0) {
+      EXPECT_EQ(received[size - 1], 0xAB);
+    }
+  }
+}
+
+TEST(Framing, ScatteredWriteArrivesAsOneFrame) {
+  auto [client, server] = MakePair();
+  const std::vector<uint8_t> head = {1, 2, 3};
+  const std::vector<uint8_t> body = {4, 5, 6, 7};
+  std::thread writer(
+      [&] { ASSERT_TRUE(WriteFrameScattered(client, head, body).ok()); });
+  std::vector<uint8_t> received(16);
+  uint32_t length = 0;
+  ASSERT_TRUE(
+      ReadFrame(server, [&](uint32_t) { return received.data(); }, &length)
+          .ok());
+  writer.join();
+  ASSERT_EQ(length, 7u);
+  EXPECT_EQ(received[0], 1);
+  EXPECT_EQ(received[6], 7);
+}
+
+TEST(Framing, OversizedLengthRejected) {
+  auto [client, server] = MakePair();
+  uint8_t evil[4];
+  rsf::StoreLE<uint32_t>(evil, kMaxFramePayload + 1);
+  ASSERT_TRUE(client.WriteAll(evil).ok());
+  uint32_t length = 0;
+  EXPECT_EQ(ReadFrame(server, [&](uint32_t) -> uint8_t* { return nullptr; },
+                      &length)
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(Framing, NullAllocatorRejected) {
+  auto [client, server] = MakePair();
+  const std::vector<uint8_t> payload = {1};
+  std::thread writer([&] { (void)WriteFrame(client, payload); });
+  uint32_t length = 0;
+  EXPECT_EQ(ReadFrame(server, [](uint32_t) -> uint8_t* { return nullptr; },
+                      &length)
+                .code(),
+            StatusCode::kResourceExhausted);
+  writer.join();
+}
+
+TEST(SimLink, WireTimeMatchesBandwidth) {
+  SimLink link(LinkConfig{1e9, 0});  // 1 Gbps
+  EXPECT_EQ(link.WireTimeNanos(125), 1000u);        // 1000 bits
+  EXPECT_EQ(link.WireTimeNanos(1250000), 10000000u);  // 10 Mbit -> 10 ms
+  SimLink unshaped(LinkConfig::Loopback());
+  EXPECT_EQ(unshaped.WireTimeNanos(1000000), 0u);
+}
+
+TEST(SimLink, PropagationAddsConstantDelay) {
+  SimLink link(LinkConfig{0, 50'000});
+  EXPECT_EQ(link.DelayFor(100, 1'000'000), 50'000u);
+}
+
+TEST(SimLink, BackToBackFramesQueue) {
+  // Two frames sent at the same instant: the second waits for the first's
+  // wire time (store-and-forward serialization).
+  SimLink link(LinkConfig{1e9, 0});
+  const uint64_t now = 1'000'000'000;
+  const uint64_t first = link.DelayFor(125'000, now);   // 1 ms wire
+  const uint64_t second = link.DelayFor(125'000, now);  // queued behind
+  EXPECT_EQ(first, 1'000'000u);
+  EXPECT_EQ(second, 2'000'000u);
+}
+
+TEST(SimLink, IdleLinkDoesNotAccumulate) {
+  SimLink link(LinkConfig{1e9, 0});
+  (void)link.DelayFor(125'000, 0);
+  // Much later, the link is idle again: only the wire time applies.
+  EXPECT_EQ(link.DelayFor(125'000, 1'000'000'000), 1'000'000u);
+}
+
+TEST(SimLink, TenGigEPresetMatchesPaperTestbed) {
+  const auto config = LinkConfig::TenGigE();
+  SimLink link(config);
+  // A 6MB image on 10 GbE: ~4.8 ms of wire time + 30 us propagation.
+  const uint64_t delay = link.DelayFor(6 * 1024 * 1024, 0);
+  EXPECT_NEAR(static_cast<double>(delay), 5.06e6, 0.2e6);
+}
+
+}  // namespace
+}  // namespace rsf::net

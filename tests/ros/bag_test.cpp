@@ -1,0 +1,241 @@
+// Tests for the bag record/replay subsystem: file format round trips,
+// corruption handling, live recording from regular and SFM topics, and
+// playback into live subscribers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/clock.h"
+#include "ros/bag.h"
+#include "ros/ros.h"
+#include "sensor_msgs/Image.h"
+#include "sensor_msgs/sfm/Image.h"
+#include "std_msgs/String.h"
+
+namespace {
+
+std::string TempBag(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+bool WaitFor(const std::function<bool()>& predicate,
+             uint64_t timeout_nanos = 5'000'000'000ull) {
+  const uint64_t deadline = rsf::MonotonicNanos() + timeout_nanos;
+  while (rsf::MonotonicNanos() < deadline) {
+    if (predicate()) return true;
+    rsf::SleepForNanos(1'000'000);
+  }
+  return predicate();
+}
+
+class BagTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ros::master().Reset(); }
+};
+
+TEST_F(BagTest, WriteReadRoundTrip) {
+  const std::string path = TempBag("roundtrip.bag");
+  {
+    auto writer = ros::BagWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    const uint8_t payload_a[] = {1, 2, 3};
+    const uint8_t payload_b[] = {9};
+    ASSERT_TRUE(writer->Write("/a", "std_msgs/String", "md5a", 100,
+                              payload_a, sizeof(payload_a))
+                    .ok());
+    ASSERT_TRUE(
+        writer->Write("/b", "std_msgs/Int32", "md5b", 200, payload_b, 1)
+            .ok());
+    EXPECT_EQ(writer->record_count(), 2u);
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto reader = ros::BagReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  auto records = reader->ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].topic, "/a");
+  EXPECT_EQ((*records)[0].datatype, "std_msgs/String");
+  EXPECT_EQ((*records)[0].stamp_nanos, 100u);
+  EXPECT_EQ((*records)[0].payload, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ((*records)[1].topic, "/b");
+  EXPECT_EQ((*records)[1].payload, (std::vector<uint8_t>{9}));
+  std::filesystem::remove(path);
+}
+
+TEST_F(BagTest, EmptyBagReadsCleanly) {
+  const std::string path = TempBag("empty.bag");
+  {
+    auto writer = ros::BagWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto reader = ros::BagReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  auto records = reader->ReadAll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+  std::filesystem::remove(path);
+}
+
+TEST_F(BagTest, BadMagicRejected) {
+  const std::string path = TempBag("bogus.bag");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTABAG!";
+  }
+  EXPECT_FALSE(ros::BagReader::Open(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(BagTest, TruncatedRecordReported) {
+  const std::string path = TempBag("truncated.bag");
+  {
+    auto writer = ros::BagWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    const uint8_t payload[64] = {};
+    ASSERT_TRUE(writer->Write("/t", "x/Y", "m", 1, payload, 64).ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  // Chop the tail off.
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 10);
+
+  auto reader = ros::BagReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  const auto record = reader->Next();
+  EXPECT_FALSE(record.ok());
+  EXPECT_NE(record.status().code(), rsf::StatusCode::kNotFound);
+  std::filesystem::remove(path);
+}
+
+TEST_F(BagTest, RecordsLiveRegularTopic) {
+  const std::string path = TempBag("live_regular.bag");
+  {
+    auto writer = ros::BagWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ros::TopicRecorder recorder("/chat", &*writer);
+
+    ros::NodeHandle pub_node("pub");
+    auto pub = pub_node.advertise<std_msgs::String>("/chat", 10);
+    ASSERT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 1; }));
+
+    std_msgs::String msg;
+    for (int i = 0; i < 5; ++i) {
+      msg.data = "utterance " + std::to_string(i);
+      pub.publish(msg);
+    }
+    ASSERT_TRUE(WaitFor([&] { return recorder.recorded() == 5; }));
+    recorder.Shutdown();
+    ASSERT_TRUE(writer->Close().ok());
+  }
+
+  auto reader = ros::BagReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  auto records = reader->ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 5u);
+  EXPECT_EQ((*records)[0].datatype, "std_msgs/String");
+
+  // The payload is the ROS1 wire form; decode the last one.
+  std_msgs::String decoded;
+  ASSERT_TRUE(rsf::ser::ros1::Deserialize((*records)[4].payload.data(),
+                                          (*records)[4].payload.size(),
+                                          decoded)
+                  .ok());
+  EXPECT_EQ(decoded.data, "utterance 4");
+  std::filesystem::remove(path);
+}
+
+TEST_F(BagTest, RecordsSfmTopicVerbatim) {
+  const std::string path = TempBag("live_sfm.bag");
+  using Image = sensor_msgs::sfm::Image;
+  {
+    auto writer = ros::BagWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ros::TopicRecorder recorder("/image_sf", &*writer);
+
+    ros::NodeHandle pub_node("pub");
+    auto pub = pub_node.advertise<Image>("/image_sf", 10);
+    ASSERT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 1; }));
+
+    auto img = sfm::make_message<Image>();
+    img->encoding = "rgb8";
+    img->height = 3;
+    img->width = 3;
+    img->data.resize(27);
+    img->data[26] = 0x42;
+    pub.publish(*img);
+    ASSERT_TRUE(WaitFor([&] { return recorder.recorded() == 1; }));
+    recorder.Shutdown();
+    ASSERT_TRUE(writer->Close().ok());
+  }
+
+  auto reader = ros::BagReader::Open(path);
+  auto records = reader->ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+
+  // The record IS the arena bytes: adopt and read in place.
+  const auto& payload = (*records)[0].payload;
+  auto block = std::make_unique<uint8_t[]>(payload.size());
+  std::memcpy(block.get(), payload.data(), payload.size());
+  const uint8_t* start = sfm::gmm().AdoptReceived(
+      "sensor_msgs/Image", std::move(block), payload.size(), payload.size());
+  auto replayed = sfm::WrapReceived<Image>(start);
+  EXPECT_EQ(replayed->encoding, "rgb8");
+  ASSERT_EQ(replayed->data.size(), 27u);
+  EXPECT_EQ(replayed->data[26], 0x42);
+  std::filesystem::remove(path);
+}
+
+TEST_F(BagTest, PlaybackFeedsLiveSubscribers) {
+  const std::string path = TempBag("playback.bag");
+  // Write a bag by hand with ROS1-serialized Strings.
+  {
+    auto writer = ros::BagWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 3; ++i) {
+      std_msgs::String msg;
+      msg.data = "replay " + std::to_string(i);
+      const auto wire = rsf::ser::ros1::SerializeToVector(msg);
+      ASSERT_TRUE(writer->Write("/replayed", "std_msgs/String",
+                                std_msgs::String::Md5Sum(),
+                                static_cast<uint64_t>(i) * 1000000, wire.data(),
+                                wire.size())
+                      .ok());
+    }
+    ASSERT_TRUE(writer->Close().ok());
+  }
+
+  ros::NodeHandle sub_node("listener");
+  std::atomic<int> got{0};
+  std::string last;
+  std::mutex mutex;
+  ros::SubscribeOptions options;
+  options.inline_dispatch = true;
+  auto sub = sub_node.subscribe<std_msgs::String>(
+      "/replayed", 10,
+      [&](const std_msgs::String::ConstPtr& msg) {
+        std::lock_guard<std::mutex> lock(mutex);
+        last = msg->data;
+        got++;
+      },
+      options);
+
+  const auto published = ros::PlayBag(path);
+  ASSERT_TRUE(published.ok());
+  EXPECT_EQ(*published, 3u);
+  ASSERT_TRUE(WaitFor([&] { return got.load() == 3; }));
+  std::lock_guard<std::mutex> lock(mutex);
+  EXPECT_EQ(last, "replay 2");
+  std::filesystem::remove(path);
+}
+
+TEST_F(BagTest, PlaybackOfMissingFileFails) {
+  EXPECT_FALSE(ros::PlayBag("/nonexistent/zzz.bag").ok());
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Unit tests for the callback queue and publication bookkeeping that the
+// integration tests only exercise indirectly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+#include "ros/callback_queue.h"
+#include "ros/publication.h"
+
+namespace {
+
+TEST(CallbackQueue, SpinOnceRunsInOrder) {
+  ros::CallbackQueue queue;
+  std::vector<int> ran;
+  queue.Enqueue([&] { ran.push_back(1); });
+  queue.Enqueue([&] { ran.push_back(2); });
+  EXPECT_EQ(queue.Pending(), 2u);
+  EXPECT_TRUE(queue.SpinOnce());
+  EXPECT_TRUE(queue.SpinOnce());
+  EXPECT_FALSE(queue.SpinOnce());
+  EXPECT_EQ(ran, (std::vector<int>{1, 2}));
+}
+
+TEST(CallbackQueue, SpinExitsOnShutdown) {
+  ros::CallbackQueue queue;
+  std::atomic<int> ran{0};
+  std::thread spinner([&] { queue.Spin(); });
+  queue.Enqueue([&] { ran++; });
+  const uint64_t deadline = rsf::MonotonicNanos() + 2'000'000'000ull;
+  while (ran.load() == 0 && rsf::MonotonicNanos() < deadline) {
+    rsf::SleepForNanos(100'000);
+  }
+  queue.Shutdown();
+  spinner.join();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(CallbackQueue, SpinOnceForTimesOut) {
+  ros::CallbackQueue queue;
+  const rsf::Stopwatch watch;
+  EXPECT_FALSE(queue.SpinOnceFor(20'000'000));
+  EXPECT_GE(watch.ElapsedNanos(), 15'000'000ull);
+}
+
+TEST(CallbackQueue, CallbacksEnqueuedDuringSpinRun) {
+  ros::CallbackQueue queue;
+  std::vector<int> ran;
+  queue.Enqueue([&] {
+    ran.push_back(1);
+    queue.Enqueue([&] { ran.push_back(2); });
+  });
+  EXPECT_TRUE(queue.SpinOnce());
+  EXPECT_TRUE(queue.SpinOnce());
+  EXPECT_EQ(ran, (std::vector<int>{1, 2}));
+}
+
+TEST(Publication, CreateBindsEphemeralPortAndShutsDownCleanly) {
+  auto publication =
+      ros::Publication::Create("/t", "x/Y", "md5", "unit", 4);
+  ASSERT_TRUE(publication.ok());
+  EXPECT_GT((*publication)->port(), 0);
+  EXPECT_EQ((*publication)->NumSubscribers(), 0u);
+  EXPECT_EQ((*publication)->topic(), "/t");
+  EXPECT_EQ((*publication)->datatype(), "x/Y");
+
+  // Publishing with no links is a no-op, not an error.
+  auto buffer = std::shared_ptr<uint8_t[]>(new uint8_t[4]);
+  (*publication)->Publish(ros::SerializedMessage{std::move(buffer), 4});
+  EXPECT_EQ((*publication)->SentCount(), 0u);
+
+  (*publication)->Shutdown();
+  (*publication)->Shutdown();  // idempotent
+}
+
+}  // namespace

@@ -1,0 +1,357 @@
+// Integration tests for the mini-ROS middleware: the full roscpp-style
+// pub/sub path over loopback TCP, for both regular and serialization-free
+// message variants, plus connection-header and master unit coverage.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+#include "ros/ros.h"
+#include "sensor_msgs/Image.h"
+#include "sensor_msgs/sfm/Image.h"
+#include "std_msgs/Int32.h"
+#include "std_msgs/String.h"
+#include "std_msgs/sfm/String.h"
+
+namespace {
+
+/// Waits until `predicate` holds or the deadline passes; returns its value.
+bool WaitFor(const std::function<bool()>& predicate,
+             uint64_t timeout_nanos = 5'000'000'000ull) {
+  const uint64_t deadline = rsf::MonotonicNanos() + timeout_nanos;
+  while (rsf::MonotonicNanos() < deadline) {
+    if (predicate()) return true;
+    rsf::SleepForNanos(1'000'000);
+  }
+  return predicate();
+}
+
+class MiddlewareTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ros::master().Reset(); }
+};
+
+TEST_F(MiddlewareTest, ConnectionHeaderRoundTrip) {
+  const ros::ConnectionHeader header = {
+      {"topic", "/image"}, {"type", "sensor_msgs/Image"}, {"md5sum", "abc"}};
+  const auto encoded = ros::EncodeConnectionHeader(header);
+  const auto decoded =
+      ros::DecodeConnectionHeader(encoded.data(), encoded.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, header);
+}
+
+TEST_F(MiddlewareTest, ConnectionHeaderRejectsGarbage) {
+  const uint8_t bogus[] = {0xFF, 0xFF, 0xFF, 0xFF, 1, 2};
+  EXPECT_FALSE(ros::DecodeConnectionHeader(bogus, sizeof(bogus)).ok());
+  const uint8_t no_equals[] = {3, 0, 0, 0, 'a', 'b', 'c'};
+  EXPECT_FALSE(ros::DecodeConnectionHeader(no_equals, sizeof(no_equals)).ok());
+}
+
+TEST_F(MiddlewareTest, MasterNotifiesExistingAndNewPublishers) {
+  std::vector<uint16_t> seen;
+  std::mutex mutex;
+
+  ASSERT_TRUE(ros::master()
+                  .RegisterPublisher("/t", "std_msgs/String", "m",
+                                     {"127.0.0.1", 1000, "p1"})
+                  .ok());
+  auto id = ros::master().RegisterSubscriber(
+      "/t", "std_msgs/String", "m", [&](const ros::TopicEndpoint& e) {
+        std::lock_guard<std::mutex> lock(mutex);
+        seen.push_back(e.port);
+      });
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(ros::master()
+                  .RegisterPublisher("/t", "std_msgs/String", "m",
+                                     {"127.0.0.1", 1001, "p2"})
+                  .ok());
+  std::lock_guard<std::mutex> lock(mutex);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 1000);
+  EXPECT_EQ(seen[1], 1001);
+}
+
+TEST_F(MiddlewareTest, MasterRejectsTypeConflicts) {
+  ASSERT_TRUE(ros::master()
+                  .RegisterPublisher("/t", "std_msgs/String", "m1",
+                                     {"127.0.0.1", 1, "p"})
+                  .ok());
+  EXPECT_FALSE(ros::master()
+                   .RegisterPublisher("/t", "std_msgs/Int32", "m2",
+                                      {"127.0.0.1", 2, "q"})
+                   .ok());
+  EXPECT_FALSE(
+      ros::master()
+          .RegisterSubscriber("/t", "std_msgs/String", "other-md5", [](auto&) {})
+          .ok());
+}
+
+TEST_F(MiddlewareTest, RegularStringPubSub) {
+  ros::NodeHandle pub_node("pub");
+  ros::NodeHandle sub_node("sub");
+
+  std::atomic<int> count{0};
+  std::string last;
+  std::mutex mutex;
+
+  auto sub = sub_node.subscribe<std_msgs::String>(
+      "/chatter", 10, [&](const std_msgs::String::ConstPtr& msg) {
+        std::lock_guard<std::mutex> lock(mutex);
+        last = msg->data;
+        count.fetch_add(1);
+      });
+  auto pub = pub_node.advertise<std_msgs::String>("/chatter", 10);
+  ASSERT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 1; }));
+
+  std_msgs::String msg;
+  msg.data = "hello ros-sf";
+  pub.publish(msg);
+
+  ASSERT_TRUE(WaitFor([&] { return sub.receivedCount() >= 1; }));
+  ASSERT_TRUE(sub_node.spinOnceFor(1'000'000'000ull));
+  std::lock_guard<std::mutex> lock(mutex);
+  EXPECT_EQ(last, "hello ros-sf");
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST_F(MiddlewareTest, RegularImagePubSubPreservesPayload) {
+  ros::NodeHandle pub_node("pub");
+  ros::NodeHandle sub_node("sub");
+
+  sensor_msgs::Image::ConstPtr received;
+  auto sub = sub_node.subscribe<sensor_msgs::Image>(
+      "/image", 10,
+      [&](const sensor_msgs::Image::ConstPtr& msg) { received = msg; });
+  auto pub = pub_node.advertise<sensor_msgs::Image>("/image", 10);
+  ASSERT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 1; }));
+
+  sensor_msgs::Image img;
+  img.header.frame_id = "cam";
+  img.height = 4;
+  img.width = 4;
+  img.encoding = "rgb8";
+  img.data.resize(48);
+  img.data[47] = 0x42;
+  pub.publish(img);
+
+  ASSERT_TRUE(WaitFor([&] { return sub.receivedCount() >= 1; }));
+  ASSERT_TRUE(sub_node.spinOnceFor(1'000'000'000ull));
+  ASSERT_NE(received, nullptr);
+  EXPECT_EQ(received->header.frame_id, "cam");
+  EXPECT_EQ(received->encoding, "rgb8");
+  ASSERT_EQ(received->data.size(), 48u);
+  EXPECT_EQ(received->data[47], 0x42);
+}
+
+TEST_F(MiddlewareTest, SfmImagePubSubIsSerializationFree) {
+  ros::NodeHandle pub_node("pub");
+  ros::NodeHandle sub_node("sub");
+  using Image = sensor_msgs::sfm::Image;
+
+  Image::ConstPtr received;
+  auto sub = sub_node.subscribe<Image>(
+      "/image_sf", 10, [&](const Image::ConstPtr& msg) { received = msg; });
+  auto pub = pub_node.advertise<Image>("/image_sf", 10);
+  ASSERT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 1; }));
+
+  auto img = sfm::make_message<Image>();
+  img->header.frame_id = "cam";
+  img->header.stamp = rsf::Time::Now();
+  img->height = 2;
+  img->width = 2;
+  img->encoding = "rgb8";
+  img->data.resize(12);
+  img->data[11] = 0x99;
+  pub.publish(*img);
+
+  ASSERT_TRUE(WaitFor([&] { return sub.receivedCount() >= 1; }));
+  ASSERT_TRUE(sub_node.spinOnceFor(1'000'000'000ull));
+  ASSERT_NE(received, nullptr);
+  EXPECT_EQ(received->header.frame_id, "cam");
+  EXPECT_EQ(received->encoding, "rgb8");
+  ASSERT_EQ(received->data.size(), 12u);
+  EXPECT_EQ(received->data[11], 0x99);
+
+  // Publisher-side message can die first; the received arena is its own.
+  img.reset();
+  EXPECT_EQ(received->data[11], 0x99);
+  received.reset();
+}
+
+TEST_F(MiddlewareTest, SfmAndRegularVariantsCannotMix) {
+  ros::NodeHandle pub_node("pub");
+  ros::NodeHandle sub_node("sub");
+
+  auto pub = pub_node.advertise<sensor_msgs::Image>("/mixed", 10);
+  // The SFM variant negotiates a marked checksum; the master refuses it.
+  EXPECT_THROW(sub_node.subscribe<sensor_msgs::sfm::Image>(
+                   "/mixed", 10,
+                   [](const sensor_msgs::sfm::Image::ConstPtr&) {}),
+               std::runtime_error);
+}
+
+TEST_F(MiddlewareTest, MultipleSubscribersEachGetEveryMessage) {
+  ros::NodeHandle pub_node("pub");
+  ros::NodeHandle sub_node_a("sub_a");
+  ros::NodeHandle sub_node_b("sub_b");
+
+  std::atomic<int> got_a{0};
+  std::atomic<int> got_b{0};
+  auto sub_a = sub_node_a.subscribe<std_msgs::String>(
+      "/fan", 10, [&](const std_msgs::String::ConstPtr&) { got_a++; });
+  auto sub_b = sub_node_b.subscribe<std_msgs::String>(
+      "/fan", 10, [&](const std_msgs::String::ConstPtr&) { got_b++; });
+  auto pub = pub_node.advertise<std_msgs::String>("/fan", 10);
+  ASSERT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 2; }));
+
+  std_msgs::String msg;
+  msg.data = "x";
+  for (int i = 0; i < 5; ++i) pub.publish(msg);
+
+  ASSERT_TRUE(WaitFor([&] {
+    return sub_a.receivedCount() >= 5 && sub_b.receivedCount() >= 5;
+  }));
+  while (sub_node_a.spinOnce()) {}
+  while (sub_node_b.spinOnce()) {}
+  EXPECT_EQ(got_a.load(), 5);
+  EXPECT_EQ(got_b.load(), 5);
+}
+
+TEST_F(MiddlewareTest, LateSubscriberConnectsToExistingPublisher) {
+  ros::NodeHandle pub_node("pub");
+  auto pub = pub_node.advertise<std_msgs::String>("/late", 10);
+
+  ros::NodeHandle sub_node("sub");
+  std::atomic<int> got{0};
+  auto sub = sub_node.subscribe<std_msgs::String>(
+      "/late", 10, [&](const std_msgs::String::ConstPtr&) { got++; });
+  ASSERT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 1; }));
+
+  std_msgs::String msg;
+  msg.data = "late";
+  pub.publish(msg);
+  ASSERT_TRUE(WaitFor([&] { return sub.receivedCount() >= 1; }));
+}
+
+TEST_F(MiddlewareTest, QueueOverflowDropsOldest) {
+  ros::NodeHandle pub_node("pub");
+  ros::NodeHandle sub_node("sub");
+
+  std::vector<int> seen;
+  auto sub = sub_node.subscribe<std_msgs::Int32>(
+      "/burst", 2,
+      [&](const std_msgs::Int32::ConstPtr& m) { seen.push_back(m->data); });
+  auto pub = pub_node.advertise<std_msgs::Int32>("/burst", 100);
+  ASSERT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 1; }));
+
+  // Burst without spinning: the 2-deep pending queue keeps only the tail.
+  for (int i = 0; i < 50; ++i) {
+    std_msgs::Int32 msg;
+    msg.data = i;
+    pub.publish(msg);
+  }
+  ASSERT_TRUE(WaitFor([&] { return sub.receivedCount() >= 50; }));
+  while (sub_node.spinOnce()) {}
+  ASSERT_LE(seen.size(), 2u);
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.back(), 49);  // newest survives
+  EXPECT_GT(sub.getTopic(), "");
+}
+
+TEST_F(MiddlewareTest, InlineDispatchSkipsTheCallbackQueue) {
+  ros::NodeHandle pub_node("pub");
+  ros::NodeHandle sub_node("sub");
+
+  std::atomic<int> got{0};
+  ros::SubscribeOptions options;
+  options.inline_dispatch = true;
+  auto sub = sub_node.subscribe<std_msgs::String>(
+      "/inline", 10, [&](const std_msgs::String::ConstPtr&) { got++; },
+      options);
+  auto pub = pub_node.advertise<std_msgs::String>("/inline", 10);
+  ASSERT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 1; }));
+
+  std_msgs::String msg;
+  msg.data = "no spin needed";
+  pub.publish(msg);
+  ASSERT_TRUE(WaitFor([&] { return got.load() == 1; }));
+}
+
+TEST_F(MiddlewareTest, SimulatedLinkAddsWireDelay) {
+  ros::NodeHandle pub_node("pub");
+  ros::NodeHandle sub_node("sub");
+  using Image = sensor_msgs::Image;
+
+  std::atomic<uint64_t> latency_nanos{0};
+  ros::SubscribeOptions options;
+  options.inline_dispatch = true;
+  options.link = rsf::net::LinkConfig{8e6, 0};  // 8 Mbit/s: 1 ms per KB
+  auto sub = sub_node.subscribe<Image>(
+      "/slow", 10,
+      [&](const Image::ConstPtr& msg) {
+        latency_nanos.store(rsf::ElapsedSince(msg->header.stamp));
+      },
+      options);
+  auto pub = pub_node.advertise<Image>("/slow", 10);
+  ASSERT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 1; }));
+
+  Image img;
+  img.data.resize(10 * 1024);  // 10 KB -> ~10 ms of simulated wire time
+  img.header.stamp = rsf::Time::Now();
+  pub.publish(img);
+
+  ASSERT_TRUE(WaitFor([&] { return latency_nanos.load() > 0; }));
+  EXPECT_GE(latency_nanos.load(), 9'000'000ull);
+}
+
+TEST_F(MiddlewareTest, PublisherSurvivesSubscriberDisappearing) {
+  ros::NodeHandle pub_node("pub");
+  auto pub = pub_node.advertise<std_msgs::String>("/flaky", 10);
+  {
+    ros::NodeHandle sub_node("sub");
+    auto sub = sub_node.subscribe<std_msgs::String>(
+        "/flaky", 10, [](const std_msgs::String::ConstPtr&) {});
+    ASSERT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 1; }));
+    sub.shutdown();
+  }
+  // Publishing into the dead link must cull it, not crash.
+  std_msgs::String msg;
+  msg.data = "anyone there?";
+  for (int i = 0; i < 3; ++i) {
+    pub.publish(msg);
+    rsf::SleepForNanos(10'000'000);
+  }
+  EXPECT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 0; }));
+}
+
+TEST_F(MiddlewareTest, SfmArenaIsReclaimedAfterDelivery) {
+  const size_t live_before = sfm::gmm().LiveCount();
+  {
+    ros::NodeHandle pub_node("pub");
+    ros::NodeHandle sub_node("sub");
+    using Image = sensor_msgs::sfm::Image;
+
+    std::atomic<int> got{0};
+    ros::SubscribeOptions options;
+    options.inline_dispatch = true;
+    auto sub = sub_node.subscribe<Image>(
+        "/leakcheck", 10, [&](const Image::ConstPtr&) { got++; }, options);
+    auto pub = pub_node.advertise<Image>("/leakcheck", 10);
+    ASSERT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 1; }));
+
+    for (int i = 0; i < 10; ++i) {
+      auto img = sfm::make_message<Image>();
+      img->data.resize(1024);
+      pub.publish(*img);
+    }
+    ASSERT_TRUE(WaitFor([&] { return got.load() == 10; }));
+  }
+  // All publisher arenas and receiver arenas must be gone.
+  EXPECT_TRUE(WaitFor([&] { return sfm::gmm().LiveCount() == live_before; }));
+}
+
+}  // namespace

@@ -1,0 +1,349 @@
+// Tests for the Fig. 14 comparator formats: protobuf_mini, flatbuf_mini,
+// and xcdr2/FlatData — round trips, golden layout shapes matching the
+// paper's Figs. 5 and 6, and builder/view API behaviour.
+#include <gtest/gtest.h>
+
+#include "common/endian.h"
+#include "sensor_msgs/Image.h"
+#include "sensor_msgs/PointCloud.h"
+#include "serialization/flatbuf_mini.h"
+#include "serialization/protobuf_mini.h"
+#include "serialization/ros1.h"
+#include "serialization/xcdr2.h"
+#include "std_msgs/Header.h"
+
+namespace {
+
+sensor_msgs::Image MakeImage(uint32_t h, uint32_t w) {
+  sensor_msgs::Image img;
+  img.header.seq = 11;
+  img.header.frame_id = "cam0";
+  img.height = h;
+  img.width = w;
+  img.encoding = "rgb8";
+  img.step = w * 3;
+  img.data.resize(static_cast<size_t>(h) * w * 3);
+  for (size_t i = 0; i < img.data.size(); ++i) {
+    img.data[i] = static_cast<uint8_t>(i * 7);
+  }
+  return img;
+}
+
+// ---------------- protobuf_mini ----------------
+
+TEST(ProtobufMini, VarintEdgeCases) {
+  using rsf::ser::pb::internal::VarintSize;
+  EXPECT_EQ(VarintSize(0), 1u);
+  EXPECT_EQ(VarintSize(127), 1u);
+  EXPECT_EQ(VarintSize(128), 2u);
+  EXPECT_EQ(VarintSize(16383), 2u);
+  EXPECT_EQ(VarintSize(16384), 3u);
+  EXPECT_EQ(VarintSize(~0ull), 10u);
+}
+
+TEST(ProtobufMini, ImageRoundTrip) {
+  const auto img = MakeImage(16, 16);
+  const auto wire = rsf::ser::pb::Encode(img);
+  EXPECT_EQ(wire.size(), rsf::ser::pb::EncodedSize(img));
+
+  sensor_msgs::Image out;
+  ASSERT_TRUE(rsf::ser::pb::Decode(wire.data(), wire.size(), out).ok());
+  EXPECT_EQ(out.header.frame_id, "cam0");
+  EXPECT_EQ(out.height, 16u);
+  EXPECT_EQ(out.encoding, "rgb8");
+  EXPECT_EQ(out.data, img.data);
+}
+
+TEST(ProtobufMini, NegativeIntsSurviveRoundTrip) {
+  geometry_msgs::Point32 p;  // via PointCloud to get signed-ish floats
+  sensor_msgs::PointCloud cloud;
+  cloud.points.resize(1);
+  cloud.points[0].x = -3.25f;
+  cloud.points[0].y = 1e-9f;
+  const auto wire = rsf::ser::pb::Encode(cloud);
+  sensor_msgs::PointCloud out;
+  ASSERT_TRUE(rsf::ser::pb::Decode(wire.data(), wire.size(), out).ok());
+  EXPECT_FLOAT_EQ(out.points[0].x, -3.25f);
+  EXPECT_FLOAT_EQ(out.points[0].y, 1e-9f);
+  (void)p;
+}
+
+TEST(ProtobufMini, SmallValuesEncodeSmall) {
+  // The prefix-encoding property the paper cites: small ints cost 1 byte.
+  std_msgs::Header header;
+  header.seq = 3;
+  const auto wire = rsf::ser::pb::Encode(header);
+  // tag(1)+varint(1) + tag(1)+fixed64(8) + tag(1)+len(1)+0 bytes = 13
+  EXPECT_EQ(wire.size(), 13u);
+}
+
+TEST(ProtobufMini, RepeatedMessagesRoundTrip) {
+  sensor_msgs::PointCloud cloud;
+  cloud.channels.resize(2);
+  cloud.channels[0].name = "a";
+  cloud.channels[0].values = {1.0f, 2.0f, 3.0f};
+  cloud.channels[1].name = "b";
+  const auto wire = rsf::ser::pb::Encode(cloud);
+  sensor_msgs::PointCloud out;
+  ASSERT_TRUE(rsf::ser::pb::Decode(wire.data(), wire.size(), out).ok());
+  ASSERT_EQ(out.channels.size(), 2u);
+  EXPECT_EQ(out.channels[0].name, "a");
+  ASSERT_EQ(out.channels[0].values.size(), 3u);
+  EXPECT_FLOAT_EQ(out.channels[0].values[2], 3.0f);
+  EXPECT_EQ(out.channels[1].name, "b");
+}
+
+TEST(ProtobufMini, TruncationRejected) {
+  const auto img = MakeImage(4, 4);
+  const auto wire = rsf::ser::pb::Encode(img);
+  sensor_msgs::Image out;
+  EXPECT_FALSE(rsf::ser::pb::Decode(wire.data(), wire.size() / 2, out).ok());
+}
+
+// ---------------- flatbuf_mini ----------------
+
+TEST(FlatbufMini, BuilderApiMatchesPaperProgramPattern) {
+  // The Fig. 4-style builder flow for the simplified Image of Fig. 1.
+  namespace fb = rsf::ser::fb;
+  fb::Builder builder;
+  const fb::Ref encoding = builder.CreateString("rgb8");
+  auto [data_ref, pixels] = builder.CreateUninitializedVector<uint8_t>(300);
+  for (int i = 0; i < 300; ++i) pixels[i] = static_cast<uint8_t>(i);
+
+  builder.StartTable(4);
+  builder.AddRef(0, encoding);
+  builder.AddScalar<uint32_t>(1, 10);  // height
+  builder.AddScalar<uint32_t>(2, 10);  // width
+  builder.AddRef(3, data_ref);
+  const fb::Ref root = builder.FinishTable();
+  const auto buffer = builder.Finish(root);
+
+  const fb::TableView view = fb::GetRoot(buffer.data(), buffer.size());
+  ASSERT_TRUE(view.valid());
+  EXPECT_EQ(view.GetString(0), "rgb8");
+  EXPECT_EQ(view.GetScalar<uint32_t>(1), 10u);
+  EXPECT_EQ(view.GetScalar<uint32_t>(2), 10u);
+  const auto [data, count] = view.GetVector<uint8_t>(3);
+  ASSERT_EQ(count, 300u);
+  EXPECT_EQ(data[299], static_cast<uint8_t>(299));
+}
+
+TEST(FlatbufMini, LayoutHasVtableAndRootTable) {
+  // Structural golden test against Fig. 6: the buffer leads with the root
+  // table position; the root table's first word locates the vtable, whose
+  // first two u16s are vtable size and table size; per-field offsets follow.
+  namespace fb = rsf::ser::fb;
+  fb::Builder builder;
+  const auto encoding = builder.CreateString("rgb8");
+  builder.StartTable(3);
+  builder.AddRef(0, encoding);
+  builder.AddScalar<uint32_t>(1, 10);
+  builder.AddScalar<uint32_t>(2, 20);
+  const auto root = builder.FinishTable();
+  const auto buffer = builder.Finish(root);
+
+  const auto root_pos = rsf::LoadLE<uint32_t>(buffer.data());
+  ASSERT_LT(root_pos, buffer.size());
+  // The table's first word stores the distance to the vtable (Fig. 6 keeps
+  // the vtable before the table; we emit it after, so the delta is added).
+  const auto vtable_delta = rsf::LoadLE<int32_t>(buffer.data() + root_pos);
+  const uint32_t vtable_pos = root_pos + vtable_delta;
+  ASSERT_LT(vtable_pos, buffer.size());
+
+  const auto vtable_size = rsf::LoadLE<uint16_t>(buffer.data() + vtable_pos);
+  EXPECT_EQ(vtable_size, 4 + 2 * 3);  // header + 3 slots (Fig. 6: 12 for 4)
+  const auto table_size = rsf::LoadLE<uint16_t>(buffer.data() + vtable_pos + 2);
+  EXPECT_GE(table_size, 4 + 4 + 4 + 4);
+
+  // Every slot offset must be non-zero (all fields present) and in-table.
+  for (size_t slot = 0; slot < 3; ++slot) {
+    const auto off =
+        rsf::LoadLE<uint16_t>(buffer.data() + vtable_pos + 4 + 2 * slot);
+    EXPECT_GT(off, 0u);
+    EXPECT_LT(off, table_size);
+  }
+}
+
+TEST(FlatbufMini, AbsentFieldsReadAsDefaults) {
+  namespace fb = rsf::ser::fb;
+  fb::Builder builder;
+  builder.StartTable(3);
+  builder.AddScalar<uint32_t>(1, 77);  // only the middle slot present
+  const auto root = builder.FinishTable();
+  const auto buffer = builder.Finish(root);
+
+  const fb::TableView view = fb::GetRoot(buffer.data(), buffer.size());
+  EXPECT_EQ(view.GetScalar<uint32_t>(0, 5), 5u);  // fallback
+  EXPECT_EQ(view.GetScalar<uint32_t>(1), 77u);
+  EXPECT_EQ(view.GetString(2), "");
+  EXPECT_EQ(view.GetVector<uint8_t>(2).second, 0u);
+}
+
+TEST(FlatbufMini, GenericBridgeRoundTripsFullImage) {
+  const auto img = MakeImage(8, 8);
+  const auto buffer = rsf::ser::fb::BuildFromMessage(img);
+  sensor_msgs::Image out;
+  ASSERT_TRUE(
+      rsf::ser::fb::ReadIntoMessage(buffer.data(), buffer.size(), out).ok());
+  EXPECT_EQ(out.header.frame_id, "cam0");
+  EXPECT_EQ(out.height, 8u);
+  EXPECT_EQ(out.encoding, "rgb8");
+  EXPECT_EQ(out.data, img.data);
+}
+
+TEST(FlatbufMini, GenericBridgeRoundTripsNestedVectors) {
+  sensor_msgs::PointCloud cloud;
+  cloud.header.frame_id = "lidar";
+  cloud.points.resize(5);
+  cloud.points[4].y = 2.5f;
+  cloud.channels.resize(2);
+  cloud.channels[1].name = "ring";
+  cloud.channels[1].values = {7.0f};
+
+  const auto buffer = rsf::ser::fb::BuildFromMessage(cloud);
+  sensor_msgs::PointCloud out;
+  ASSERT_TRUE(
+      rsf::ser::fb::ReadIntoMessage(buffer.data(), buffer.size(), out).ok());
+  ASSERT_EQ(out.points.size(), 5u);
+  EXPECT_FLOAT_EQ(out.points[4].y, 2.5f);
+  ASSERT_EQ(out.channels.size(), 2u);
+  EXPECT_EQ(out.channels[1].name, "ring");
+  ASSERT_EQ(out.channels[1].values.size(), 1u);
+}
+
+// ---------------- xcdr2 / FlatData ----------------
+
+TEST(Xcdr2, EmheaderEncodesKindAndIndex) {
+  using namespace rsf::ser::xcdr2;
+  const uint32_t header = MakeHeader(kVariable, 2);
+  EXPECT_EQ(header, 0x40000002u);  // the exact word of paper Fig. 5
+  EXPECT_EQ(HeaderKind(header), kVariable);
+  EXPECT_EQ(HeaderIndex(header), 2u);
+}
+
+TEST(Xcdr2, SimplifiedImageMatchesFig5Shape) {
+  // Build the paper's running example with member indexes matching Fig. 5
+  // (encoding=2, height=0, width=1, data=3) and check the golden layout.
+  namespace xc = rsf::ser::xcdr2;
+  xc::Builder builder;
+  builder.AddString(2, "rgb8");
+  builder.AddScalar<uint32_t>(0, 10);
+  builder.AddScalar<uint32_t>(1, 10);
+  std::vector<uint8_t> pixels(300, 0xAA);
+  builder.AddVector(3, pixels.data(), pixels.size());
+  const auto buffer = builder.Finish();
+
+  // Fig. 5 totals: 0x28 of headers/values + 300 data bytes = 0x154.
+  EXPECT_EQ(buffer.size(), 0x154u);
+  EXPECT_EQ(rsf::LoadLE<uint32_t>(buffer.data() + 0x0000), 0x40000002u);
+  EXPECT_EQ(rsf::LoadLE<uint32_t>(buffer.data() + 0x0004), 8u);  // padded len
+  EXPECT_EQ(std::memcmp(buffer.data() + 0x0008, "rgb8\0\0\0\0", 8), 0);
+  EXPECT_EQ(rsf::LoadLE<uint32_t>(buffer.data() + 0x0010), 0x20000000u);
+  EXPECT_EQ(rsf::LoadLE<uint32_t>(buffer.data() + 0x0014), 10u);
+  EXPECT_EQ(rsf::LoadLE<uint32_t>(buffer.data() + 0x0018), 0x20000001u);
+  EXPECT_EQ(rsf::LoadLE<uint32_t>(buffer.data() + 0x001c), 10u);
+  EXPECT_EQ(rsf::LoadLE<uint32_t>(buffer.data() + 0x0020), 0x40000003u);
+  EXPECT_EQ(rsf::LoadLE<uint32_t>(buffer.data() + 0x0024), 300u);
+}
+
+TEST(Xcdr2, ViewScansForMembersByIndex) {
+  namespace xc = rsf::ser::xcdr2;
+  xc::Builder builder;
+  builder.AddString(2, "rgb8");
+  builder.AddScalar<uint32_t>(0, 10);
+  builder.AddScalar<uint32_t>(1, 20);
+  std::vector<uint8_t> pixels = {1, 2, 3};
+  builder.AddVector(3, pixels.data(), pixels.size());
+  const auto buffer = builder.Finish();
+
+  const xc::View view(buffer.data(), buffer.size());
+  EXPECT_EQ(view.GetScalar<uint32_t>(0), 10u);
+  EXPECT_EQ(view.GetScalar<uint32_t>(1), 20u);
+  EXPECT_EQ(view.GetString(2), "rgb8");
+  const auto [data, count] = view.GetVector<uint8_t>(3);
+  ASSERT_EQ(count, 3u);
+  EXPECT_EQ(data[2], 3);
+  EXPECT_EQ(view.GetScalar<uint32_t>(9, 123), 123u);  // absent -> fallback
+}
+
+TEST(Xcdr2, FullImageRoundTrip) {
+  const auto img = MakeImage(8, 8);
+  const auto wire = rsf::ser::xcdr2::Serialize(img);
+  sensor_msgs::Image out;
+  ASSERT_TRUE(
+      rsf::ser::xcdr2::Deserialize(wire.data(), wire.size(), out).ok());
+  EXPECT_EQ(out.header.frame_id, "cam0");
+  EXPECT_EQ(out.encoding, "rgb8");
+  EXPECT_EQ(out.data, img.data);
+}
+
+TEST(Xcdr2, NestedMessageVectorsRoundTrip) {
+  sensor_msgs::PointCloud cloud;
+  cloud.points.resize(2);
+  cloud.points[0].x = 9.0f;
+  cloud.channels.resize(1);
+  cloud.channels[0].name = "i";
+  cloud.channels[0].values = {4.0f, 5.0f};
+  const auto wire = rsf::ser::xcdr2::Serialize(cloud);
+  sensor_msgs::PointCloud out;
+  ASSERT_TRUE(
+      rsf::ser::xcdr2::Deserialize(wire.data(), wire.size(), out).ok());
+  EXPECT_FLOAT_EQ(out.points[0].x, 9.0f);
+  ASSERT_EQ(out.channels[0].values.size(), 2u);
+  EXPECT_FLOAT_EQ(out.channels[0].values[1], 5.0f);
+}
+
+TEST(Xcdr2, UninitializedVectorWritesInPlace) {
+  // FlatData idiom: produce pixel content directly in the wire buffer.
+  namespace xc = rsf::ser::xcdr2;
+  xc::Builder builder;
+  uint8_t* pixels = builder.AddUninitializedVector<uint8_t>(0, 64);
+  for (int i = 0; i < 64; ++i) pixels[i] = static_cast<uint8_t>(64 - i);
+  const auto buffer = builder.Finish();
+  const xc::View view(buffer.data(), buffer.size());
+  const auto [data, count] = view.GetVector<uint8_t>(0);
+  ASSERT_EQ(count, 64u);
+  EXPECT_EQ(data[0], 64);
+  EXPECT_EQ(data[63], 1);
+}
+
+// ---------------- cross-format equivalence ----------------
+
+class AllFormatsRoundTrip : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(AllFormatsRoundTrip, ImagePayloadSurvivesEveryFormat) {
+  const uint32_t side = GetParam();
+  const auto img = MakeImage(side, side);
+
+  {
+    const auto wire = rsf::ser::ros1::SerializeToVector(img);
+    sensor_msgs::Image out;
+    ASSERT_TRUE(rsf::ser::ros1::Deserialize(wire.data(), wire.size(), out).ok());
+    EXPECT_EQ(out.data, img.data);
+  }
+  {
+    const auto wire = rsf::ser::pb::Encode(img);
+    sensor_msgs::Image out;
+    ASSERT_TRUE(rsf::ser::pb::Decode(wire.data(), wire.size(), out).ok());
+    EXPECT_EQ(out.data, img.data);
+  }
+  {
+    const auto wire = rsf::ser::fb::BuildFromMessage(img);
+    sensor_msgs::Image out;
+    ASSERT_TRUE(
+        rsf::ser::fb::ReadIntoMessage(wire.data(), wire.size(), out).ok());
+    EXPECT_EQ(out.data, img.data);
+  }
+  {
+    const auto wire = rsf::ser::xcdr2::Serialize(img);
+    sensor_msgs::Image out;
+    ASSERT_TRUE(
+        rsf::ser::xcdr2::Deserialize(wire.data(), wire.size(), out).ok());
+    EXPECT_EQ(out.data, img.data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AllFormatsRoundTrip,
+                         ::testing::Values(1, 3, 16, 64, 200));
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Tests for msgpack_mini (related-work prefix encoding, paper §2.2):
+// golden tag bytes, integer-width selection, and full-message round trips.
+#include <gtest/gtest.h>
+
+#include "sensor_msgs/Image.h"
+#include "sensor_msgs/PointCloud.h"
+#include "serialization/msgpack_mini.h"
+#include "serialization/ros1.h"
+#include "std_msgs/Header.h"
+
+namespace {
+
+namespace mp = rsf::ser::mp;
+
+TEST(MsgpackMini, IntegerWidthSelection) {
+  std::vector<uint8_t> out;
+  mp::internal::WriteUint(out, 5);
+  EXPECT_EQ(out, (std::vector<uint8_t>{0x05}));  // positive fixint
+
+  out.clear();
+  mp::internal::WriteUint(out, 200);
+  EXPECT_EQ(out, (std::vector<uint8_t>{0xCC, 200}));  // uint8
+
+  out.clear();
+  mp::internal::WriteUint(out, 0x1234);
+  EXPECT_EQ(out, (std::vector<uint8_t>{0xCD, 0x12, 0x34}));  // uint16 BE
+
+  out.clear();
+  mp::internal::WriteInt(out, -5);
+  EXPECT_EQ(out, (std::vector<uint8_t>{0xFB}));  // negative fixint
+
+  out.clear();
+  mp::internal::WriteInt(out, -200);
+  EXPECT_EQ(out, (std::vector<uint8_t>{0xD1, 0xFF, 0x38}));  // int16 BE
+}
+
+TEST(MsgpackMini, IntRoundTripSweep) {
+  for (const int64_t value :
+       {int64_t{0}, int64_t{1}, int64_t{127}, int64_t{128}, int64_t{-1},
+        int64_t{-32}, int64_t{-33}, int64_t{-129}, int64_t{65535},
+        int64_t{-40000}, int64_t{1} << 40, -(int64_t{1} << 40)}) {
+    std::vector<uint8_t> out;
+    mp::internal::WriteInt(out, value);
+    mp::internal::Reader reader(out.data(), out.size());
+    int64_t decoded = 0;
+    ASSERT_TRUE(mp::internal::ReadInt(reader, &decoded).ok()) << value;
+    EXPECT_EQ(decoded, value);
+  }
+}
+
+TEST(MsgpackMini, HeaderGoldenBytes) {
+  std_msgs::Header header;
+  header.seq = 7;
+  header.stamp = rsf::Time{0, 0};
+  header.frame_id = "map";
+  const auto wire = mp::Encode(header);
+  // fixarray(3), fixint 7, fixint 0 (0 ns), fixstr(3) "map"
+  const std::vector<uint8_t> expected = {0x93, 0x07, 0x00,
+                                         0xA3, 'm',  'a',  'p'};
+  EXPECT_EQ(wire, expected);
+}
+
+TEST(MsgpackMini, ImageRoundTrip) {
+  sensor_msgs::Image img;
+  img.header.seq = 1000;
+  img.header.stamp = rsf::Time::Now();
+  img.header.frame_id = "cam";
+  img.height = 480;
+  img.width = 640;
+  img.encoding = "rgb8";
+  img.step = 1920;
+  img.data.resize(100000);
+  img.data[99999] = 0x31;
+
+  const auto wire = mp::Encode(img);
+  sensor_msgs::Image out;
+  ASSERT_TRUE(mp::Decode(wire.data(), wire.size(), out).ok());
+  EXPECT_EQ(out.header.seq, 1000u);
+  EXPECT_EQ(out.header.stamp, img.header.stamp);
+  EXPECT_EQ(out.header.frame_id, "cam");
+  EXPECT_EQ(out.encoding, "rgb8");
+  EXPECT_EQ(out.data, img.data);
+}
+
+TEST(MsgpackMini, NestedMessageVectorsRoundTrip) {
+  sensor_msgs::PointCloud cloud;
+  cloud.points.resize(3);
+  cloud.points[2].x = -1.25f;
+  cloud.channels.resize(1);
+  cloud.channels[0].name = "intensity";
+  cloud.channels[0].values = {1.0f, 2.0f};
+
+  const auto wire = mp::Encode(cloud);
+  sensor_msgs::PointCloud out;
+  ASSERT_TRUE(mp::Decode(wire.data(), wire.size(), out).ok());
+  ASSERT_EQ(out.points.size(), 3u);
+  EXPECT_FLOAT_EQ(out.points[2].x, -1.25f);
+  EXPECT_EQ(out.channels[0].name, "intensity");
+  ASSERT_EQ(out.channels[0].values.size(), 2u);
+}
+
+TEST(MsgpackMini, SmallMessagesAreSmallerThanRos1) {
+  // The prefix-encoding property: small values collapse to single bytes.
+  std_msgs::Header header;
+  header.seq = 3;
+  EXPECT_LT(mp::Encode(header).size(),
+            rsf::ser::ros1::SerializedLength(header));
+}
+
+TEST(MsgpackMini, TruncationRejected) {
+  sensor_msgs::Image img;
+  img.data.resize(64);
+  const auto wire = mp::Encode(img);
+  for (const size_t cut : {size_t{0}, size_t{1}, wire.size() / 2}) {
+    sensor_msgs::Image out;
+    EXPECT_FALSE(mp::Decode(wire.data(), cut, out).ok()) << cut;
+  }
+}
+
+TEST(MsgpackMini, FieldCountMismatchRejected) {
+  std_msgs::Header header;
+  auto wire = mp::Encode(header);
+  wire[0] = 0x92;  // claim 2 fields instead of 3
+  std_msgs::Header out;
+  EXPECT_FALSE(mp::Decode(wire.data(), wire.size(), out).ok());
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Tests for the §4.4 discussion items implemented as extensions:
+//   * receiver-side endianness conversion (§4.4.1)
+//   * map-as-vector-of-key-value-pairs (§4.4.2, the ProtoBuf "map" type)
+// plus the arena block pool the transport's receive path uses.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "paper_msgs/sfm/Image.h"
+#include "rsf_msgs/sfm/Dictionary.h"
+#include "sensor_msgs/sfm/Image.h"
+#include "sensor_msgs/sfm/PointCloud.h"
+#include "sfm/endian_convert.h"
+#include "sfm/sfm.h"
+
+namespace {
+
+using sensor_msgs::sfm::Image;
+
+TEST(EndianConvert, IsInvolutive) {
+  auto img = sfm::make_message<Image>();
+  img->header.seq = 0x01020304;
+  img->header.stamp = rsf::Time{0xAABBCCDD, 0x11223344};
+  img->header.frame_id = "cam";
+  img->height = 480;
+  img->width = 640;
+  img->encoding = "rgb8";
+  img->step = 1920;
+  img->data.resize(64);
+  img->data[63] = 0x7F;
+
+  const auto before = sfm::gmm().Publish(img.get());
+  ASSERT_TRUE(before.has_value());
+  std::vector<uint8_t> snapshot(before->data.get(),
+                                before->data.get() + before->size);
+
+  sfm::ConvertEndianness(*img, sfm::SwapDirection::kToForeign);
+  // After one conversion the fixed fields are byte-swapped.
+  EXPECT_EQ(img->height, rsf::ByteSwap<uint32_t>(480));
+  sfm::ConvertEndianness(*img, sfm::SwapDirection::kFromForeign);
+
+  const auto after = sfm::gmm().Publish(img.get());
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(std::memcmp(snapshot.data(), after->data.get(), after->size), 0);
+}
+
+TEST(EndianConvert, ForeignMessageBecomesReadable) {
+  // Build a message, byte-swap it (simulating a big-endian publisher whose
+  // bytes arrived verbatim), then run the receiver-side conversion and
+  // check every field reads correctly.
+  auto img = sfm::make_message<Image>();
+  img->header.seq = 77;
+  img->header.frame_id = "left";
+  img->height = 10;
+  img->width = 20;
+  img->encoding = "mono8";
+  img->data.resize(5);
+  for (size_t i = 0; i < 5; ++i) img->data[i] = static_cast<uint8_t>(i + 1);
+
+  sfm::ConvertEndianness(*img, sfm::SwapDirection::kToForeign);
+  sfm::ConvertEndianness(*img);  // default: kFromForeign, the receiver step
+
+  EXPECT_EQ(img->header.seq, 77u);
+  EXPECT_EQ(img->header.frame_id, "left");
+  EXPECT_EQ(img->height, 10u);
+  EXPECT_EQ(img->width, 20u);
+  EXPECT_EQ(img->encoding, "mono8");
+  ASSERT_EQ(img->data.size(), 5u);
+  EXPECT_EQ(img->data[4], 5);
+}
+
+TEST(EndianConvert, NestedMessageVectors) {
+  auto cloud = sfm::make_message<sensor_msgs::sfm::PointCloud>();
+  cloud->points.resize(2);
+  cloud->points[1].x = 1.5f;
+  cloud->channels.resize(1);
+  cloud->channels[0].name = "i";
+  cloud->channels[0].values.resize(2);
+  cloud->channels[0].values[1] = 0.25f;
+
+  sfm::ConvertEndianness(*cloud, sfm::SwapDirection::kToForeign);
+  sfm::ConvertEndianness(*cloud, sfm::SwapDirection::kFromForeign);
+  EXPECT_FLOAT_EQ(cloud->points[1].x, 1.5f);
+  EXPECT_EQ(cloud->channels[0].name, "i");
+  EXPECT_FLOAT_EQ(cloud->channels[0].values[1], 0.25f);
+}
+
+TEST(MapExtension, DictionaryAsVectorOfPairs) {
+  auto dict = sfm::make_message<rsf_msgs::sfm::Dictionary>();
+  dict->header.frame_id = "params";
+  dict->entries.resize(3);
+  dict->entries[0].key = "encoding";
+  dict->entries[0].value = "rgb8";
+  dict->entries[1].key = "rate";
+  dict->entries[1].value = "30";
+  dict->entries[2].key = "camera";
+  dict->entries[2].value = "left";
+
+  // Lookup by key, the map access pattern.
+  const auto find = [&](std::string_view key) -> std::string {
+    for (const auto& entry : dict->entries) {
+      if (entry.key == key) return std::string(entry.value);
+    }
+    return {};
+  };
+  EXPECT_EQ(find("rate"), "30");
+  EXPECT_EQ(find("camera"), "left");
+  EXPECT_EQ(find("missing"), "");
+
+  // And it transmits like any SFM message: adopt the published bytes.
+  const auto wire = sfm::gmm().Publish(dict.get());
+  ASSERT_TRUE(wire.has_value());
+  auto block = std::make_unique<uint8_t[]>(wire->size);
+  std::memcpy(block.get(), wire->data.get(), wire->size);
+  const uint8_t* start = sfm::gmm().AdoptReceived(
+      "rsf_msgs/Dictionary", std::move(block), wire->size, wire->size);
+  auto received = sfm::WrapReceived<rsf_msgs::sfm::Dictionary>(start);
+  ASSERT_EQ(received->entries.size(), 3u);
+  EXPECT_EQ(received->entries[1].key, "rate");
+  EXPECT_EQ(received->entries[1].value, "30");
+}
+
+TEST(ArenaPool, BlocksAreRecycled) {
+  sfm::TrimArenaPool();
+  uint8_t* first = nullptr;
+  {
+    auto block = sfm::AcquireArenaBlock(1 << 16);
+    first = block.get();
+  }
+  EXPECT_EQ(sfm::ArenaPoolBytes(), 1u << 16);
+  {
+    auto block = sfm::AcquireArenaBlock(1 << 16);
+    EXPECT_EQ(block.get(), first) << "same block must be reused";
+    EXPECT_EQ(sfm::ArenaPoolBytes(), 0u);
+  }
+  sfm::TrimArenaPool();
+  EXPECT_EQ(sfm::ArenaPoolBytes(), 0u);
+}
+
+TEST(ArenaPool, DistinctCapacitiesDoNotMix) {
+  sfm::TrimArenaPool();
+  { auto a = sfm::AcquireArenaBlock(4096); }
+  {
+    auto b = sfm::AcquireArenaBlock(8192);
+    // The pooled 4096 block must not satisfy an 8192 request.
+    EXPECT_EQ(sfm::ArenaPoolBytes(), 4096u);
+  }
+  sfm::TrimArenaPool();
+}
+
+TEST(ArenaPool, MessagesRoundTripThroughPool) {
+  sfm::TrimArenaPool();
+  const uint8_t* recycled = nullptr;
+  {
+    auto img = sfm::make_message<paper_msgs::sfm::Image>();
+    img->data.resize(64);
+    recycled = reinterpret_cast<const uint8_t*>(img.get());
+  }
+  {
+    auto img = sfm::make_message<paper_msgs::sfm::Image>();
+    EXPECT_EQ(reinterpret_cast<const uint8_t*>(img.get()), recycled);
+    // Critically, the recycled (dirty) block must still present a clean
+    // zeroed skeleton.
+    EXPECT_TRUE(img->encoding.empty());
+    EXPECT_EQ(img->data.size(), 0u);
+    EXPECT_EQ(img->height, 0u);
+  }
+  sfm::TrimArenaPool();
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// Tests of the full generated message set in SFM form: fixed arrays, deep
+// nesting, vectors of stamped messages, property-style sweeps over sizes,
+// and manager behaviour under concurrency.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "geometry_msgs/sfm/PoseStamped.h"
+#include "nav_msgs/sfm/Odometry.h"
+#include "nav_msgs/sfm/Path.h"
+#include "paper_msgs/sfm/Image.h"
+#include "sensor_msgs/sfm/CameraInfo.h"
+#include "sensor_msgs/sfm/Image.h"
+#include "sensor_msgs/sfm/LaserScan.h"
+#include "sensor_msgs/sfm/PointCloud2.h"
+#include "stereo_msgs/sfm/DisparityImage.h"
+#include "sfm/sfm.h"
+
+namespace {
+
+TEST(GeneratedSfm, PaperImageMatchesFig7ByteForByte) {
+  auto img = sfm::make_message<paper_msgs::sfm::Image>();
+  img->encoding = "rgb8";
+  img->height = 10;
+  img->width = 10;
+  img->data.resize(300);
+
+  const auto info = sfm::gmm().Find(img.get());
+  ASSERT_TRUE(info.has_value());
+  ASSERT_EQ(info->size, 0x14cu);  // the paper's whole-message size
+
+  const uint8_t* bytes = info->start;
+  const auto word = [&](size_t at) {
+    uint32_t value;
+    std::memcpy(&value, bytes + at, 4);
+    return value;
+  };
+  EXPECT_EQ(word(0x0000), 8u);    // length of encoding (padded)
+  EXPECT_EQ(word(0x0004), 20u);   // offset to encoding content
+  EXPECT_EQ(word(0x0008), 10u);   // height
+  EXPECT_EQ(word(0x000c), 10u);   // width
+  EXPECT_EQ(word(0x0010), 300u);  // length of data
+  EXPECT_EQ(word(0x0014), 12u);   // offset to data content
+  EXPECT_EQ(std::memcmp(bytes + 0x0018, "rgb8\0\0\0\0", 8), 0);
+}
+
+TEST(GeneratedSfm, FixedArraysLiveInTheSkeleton) {
+  auto info = sfm::make_message<sensor_msgs::sfm::CameraInfo>();
+  for (size_t i = 0; i < 9; ++i) info->K[i] = static_cast<double>(i) * 1.5;
+  info->P[11] = -2.0;
+  info->roi.width = 64;
+  info->roi.do_rectify = 1;
+
+  // No arena expansion needed for fixed arrays: size stays the skeleton.
+  const auto record = sfm::gmm().Find(info.get());
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->size, sizeof(sensor_msgs::sfm::CameraInfo));
+
+  EXPECT_DOUBLE_EQ(info->K[8], 12.0);
+  EXPECT_DOUBLE_EQ(info->P[11], -2.0);
+  EXPECT_EQ(info->roi.width, 64u);
+}
+
+TEST(GeneratedSfm, CameraInfoMixedFixedAndDynamic) {
+  auto info = sfm::make_message<sensor_msgs::sfm::CameraInfo>();
+  info->distortion_model = "plumb_bob";
+  info->D.resize(5);
+  info->D[4] = 0.125;
+  info->K[0] = 525.0;
+  EXPECT_EQ(info->distortion_model, "plumb_bob");
+  EXPECT_DOUBLE_EQ(info->D[4], 0.125);
+  EXPECT_DOUBLE_EQ(info->K[0], 525.0);
+}
+
+TEST(GeneratedSfm, DeeplyNestedOdometry) {
+  auto odom = sfm::make_message<nav_msgs::sfm::Odometry>();
+  odom->header.frame_id = "odom";
+  odom->child_frame_id = "base_link";
+  odom->pose.pose.position.x = 1.5;
+  odom->pose.pose.orientation.w = 1.0;
+  odom->pose.covariance[35] = 0.01;
+  odom->twist.twist.linear.x = 0.4;
+  odom->twist.covariance[0] = 0.02;
+
+  EXPECT_EQ(odom->child_frame_id, "base_link");
+  EXPECT_DOUBLE_EQ(odom->pose.pose.position.x, 1.5);
+  EXPECT_DOUBLE_EQ(odom->pose.covariance[35], 0.01);
+  EXPECT_DOUBLE_EQ(odom->twist.twist.linear.x, 0.4);
+}
+
+TEST(GeneratedSfm, DisparityImageNestedImageGrowsOuterArena) {
+  auto disparity = sfm::make_message<stereo_msgs::sfm::DisparityImage>();
+  disparity->image.height = 480;
+  disparity->image.width = 640;
+  disparity->image.encoding = "32FC1";
+  disparity->image.data.resize(640 * 480 * 4);
+  disparity->f = 525.0f;
+  disparity->valid_window.width = 640;
+
+  const auto record = sfm::gmm().Find(disparity.get());
+  ASSERT_TRUE(record.has_value());
+  EXPECT_GT(record->size,
+            sizeof(stereo_msgs::sfm::DisparityImage) + 640u * 480u * 4u - 1);
+  EXPECT_EQ(disparity->image.encoding, "32FC1");
+  disparity->image.data[0] = 0x3F;
+  EXPECT_EQ(disparity->image.data[0], 0x3F);
+}
+
+TEST(GeneratedSfm, PathWithVectorOfStampedPoses) {
+  auto path = sfm::make_message<nav_msgs::sfm::Path>();
+  path->header.frame_id = "map";
+  path->poses.resize(16);
+  for (size_t i = 0; i < 16; ++i) {
+    path->poses[i].header.seq = static_cast<uint32_t>(i);
+    path->poses[i].header.frame_id = "map";  // nested string per element
+    path->poses[i].pose.position.x = static_cast<double>(i) * 0.5;
+    path->poses[i].pose.orientation.w = 1.0;
+  }
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(path->poses[i].header.seq, i);
+    EXPECT_EQ(path->poses[i].header.frame_id, "map");
+    EXPECT_DOUBLE_EQ(path->poses[i].pose.position.x, 0.5 * i);
+  }
+}
+
+TEST(GeneratedSfm, PointCloud2FieldsAndData) {
+  auto cloud = sfm::make_message<sensor_msgs::sfm::PointCloud2>();
+  cloud->fields.resize(3);
+  cloud->fields[0].name = "x";
+  cloud->fields[0].datatype = sensor_msgs::sfm::PointField::FLOAT32;
+  cloud->fields[1].name = "y";
+  cloud->fields[2].name = "z";
+  cloud->point_step = 12;
+  cloud->data.resize(120);
+
+  EXPECT_EQ(cloud->fields[0].name, "x");
+  EXPECT_EQ(cloud->fields[0].datatype, 7);  // the IDL constant
+  EXPECT_EQ(cloud->fields[2].name, "z");
+  EXPECT_EQ(cloud->data.size(), 120u);
+}
+
+TEST(GeneratedSfm, ConstantsExistOnBothVariants) {
+  EXPECT_EQ(sensor_msgs::sfm::PointField::INT8, 1);
+  EXPECT_EQ(sensor_msgs::sfm::PointField::FLOAT64, 8);
+}
+
+class SfmPayloadSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SfmPayloadSweep, WireRoundTripPreservesEveryByte) {
+  const size_t bytes = GetParam();
+  auto src = sfm::make_message<sensor_msgs::sfm::Image>();
+  src->encoding = "rgb8";
+  src->data.resize(bytes);
+  for (size_t i = 0; i < bytes; ++i) {
+    src->data[i] = static_cast<uint8_t>(i * 131 + 7);
+  }
+
+  const auto wire = sfm::gmm().Publish(src.get());
+  ASSERT_TRUE(wire.has_value());
+  auto block = std::make_unique<uint8_t[]>(wire->size);
+  std::memcpy(block.get(), wire->data.get(), wire->size);
+  const uint8_t* start = sfm::gmm().AdoptReceived(
+      "sensor_msgs/Image", std::move(block), wire->size, wire->size);
+  auto received = sfm::WrapReceived<sensor_msgs::sfm::Image>(start);
+
+  ASSERT_EQ(received->data.size(), bytes);
+  for (size_t i = 0; i < bytes; ++i) {
+    ASSERT_EQ(received->data[i], static_cast<uint8_t>(i * 131 + 7)) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SfmPayloadSweep,
+                         ::testing::Values(0, 1, 3, 4, 1023, 4096, 65536,
+                                           1 << 20));
+
+class SfmStringSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SfmStringSweep, PaddingInvariantsHold) {
+  const size_t length = GetParam();
+  const std::string content(length, 'x');
+  auto msg = sfm::make_message<sensor_msgs::sfm::Image>();
+  msg->encoding = content;
+  EXPECT_EQ(msg->encoding.size(), length);
+  EXPECT_EQ(std::string(msg->encoding), content);
+  // Wire length covers content + NUL, rounded to 4.
+  EXPECT_EQ(msg->encoding.wire_length(), ((length + 1 + 3) / 4) * 4);
+  EXPECT_EQ(msg->encoding.wire_length() % 4, 0u);
+  EXPECT_GE(msg->encoding.wire_length(), length + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, SfmStringSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 7, 8, 31, 255));
+
+TEST(ManagerConcurrency, ParallelAllocateExpandRelease) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  const size_t live_before = sfm::gmm().LiveCount();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto msg = sfm::make_message<paper_msgs::sfm::Image>();
+        msg->encoding = (t % 2 == 0) ? "rgb8" : "mono16";
+        msg->data.resize(64 + static_cast<size_t>(i % 7) * 16);
+        msg->data[0] = static_cast<uint8_t>(t);
+        if (i % 3 == 0) {
+          auto wire = sfm::gmm().Publish(msg.get());
+          ASSERT_TRUE(wire.has_value());
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(sfm::gmm().LiveCount(), live_before);
+}
+
+TEST(GeneratedSfm, SkeletonSizesMatchLayoutCalculator) {
+  // These mirror the static_asserts baked into each generated header; a few
+  // spot checks here keep the invariant visible in the test log.
+  EXPECT_EQ(sizeof(paper_msgs::sfm::Image), 24u);
+  EXPECT_EQ(sizeof(std_msgs::sfm::Header), 20u);
+  EXPECT_EQ(sizeof(sensor_msgs::sfm::Image), 52u);
+  EXPECT_EQ(sizeof(geometry_msgs::sfm::PoseStamped),
+            sizeof(std_msgs::sfm::Header) + 7 * 8 + 4 /*align pad*/);
+}
+
+}  // namespace

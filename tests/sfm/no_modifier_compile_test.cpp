@@ -1,0 +1,81 @@
+// Negative-compilation tests for the No Modifier Assumption (§4.3.3): the
+// paper enforces it by NOT implementing the modifier interfaces, so
+// `push_back` & co. must be COMPILE errors.  Each case invokes the real
+// compiler (-fsyntax-only) on a snippet and expects failure; a control
+// snippet proves the harness itself compiles cleanly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#ifndef RSF_CXX_COMPILER
+#define RSF_CXX_COMPILER "c++"
+#endif
+#ifndef RSF_SOURCE_DIR
+#define RSF_SOURCE_DIR "."
+#endif
+#ifndef RSF_GEN_DIR
+#define RSF_GEN_DIR "."
+#endif
+
+namespace {
+
+/// Compiles `body` inside a function that has an SFM Image `msg`; returns
+/// true if the snippet compiles.
+bool Compiles(const std::string& body) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/no_modifier_snippet.cpp";
+  {
+    std::ofstream out(path);
+    out << "#include \"sensor_msgs/sfm/Image.h\"\n"
+        << "void snippet(sensor_msgs::sfm::Image& msg, uint8_t byte) {\n"
+        << "  (void)msg; (void)byte;\n"
+        << "  " << body << "\n"
+        << "}\n";
+  }
+  const std::string command = std::string(RSF_CXX_COMPILER) +
+                              " -std=c++20 -fsyntax-only -I" RSF_SOURCE_DIR
+                              "/src -I" RSF_GEN_DIR " " +
+                              path + " 2>/dev/null";
+  return std::system(command.c_str()) == 0;
+}
+
+TEST(NoModifierAssumption, ControlSnippetCompiles) {
+  ASSERT_TRUE(Compiles("msg.data.resize(10); msg.data[0] = byte;"))
+      << "harness broken: the legal pattern must compile";
+}
+
+TEST(NoModifierAssumption, PushBackIsACompileError) {
+  EXPECT_FALSE(Compiles("msg.data.push_back(byte);"));
+}
+
+TEST(NoModifierAssumption, PopBackIsACompileError) {
+  EXPECT_FALSE(Compiles("msg.data.pop_back();"));
+}
+
+TEST(NoModifierAssumption, ClearIsACompileError) {
+  EXPECT_FALSE(Compiles("msg.data.clear();"));
+}
+
+TEST(NoModifierAssumption, ReserveIsACompileError) {
+  EXPECT_FALSE(Compiles("msg.data.reserve(100);"));
+}
+
+TEST(NoModifierAssumption, InsertIsACompileError) {
+  EXPECT_FALSE(Compiles("msg.data.insert(msg.data.begin(), byte);"));
+}
+
+TEST(NoModifierAssumption, EraseIsACompileError) {
+  EXPECT_FALSE(Compiles("msg.data.erase(msg.data.begin());"));
+}
+
+TEST(NoModifierAssumption, RawSkeletonCopyIsACompileError) {
+  // Copying a lone sfm::string/vector would carry a dangling relative
+  // offset into another arena; construction-by-copy is deleted.
+  EXPECT_FALSE(Compiles("sfm::vector<uint8_t> loose = msg.data;"));
+  EXPECT_FALSE(Compiles("sfm::string loose = msg.encoding;"));
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// rosf-convert — the ROS-SF Converter CLI (paper §4.3.2 / Fig. 10b).
+//
+// Checks source files against the three SFM applicability assumptions and
+// (optionally) applies the Fig. 11 stack-to-heap rewrite.
+//
+//   rosfconvert --msg-dir msgs check  file.cpp [more.cpp ...]
+//   rosfconvert --msg-dir msgs check-dir  src/
+//   rosfconvert --msg-dir msgs rewrite file.cpp        (prints to stdout)
+//   rosfconvert --msg-dir msgs rewrite -i file.cpp     (in place)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "converter/analyzer.h"
+#include "converter/checker.h"
+#include "converter/rewriter.h"
+#include "idl/registry.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --msg-dir DIR (check FILE... | check-dir DIR | "
+               "rewrite [-i] FILE)\n",
+               argv0);
+  return 2;
+}
+
+rsf::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return rsf::UnavailableError("cannot read " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void PrintReport(const std::string& file,
+                 const rsf::conv::FileReport& report) {
+  if (report.findings.empty()) {
+    std::printf("%s: applicable (classes:", file.c_str());
+    for (const auto& message_class : report.classes_used) {
+      std::printf(" %s", message_class.c_str());
+    }
+    std::printf(")\n");
+    return;
+  }
+  std::printf("%s: %zu violation(s)\n", file.c_str(),
+              report.findings.size());
+  for (const auto& finding : report.findings) {
+    std::printf("  line %3d  %-22s %s\n            %s\n", finding.line,
+                rsf::conv::FindingKindName(finding.kind),
+                finding.path.c_str(), finding.note.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string msg_dir = "msgs";
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--msg-dir") == 0 && i + 1 < argc) {
+      msg_dir = argv[++i];
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.empty()) return Usage(argv[0]);
+
+  rsf::idl::SpecRegistry registry;
+  if (const auto status = registry.LoadDirectory(msg_dir); !status.ok()) {
+    std::fprintf(stderr, "rosfconvert: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const auto types = rsf::conv::TypeTable::FromRegistry(registry);
+
+  const std::string& command = args[0];
+  if (command == "check") {
+    if (args.size() < 2) return Usage(argv[0]);
+    int violations = 0;
+    for (size_t i = 1; i < args.size(); ++i) {
+      auto source = ReadFile(args[i]);
+      if (!source.ok()) {
+        std::fprintf(stderr, "rosfconvert: %s\n",
+                     source.status().ToString().c_str());
+        return 1;
+      }
+      const auto report = rsf::conv::AnalyzeSource(*source, types);
+      PrintReport(args[i], report);
+      violations += static_cast<int>(report.findings.size());
+    }
+    return violations == 0 ? 0 : 3;
+  }
+
+  if (command == "check-dir") {
+    if (args.size() != 2) return Usage(argv[0]);
+    auto reports = rsf::conv::AnalyzeDirectory(args[1], types);
+    if (!reports.ok()) {
+      std::fprintf(stderr, "rosfconvert: %s\n",
+                   reports.status().ToString().c_str());
+      return 1;
+    }
+    int violations = 0;
+    for (const auto& [file, report] : *reports) {
+      PrintReport(file, report);
+      violations += static_cast<int>(report.findings.size());
+    }
+    std::printf("\n%zu file(s) checked, %d violation(s)\n", reports->size(),
+                violations);
+    return violations == 0 ? 0 : 3;
+  }
+
+  if (command == "rewrite") {
+    bool in_place = false;
+    size_t file_index = 1;
+    if (args.size() >= 2 && args[1] == "-i") {
+      in_place = true;
+      file_index = 2;
+    }
+    if (args.size() != file_index + 1) return Usage(argv[0]);
+    const std::string& path = args[file_index];
+
+    auto source = ReadFile(path);
+    if (!source.ok()) {
+      std::fprintf(stderr, "rosfconvert: %s\n",
+                   source.status().ToString().c_str());
+      return 1;
+    }
+    const auto report = rsf::conv::AnalyzeSource(*source, types);
+    const auto result = rsf::conv::RewriteStackDeclarations(*source, report);
+    if (in_place) {
+      std::ofstream out(path, std::ios::trunc);
+      out << result.source;
+      std::fprintf(stderr, "rosfconvert: %zu declaration(s) rewritten in %s\n",
+                   result.rewritten, path.c_str());
+    } else {
+      std::fputs(result.source.c_str(), stdout);
+      std::fprintf(stderr, "rosfconvert: %zu declaration(s) rewritten\n",
+                   result.rewritten);
+    }
+    return 0;
+  }
+  return Usage(argv[0]);
+}

@@ -1,0 +1,100 @@
+// sfmgen — the SFM Generator CLI (paper §4.3.1).
+//
+// Reads a tree of ROS1 `.msg` files and emits, for every message, both the
+// regular C++ struct header and the serialization-free (SFM) header.  Run
+// at build time by CMake; also usable standalone:
+//
+//   sfmgen --msg-dir msgs --out build/gen_msgs [--stamp file]
+//   sfmgen --msg-dir msgs --print-layout sensor_msgs/Image
+//   sfmgen --msg-dir msgs --list
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "gen/emitter.h"
+#include "gen/layout.h"
+#include "idl/registry.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --msg-dir DIR (--out DIR [--stamp FILE] | "
+               "--print-layout PKG/NAME | --list)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string msg_dir;
+  std::string out_dir;
+  std::string stamp;
+  std::string print_layout;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--msg-dir") {
+      if (const char* v = next()) msg_dir = v; else return Usage(argv[0]);
+    } else if (arg == "--out") {
+      if (const char* v = next()) out_dir = v; else return Usage(argv[0]);
+    } else if (arg == "--stamp") {
+      if (const char* v = next()) stamp = v; else return Usage(argv[0]);
+    } else if (arg == "--print-layout") {
+      if (const char* v = next()) print_layout = v; else return Usage(argv[0]);
+    } else if (arg == "--list") {
+      list = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (msg_dir.empty()) return Usage(argv[0]);
+
+  rsf::idl::SpecRegistry registry;
+  if (const auto status = registry.LoadDirectory(msg_dir); !status.ok()) {
+    std::fprintf(stderr, "sfmgen: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (const auto status = registry.ValidateReferences(); !status.ok()) {
+    std::fprintf(stderr, "sfmgen: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  if (list) {
+    for (const auto& key : registry.Keys()) {
+      const auto md5 = registry.Md5For(key);
+      std::printf("%-40s %s\n", key.c_str(),
+                  md5.ok() ? md5->c_str() : md5.status().ToString().c_str());
+    }
+    return 0;
+  }
+
+  if (!print_layout.empty()) {
+    const auto layout = rsf::gen::ComputeSfmLayout(registry, print_layout);
+    if (!layout.ok()) {
+      std::fprintf(stderr, "sfmgen: %s\n", layout.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(rsf::gen::RenderLayoutTable(*layout, print_layout).c_str(),
+               stdout);
+    return 0;
+  }
+
+  if (out_dir.empty()) return Usage(argv[0]);
+  if (const auto status = rsf::gen::GenerateAll(registry, out_dir);
+      !status.ok()) {
+    std::fprintf(stderr, "sfmgen: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (!stamp.empty()) {
+    std::ofstream out(stamp, std::ios::trunc);
+    out << "ok\n";
+  }
+  return 0;
+}
