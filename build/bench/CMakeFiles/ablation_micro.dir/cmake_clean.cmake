@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_micro.dir/ablation_micro.cpp.o"
+  "CMakeFiles/ablation_micro.dir/ablation_micro.cpp.o.d"
+  "ablation_micro"
+  "ablation_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

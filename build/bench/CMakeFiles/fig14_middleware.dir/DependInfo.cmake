@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig14_middleware.cpp" "bench/CMakeFiles/fig14_middleware.dir/fig14_middleware.cpp.o" "gcc" "bench/CMakeFiles/fig14_middleware.dir/fig14_middleware.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serialization/CMakeFiles/rsf_serialization.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/rsf_slam.dir/DependInfo.cmake"
+  "/root/repo/build/src/ros/CMakeFiles/rsf_ros.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rsf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfm/CMakeFiles/rsf_sfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rsf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

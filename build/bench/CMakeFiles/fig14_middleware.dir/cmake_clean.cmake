@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_middleware.dir/fig14_middleware.cpp.o"
+  "CMakeFiles/fig14_middleware.dir/fig14_middleware.cpp.o.d"
+  "fig14_middleware"
+  "fig14_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

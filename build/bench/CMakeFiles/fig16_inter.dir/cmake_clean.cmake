@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_inter.dir/fig16_inter.cpp.o"
+  "CMakeFiles/fig16_inter.dir/fig16_inter.cpp.o.d"
+  "fig16_inter"
+  "fig16_inter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_inter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

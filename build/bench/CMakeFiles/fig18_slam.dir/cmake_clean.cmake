@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_slam.dir/fig18_slam.cpp.o"
+  "CMakeFiles/fig18_slam.dir/fig18_slam.cpp.o.d"
+  "fig18_slam"
+  "fig18_slam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_slam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layouts.dir/layouts.cpp.o"
+  "CMakeFiles/layouts.dir/layouts.cpp.o.d"
+  "layouts"
+  "layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

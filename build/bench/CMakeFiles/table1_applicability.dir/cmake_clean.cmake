@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_applicability.dir/table1_applicability.cpp.o"
+  "CMakeFiles/table1_applicability.dir/table1_applicability.cpp.o.d"
+  "table1_applicability"
+  "table1_applicability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_applicability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bag_record_replay.dir/bag_record_replay.cpp.o"
+  "CMakeFiles/bag_record_replay.dir/bag_record_replay.cpp.o.d"
+  "bag_record_replay"
+  "bag_record_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bag_record_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converter_demo.dir/converter_demo.cpp.o"
+  "CMakeFiles/converter_demo.dir/converter_demo.cpp.o.d"
+  "converter_demo"
+  "converter_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converter_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

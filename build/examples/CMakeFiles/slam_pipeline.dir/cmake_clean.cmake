@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam_pipeline.dir/slam_pipeline.cpp.o"
+  "CMakeFiles/slam_pipeline.dir/slam_pipeline.cpp.o.d"
+  "slam_pipeline"
+  "slam_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

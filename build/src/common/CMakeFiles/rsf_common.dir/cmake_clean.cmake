@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsf_common.dir/clock.cpp.o"
+  "CMakeFiles/rsf_common.dir/clock.cpp.o.d"
+  "CMakeFiles/rsf_common.dir/log.cpp.o"
+  "CMakeFiles/rsf_common.dir/log.cpp.o.d"
+  "CMakeFiles/rsf_common.dir/md5.cpp.o"
+  "CMakeFiles/rsf_common.dir/md5.cpp.o.d"
+  "CMakeFiles/rsf_common.dir/stats.cpp.o"
+  "CMakeFiles/rsf_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rsf_common.dir/status.cpp.o"
+  "CMakeFiles/rsf_common.dir/status.cpp.o.d"
+  "CMakeFiles/rsf_common.dir/string_util.cpp.o"
+  "CMakeFiles/rsf_common.dir/string_util.cpp.o.d"
+  "librsf_common.a"
+  "librsf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librsf_common.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/converter/analyzer.cpp" "src/converter/CMakeFiles/rsf_converter.dir/analyzer.cpp.o" "gcc" "src/converter/CMakeFiles/rsf_converter.dir/analyzer.cpp.o.d"
+  "/root/repo/src/converter/checker.cpp" "src/converter/CMakeFiles/rsf_converter.dir/checker.cpp.o" "gcc" "src/converter/CMakeFiles/rsf_converter.dir/checker.cpp.o.d"
+  "/root/repo/src/converter/corpus_synth.cpp" "src/converter/CMakeFiles/rsf_converter.dir/corpus_synth.cpp.o" "gcc" "src/converter/CMakeFiles/rsf_converter.dir/corpus_synth.cpp.o.d"
+  "/root/repo/src/converter/lexer.cpp" "src/converter/CMakeFiles/rsf_converter.dir/lexer.cpp.o" "gcc" "src/converter/CMakeFiles/rsf_converter.dir/lexer.cpp.o.d"
+  "/root/repo/src/converter/rewriter.cpp" "src/converter/CMakeFiles/rsf_converter.dir/rewriter.cpp.o" "gcc" "src/converter/CMakeFiles/rsf_converter.dir/rewriter.cpp.o.d"
+  "/root/repo/src/converter/type_table.cpp" "src/converter/CMakeFiles/rsf_converter.dir/type_table.cpp.o" "gcc" "src/converter/CMakeFiles/rsf_converter.dir/type_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idl/CMakeFiles/rsf_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rsf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsf_converter.dir/analyzer.cpp.o"
+  "CMakeFiles/rsf_converter.dir/analyzer.cpp.o.d"
+  "CMakeFiles/rsf_converter.dir/checker.cpp.o"
+  "CMakeFiles/rsf_converter.dir/checker.cpp.o.d"
+  "CMakeFiles/rsf_converter.dir/corpus_synth.cpp.o"
+  "CMakeFiles/rsf_converter.dir/corpus_synth.cpp.o.d"
+  "CMakeFiles/rsf_converter.dir/lexer.cpp.o"
+  "CMakeFiles/rsf_converter.dir/lexer.cpp.o.d"
+  "CMakeFiles/rsf_converter.dir/rewriter.cpp.o"
+  "CMakeFiles/rsf_converter.dir/rewriter.cpp.o.d"
+  "CMakeFiles/rsf_converter.dir/type_table.cpp.o"
+  "CMakeFiles/rsf_converter.dir/type_table.cpp.o.d"
+  "librsf_converter.a"
+  "librsf_converter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsf_converter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

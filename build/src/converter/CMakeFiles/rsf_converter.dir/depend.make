@@ -1,0 +1,2 @@
+# Empty dependencies file for rsf_converter.
+# This may be replaced when dependencies are built.

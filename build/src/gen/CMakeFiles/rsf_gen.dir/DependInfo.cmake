@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/emitter.cpp" "src/gen/CMakeFiles/rsf_gen.dir/emitter.cpp.o" "gcc" "src/gen/CMakeFiles/rsf_gen.dir/emitter.cpp.o.d"
+  "/root/repo/src/gen/layout.cpp" "src/gen/CMakeFiles/rsf_gen.dir/layout.cpp.o" "gcc" "src/gen/CMakeFiles/rsf_gen.dir/layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idl/CMakeFiles/rsf_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rsf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsf_gen.dir/emitter.cpp.o"
+  "CMakeFiles/rsf_gen.dir/emitter.cpp.o.d"
+  "CMakeFiles/rsf_gen.dir/layout.cpp.o"
+  "CMakeFiles/rsf_gen.dir/layout.cpp.o.d"
+  "librsf_gen.a"
+  "librsf_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsf_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

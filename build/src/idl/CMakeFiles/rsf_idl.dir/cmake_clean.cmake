@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsf_idl.dir/parser.cpp.o"
+  "CMakeFiles/rsf_idl.dir/parser.cpp.o.d"
+  "CMakeFiles/rsf_idl.dir/registry.cpp.o"
+  "CMakeFiles/rsf_idl.dir/registry.cpp.o.d"
+  "CMakeFiles/rsf_idl.dir/types.cpp.o"
+  "CMakeFiles/rsf_idl.dir/types.cpp.o.d"
+  "librsf_idl.a"
+  "librsf_idl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsf_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsf_net.dir/framing.cpp.o"
+  "CMakeFiles/rsf_net.dir/framing.cpp.o.d"
+  "CMakeFiles/rsf_net.dir/sim_link.cpp.o"
+  "CMakeFiles/rsf_net.dir/sim_link.cpp.o.d"
+  "CMakeFiles/rsf_net.dir/socket.cpp.o"
+  "CMakeFiles/rsf_net.dir/socket.cpp.o.d"
+  "librsf_net.a"
+  "librsf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

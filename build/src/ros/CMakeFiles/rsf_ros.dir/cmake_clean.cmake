@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsf_ros.dir/bag.cpp.o"
+  "CMakeFiles/rsf_ros.dir/bag.cpp.o.d"
+  "CMakeFiles/rsf_ros.dir/connection_header.cpp.o"
+  "CMakeFiles/rsf_ros.dir/connection_header.cpp.o.d"
+  "CMakeFiles/rsf_ros.dir/master.cpp.o"
+  "CMakeFiles/rsf_ros.dir/master.cpp.o.d"
+  "CMakeFiles/rsf_ros.dir/publication.cpp.o"
+  "CMakeFiles/rsf_ros.dir/publication.cpp.o.d"
+  "librsf_ros.a"
+  "librsf_ros.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsf_ros.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

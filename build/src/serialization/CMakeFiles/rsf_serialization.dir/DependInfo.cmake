@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serialization/flatbuf_mini.cpp" "src/serialization/CMakeFiles/rsf_serialization.dir/flatbuf_mini.cpp.o" "gcc" "src/serialization/CMakeFiles/rsf_serialization.dir/flatbuf_mini.cpp.o.d"
+  "/root/repo/src/serialization/xcdr2.cpp" "src/serialization/CMakeFiles/rsf_serialization.dir/xcdr2.cpp.o" "gcc" "src/serialization/CMakeFiles/rsf_serialization.dir/xcdr2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rsf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfm/CMakeFiles/rsf_sfm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsf_serialization.dir/flatbuf_mini.cpp.o"
+  "CMakeFiles/rsf_serialization.dir/flatbuf_mini.cpp.o.d"
+  "CMakeFiles/rsf_serialization.dir/xcdr2.cpp.o"
+  "CMakeFiles/rsf_serialization.dir/xcdr2.cpp.o.d"
+  "librsf_serialization.a"
+  "librsf_serialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsf_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsf_sfm.dir/alert.cpp.o"
+  "CMakeFiles/rsf_sfm.dir/alert.cpp.o.d"
+  "CMakeFiles/rsf_sfm.dir/message_manager.cpp.o"
+  "CMakeFiles/rsf_sfm.dir/message_manager.cpp.o.d"
+  "librsf_sfm.a"
+  "librsf_sfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsf_sfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rsf_sfm.
+# This may be replaced when dependencies are built.

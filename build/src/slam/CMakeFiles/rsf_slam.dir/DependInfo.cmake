@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slam/features.cpp" "src/slam/CMakeFiles/rsf_slam.dir/features.cpp.o" "gcc" "src/slam/CMakeFiles/rsf_slam.dir/features.cpp.o.d"
+  "/root/repo/src/slam/image_gen.cpp" "src/slam/CMakeFiles/rsf_slam.dir/image_gen.cpp.o" "gcc" "src/slam/CMakeFiles/rsf_slam.dir/image_gen.cpp.o.d"
+  "/root/repo/src/slam/pipeline.cpp" "src/slam/CMakeFiles/rsf_slam.dir/pipeline.cpp.o" "gcc" "src/slam/CMakeFiles/rsf_slam.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rsf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

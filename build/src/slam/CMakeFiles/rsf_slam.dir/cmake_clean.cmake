@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsf_slam.dir/features.cpp.o"
+  "CMakeFiles/rsf_slam.dir/features.cpp.o.d"
+  "CMakeFiles/rsf_slam.dir/image_gen.cpp.o"
+  "CMakeFiles/rsf_slam.dir/image_gen.cpp.o.d"
+  "CMakeFiles/rsf_slam.dir/pipeline.cpp.o"
+  "CMakeFiles/rsf_slam.dir/pipeline.cpp.o.d"
+  "librsf_slam.a"
+  "librsf_slam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsf_slam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/idl/generate_all_test.cpp" "tests/CMakeFiles/idl_gen_test.dir/idl/generate_all_test.cpp.o" "gcc" "tests/CMakeFiles/idl_gen_test.dir/idl/generate_all_test.cpp.o.d"
+  "/root/repo/tests/idl/idl_gen_test.cpp" "tests/CMakeFiles/idl_gen_test.dir/idl/idl_gen_test.cpp.o" "gcc" "tests/CMakeFiles/idl_gen_test.dir/idl/idl_gen_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/rsf_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/idl/CMakeFiles/rsf_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rsf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idl_gen_test.dir/idl/generate_all_test.cpp.o"
+  "CMakeFiles/idl_gen_test.dir/idl/generate_all_test.cpp.o.d"
+  "CMakeFiles/idl_gen_test.dir/idl/idl_gen_test.cpp.o"
+  "CMakeFiles/idl_gen_test.dir/idl/idl_gen_test.cpp.o.d"
+  "idl_gen_test"
+  "idl_gen_test.pdb"
+  "idl_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idl_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

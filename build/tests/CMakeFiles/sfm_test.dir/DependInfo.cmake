@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sfm/extensions_test.cpp" "tests/CMakeFiles/sfm_test.dir/sfm/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/sfm_test.dir/sfm/extensions_test.cpp.o.d"
+  "/root/repo/tests/sfm/generated_types_test.cpp" "tests/CMakeFiles/sfm_test.dir/sfm/generated_types_test.cpp.o" "gcc" "tests/CMakeFiles/sfm_test.dir/sfm/generated_types_test.cpp.o.d"
+  "/root/repo/tests/sfm/message_manager_test.cpp" "tests/CMakeFiles/sfm_test.dir/sfm/message_manager_test.cpp.o" "gcc" "tests/CMakeFiles/sfm_test.dir/sfm/message_manager_test.cpp.o.d"
+  "/root/repo/tests/sfm/no_modifier_compile_test.cpp" "tests/CMakeFiles/sfm_test.dir/sfm/no_modifier_compile_test.cpp.o" "gcc" "tests/CMakeFiles/sfm_test.dir/sfm/no_modifier_compile_test.cpp.o.d"
+  "/root/repo/tests/sfm/skeleton_types_test.cpp" "tests/CMakeFiles/sfm_test.dir/sfm/skeleton_types_test.cpp.o" "gcc" "tests/CMakeFiles/sfm_test.dir/sfm/skeleton_types_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sfm/CMakeFiles/rsf_sfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rsf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfm_test.dir/sfm/extensions_test.cpp.o"
+  "CMakeFiles/sfm_test.dir/sfm/extensions_test.cpp.o.d"
+  "CMakeFiles/sfm_test.dir/sfm/generated_types_test.cpp.o"
+  "CMakeFiles/sfm_test.dir/sfm/generated_types_test.cpp.o.d"
+  "CMakeFiles/sfm_test.dir/sfm/message_manager_test.cpp.o"
+  "CMakeFiles/sfm_test.dir/sfm/message_manager_test.cpp.o.d"
+  "CMakeFiles/sfm_test.dir/sfm/no_modifier_compile_test.cpp.o"
+  "CMakeFiles/sfm_test.dir/sfm/no_modifier_compile_test.cpp.o.d"
+  "CMakeFiles/sfm_test.dir/sfm/skeleton_types_test.cpp.o"
+  "CMakeFiles/sfm_test.dir/sfm/skeleton_types_test.cpp.o.d"
+  "sfm_test"
+  "sfm_test.pdb"
+  "sfm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam_test.dir/slam/slam_test.cpp.o"
+  "CMakeFiles/slam_test.dir/slam/slam_test.cpp.o.d"
+  "slam_test"
+  "slam_test.pdb"
+  "slam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/idl_gen_test[1]_include.cmake")
+include("/root/repo/build/tests/sfm_test[1]_include.cmake")
+include("/root/repo/build/tests/serialization_test[1]_include.cmake")
+include("/root/repo/build/tests/ros_test[1]_include.cmake")
+include("/root/repo/build/tests/converter_test[1]_include.cmake")
+include("/root/repo/build/tests/slam_test[1]_include.cmake")

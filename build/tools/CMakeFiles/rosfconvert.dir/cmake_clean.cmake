@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosfconvert.dir/rosfconvert/main.cpp.o"
+  "CMakeFiles/rosfconvert.dir/rosfconvert/main.cpp.o.d"
+  "rosfconvert"
+  "rosfconvert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosfconvert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "../gen_msgs/.stamp"
+  "CMakeFiles/rsf_msgs_gen"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/rsf_msgs_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

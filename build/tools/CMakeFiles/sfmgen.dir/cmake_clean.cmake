@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfmgen.dir/sfmgen/main.cpp.o"
+  "CMakeFiles/sfmgen.dir/sfmgen/main.cpp.o.d"
+  "sfmgen"
+  "sfmgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfmgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

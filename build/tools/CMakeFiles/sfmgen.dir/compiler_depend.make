@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sfmgen.
+# This may be replaced when dependencies are built.
