@@ -22,7 +22,13 @@ class ConcurrentQueue {
  public:
   explicit ConcurrentQueue(size_t capacity = SIZE_MAX,
                            QueueFullPolicy policy = QueueFullPolicy::kDropOldest)
-      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+      : capacity_(capacity == 0 ? 1 : capacity),
+        policy_(policy),
+        // Pushers only ever sleep on not_full_ when the queue is bounded
+        // AND the policy blocks; otherwise every pop-side notify would be a
+        // wasted wake-up (two per message on the publisher sender path).
+        notify_pushers_(policy == QueueFullPolicy::kBlock &&
+                        capacity_ != SIZE_MAX) {}
 
   /// Returns false only if rejected (kReject policy) or shut down.
   bool Push(T item) {
@@ -56,8 +62,23 @@ class ConcurrentQueue {
     T item = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();
-    not_full_.notify_one();
+    if (notify_pushers_) not_full_.notify_one();
     return item;
+  }
+
+  /// Blocks until at least one item is available, then drains everything
+  /// queued under a single lock acquisition (an O(1) deque swap).  Returns
+  /// an empty deque only once the queue is shut down and drained.  Consumer
+  /// loops that can batch (the publisher sender thread) use this to pay one
+  /// lock + zero wake-ups for a burst instead of one of each per item.
+  std::deque<T> PopAll() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || shutdown_; });
+    std::deque<T> drained;
+    drained.swap(queue_);
+    lock.unlock();
+    if (notify_pushers_ && !drained.empty()) not_full_.notify_all();
+    return drained;
   }
 
   /// Non-blocking pop.
@@ -67,7 +88,7 @@ class ConcurrentQueue {
     T item = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();
-    not_full_.notify_one();
+    if (notify_pushers_) not_full_.notify_one();
     return item;
   }
 
@@ -81,7 +102,7 @@ class ConcurrentQueue {
     T item = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();
-    not_full_.notify_one();
+    if (notify_pushers_) not_full_.notify_one();
     return item;
   }
 
@@ -110,6 +131,7 @@ class ConcurrentQueue {
  private:
   const size_t capacity_;
   const QueueFullPolicy policy_;
+  const bool notify_pushers_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;

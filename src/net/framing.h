@@ -20,11 +20,13 @@ namespace rsf::net {
 /// Maximum accepted frame payload (guards against corrupted lengths).
 inline constexpr uint32_t kMaxFramePayload = 256u * 1024u * 1024u;
 
-/// Writes one frame: 4-byte LE length then the payload.
+/// Writes one frame: 4-byte LE length then the payload, gathered into a
+/// single writev-style syscall (TcpConnection::WritevAll).
 Status WriteFrame(TcpConnection& conn, std::span<const uint8_t> payload);
 
 /// Writes one frame whose payload is split across two spans (used to send a
 /// small header followed by a large zero-copy body without concatenating).
+/// Prefix + head + body go out in one gathered syscall.
 Status WriteFrameScattered(TcpConnection& conn, std::span<const uint8_t> head,
                            std::span<const uint8_t> body);
 

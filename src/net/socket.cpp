@@ -6,8 +6,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <climits>
 #include <cstring>
+#include <vector>
 
 namespace rsf::net {
 namespace {
@@ -16,7 +20,13 @@ Status ErrnoStatus(const char* what) {
   return UnavailableError(std::string(what) + ": " + std::strerror(errno));
 }
 
+std::atomic<uint64_t> g_write_syscalls{0};
+
 }  // namespace
+
+uint64_t WriteSyscallCount() noexcept {
+  return g_write_syscalls.load(std::memory_order_relaxed);
+}
 
 void FdGuard::Reset() noexcept {
   if (fd_ >= 0) {
@@ -45,6 +55,7 @@ Result<TcpConnection> TcpConnection::Connect(const std::string& host,
 Status TcpConnection::WriteAll(std::span<const uint8_t> data) {
   size_t written = 0;
   while (written < data.size()) {
+    g_write_syscalls.fetch_add(1, std::memory_order_relaxed);
     const ssize_t n = ::send(fd_.fd(), data.data() + written,
                              data.size() - written, MSG_NOSIGNAL);
     if (n < 0) {
@@ -52,6 +63,56 @@ Status TcpConnection::WriteAll(std::span<const uint8_t> data) {
       return ErrnoStatus("send");
     }
     written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status TcpConnection::WritevAll(std::span<const iovec> iov) {
+  // A mutable copy: partial writes are resumed by advancing iov_base.  The
+  // hot path (framed message sends) uses 2-3 iovecs, so stay on the stack;
+  // larger gathers fall back to the heap.
+  constexpr size_t kStackIovecs = 8;
+  iovec stack[kStackIovecs];
+  std::vector<iovec> heap;
+  iovec* vec;
+  if (iov.size() <= kStackIovecs) {
+    std::memcpy(stack, iov.data(), iov.size() * sizeof(iovec));
+    vec = stack;
+  } else {
+    heap.assign(iov.begin(), iov.end());
+    vec = heap.data();
+  }
+
+  size_t index = 0;
+  while (index < iov.size()) {
+    if (vec[index].iov_len == 0) {
+      ++index;
+      continue;
+    }
+    // sendmsg, not writev: we need MSG_NOSIGNAL (broken-pipe handling
+    // matches WriteAll).
+    msghdr msg{};
+    msg.msg_iov = vec + index;
+    msg.msg_iovlen = std::min(iov.size() - index, size_t{IOV_MAX});
+    g_write_syscalls.fetch_add(1, std::memory_order_relaxed);
+    const ssize_t n = ::sendmsg(fd_.fd(), &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("sendmsg");
+    }
+    size_t accepted = static_cast<size_t>(n);
+    while (accepted > 0) {
+      if (accepted >= vec[index].iov_len) {
+        accepted -= vec[index].iov_len;
+        vec[index].iov_len = 0;
+        ++index;
+      } else {
+        vec[index].iov_base = static_cast<uint8_t*>(vec[index].iov_base) +
+                              accepted;
+        vec[index].iov_len -= accepted;
+        accepted = 0;
+      }
+    }
   }
   return Status::Ok();
 }

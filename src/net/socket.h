@@ -6,6 +6,8 @@
 // paper's intra-machine experimental setup (§5.1).
 #pragma once
 
+#include <sys/uio.h>
+
 #include <cstdint>
 #include <span>
 #include <string>
@@ -64,6 +66,13 @@ class TcpConnection {
   /// Writes the entire span; returns an error on EOF/failure.
   Status WriteAll(std::span<const uint8_t> data);
 
+  /// Writes every byte of every iovec, gathering them into as few syscalls
+  /// as the kernel allows (one `sendmsg` when the socket buffer has room).
+  /// Handles partial writes by resuming mid-iovec.  Empty iovecs are
+  /// skipped; an all-empty span is a no-op.  This is what keeps framed
+  /// sends at one syscall per message (see net/framing.h).
+  Status WritevAll(std::span<const iovec> iov);
+
   /// Reads exactly data.size() bytes; kUnavailable on orderly EOF.
   Status ReadExact(std::span<uint8_t> data);
 
@@ -80,6 +89,11 @@ class TcpConnection {
  private:
   FdGuard fd_;
 };
+
+/// Process-wide count of write-side socket syscalls (`send` + `sendmsg`)
+/// issued by TcpConnection.  A test shim: frame-write tests assert the
+/// syscalls-per-message budget (one `sendmsg` per frame) without strace.
+uint64_t WriteSyscallCount() noexcept;
 
 /// A listening TCP socket bound to 127.0.0.1.
 class TcpListener {

@@ -101,8 +101,12 @@ void Master::Reset() {
 }
 
 Master& master() {
-  static Master instance;
-  return instance;
+  // Leaked, like the arena pool: subscription/connection threads unwinding
+  // at process exit still unregister their topics, and a function-local
+  // static would be destroyed out from under them (heap-use-after-free in
+  // the topic map, caught by ASan in the fig13 bench teardown).
+  static auto* instance = new Master();
+  return *instance;
 }
 
 }  // namespace ros

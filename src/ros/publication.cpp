@@ -92,34 +92,47 @@ void Publication::AcceptLoop() {
 
 void Publication::SenderLoop(SubscriberLink* link) {
   while (true) {
-    auto message = link->queue.Pop();
-    if (!message.has_value()) return;  // queue shut down
-    const auto status = rsf::net::WriteFrame(
-        link->connection,
-        std::span<const uint8_t>(message->data.get(), message->size));
-    if (!status.ok()) {
-      link->dead.store(true, std::memory_order_release);
-      return;  // subscriber went away; the link is culled on next publish
+    // Drain whatever is queued in one lock acquisition; each message still
+    // goes out as its own frame (one gathered syscall per frame).
+    auto batch = link->queue.PopAll();
+    if (batch.empty()) return;  // queue shut down and drained
+    for (const auto& message : batch) {
+      const auto status = rsf::net::WriteFrame(
+          link->connection,
+          std::span<const uint8_t>(message.data.get(), message.size));
+      if (!status.ok()) {
+        link->dead.store(true, std::memory_order_release);
+        return;  // subscriber went away; the link is culled on next publish
+      }
     }
   }
 }
 
 void Publication::Publish(SerializedMessage message) {
-  std::lock_guard<std::mutex> lock(links_mutex_);
-  // Cull links whose sender hit a broken pipe.
-  for (auto it = links_.begin(); it != links_.end();) {
-    if ((*it)->dead.load(std::memory_order_acquire)) {
-      (*it)->queue.Shutdown();
-      (*it)->sender.join();
-      it = links_.erase(it);
-    } else {
-      ++it;
+  // Cull links whose sender hit a broken pipe: unhook them under the lock,
+  // but Shutdown()/join() after releasing it — joining a sender that is
+  // blocked in a multi-megabyte send would otherwise stall every other
+  // publisher of this topic behind links_mutex_.
+  std::vector<std::unique_ptr<SubscriberLink>> reaped;
+  {
+    std::lock_guard<std::mutex> lock(links_mutex_);
+    for (auto it = links_.begin(); it != links_.end();) {
+      if ((*it)->dead.load(std::memory_order_acquire)) {
+        reaped.push_back(std::move(*it));
+        it = links_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (const auto& link : links_) {
+      // Aliased shared buffer: fan-out costs one shared_ptr copy per link.
+      link->queue.Push(message);
+      sent_count_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  for (const auto& link : links_) {
-    // Aliased shared buffer: fan-out costs one shared_ptr copy per link.
-    link->queue.Push(message);
-    sent_count_.fetch_add(1, std::memory_order_relaxed);
+  for (const auto& link : reaped) {
+    link->queue.Shutdown();
+    link->sender.join();
   }
 }
 

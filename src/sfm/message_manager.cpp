@@ -1,6 +1,7 @@
 #include "sfm/message_manager.h"
 
 #include <cstring>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -103,6 +104,37 @@ const char* MessageStateName(MessageState state) noexcept {
   return "?";
 }
 
+MessageManager::ThreadRecordCache& MessageManager::Cache() noexcept {
+  static thread_local ThreadRecordCache cache;
+  return cache;
+}
+
+MessageManager::~MessageManager() {
+  // Records still registered at destruction (leaked messages) may be parked
+  // in some thread's cache; clearing `live` keeps such an entry from
+  // validating against a later manager or arena at the same address.
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  for (auto& [key, record] : records_) {
+    record->live.store(false, std::memory_order_release);
+  }
+}
+
+uint8_t* MessageManager::Insert(uint8_t* start, size_t capacity, size_t size,
+                                MessageState state,
+                                std::shared_ptr<uint8_t[]> buffer,
+                                const char* datatype) {
+  auto record = std::make_shared<Record>();
+  record->start = start;
+  record->capacity = capacity;
+  record->size.store(size, std::memory_order_relaxed);
+  record->state.store(state, std::memory_order_relaxed);
+  record->buffer = std::move(buffer);
+  record->datatype = datatype;
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  records_.emplace(reinterpret_cast<uintptr_t>(start), std::move(record));
+  return start;
+}
+
 void* MessageManager::Allocate(const char* datatype, size_t capacity,
                                size_t skeleton_size) {
   SFM_CHECK_MSG(skeleton_size <= capacity,
@@ -111,88 +143,141 @@ void* MessageManager::Allocate(const char* datatype, size_t capacity,
   auto block =
       std::shared_ptr<uint8_t[]>(pooled.release(), PooledDeleter{capacity});
   uint8_t* start = block.get();
-  std::memset(start, 0, skeleton_size);
+  std::memset(start, 0, skeleton_size);  // before registration: no lock held
 
-  Record record;
-  record.start = start;
-  record.capacity = capacity;
-  record.size = skeleton_size;
-  record.state = MessageState::kAllocated;
-  record.buffer = std::move(block);
-  record.datatype = datatype;
-
-  std::lock_guard<std::mutex> lock(mutex_);
-  records_.emplace(reinterpret_cast<uintptr_t>(start), std::move(record));
-  ++stats_.allocations;
+  Insert(start, capacity, skeleton_size, MessageState::kAllocated,
+         std::move(block), datatype);
+  allocations_.fetch_add(1, std::memory_order_relaxed);
   return start;
 }
 
 bool MessageManager::Release(void* start) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = records_.find(reinterpret_cast<uintptr_t>(start));
-  if (it == records_.end()) return false;
-  // Erasing the record drops the manager's buffer pointer; the block is
-  // freed by shared_ptr once any in-flight transport references die.
-  records_.erase(it);
-  ++stats_.releases;
+  std::shared_ptr<uint8_t[]> doomed;  // freed after the lock is dropped
+  {
+    std::unique_lock<std::shared_mutex> lock(index_mutex_);
+    const auto it = records_.find(reinterpret_cast<uintptr_t>(start));
+    if (it == records_.end()) return false;
+    Record& record = *it->second;
+    // Order matters for lock-free cache validation: clear `live` first so a
+    // parked cache entry can never validate once the buffer is gone.
+    record.live.store(false, std::memory_order_release);
+    doomed = std::move(record.buffer);
+    records_.erase(it);
+  }
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  // Erasing the record dropped the manager's buffer pointer; `doomed` dies
+  // here and the block is freed (or pooled) once any in-flight transport
+  // references die — outside the index lock either way.
   return true;
 }
 
-MessageManager::Record* MessageManager::FindLocked(const void* addr) {
+std::shared_ptr<MessageManager::Record> MessageManager::FindInIndex(
+    const void* addr) const {
   const auto key = reinterpret_cast<uintptr_t>(addr);
   auto it = records_.upper_bound(key);
   if (it == records_.begin()) return nullptr;
   --it;
-  Record& record = it->second;
-  if (key >= it->first + record.capacity) return nullptr;
-  return &record;
-}
-
-const MessageManager::Record* MessageManager::FindLocked(
-    const void* addr) const {
-  return const_cast<MessageManager*>(this)->FindLocked(addr);
+  if (key >= it->first + it->second->capacity) return nullptr;
+  return it->second;
 }
 
 void* MessageManager::Expand(const void* field_addr, size_t bytes,
                              size_t align) {
   SFM_CHECK_MSG(align != 0 && (align & (align - 1)) == 0,
                 "alignment must be a power of two");
-  std::lock_guard<std::mutex> lock(mutex_);
-  Record* record = FindLocked(field_addr);
-  if (record == nullptr) {
-    RaiseAlert(Violation::kUnmanagedMessage,
-               "an sfm field requested memory but its message is not "
-               "arena-allocated; declare the message on the heap (the ROS-SF "
-               "Converter rewrites stack declarations automatically)");
-    return nullptr;  // unreachable: kUnmanagedMessage always throws
+  const auto key = reinterpret_cast<uintptr_t>(field_addr);
+
+  // Fast path: the thread's cached record still covers this address and is
+  // still live — no lock, no search.  The shared_ptr guarantees the Record
+  // struct outlives any concurrent Release; `live` (cleared under the
+  // writer lock before the buffer is dropped) guarantees we never grant
+  // space in a freed arena.
+  ThreadRecordCache& cache = Cache();
+  Record* record = nullptr;
+  if (cache.manager == this && key >= cache.start &&
+      key < cache.start + cache.capacity &&
+      cache.record->live.load(std::memory_order_acquire)) {
+    record = cache.record.get();
+  } else {
+    std::shared_lock<std::shared_mutex> lock(index_mutex_);
+    std::shared_ptr<Record> found = FindInIndex(field_addr);
+    if (found == nullptr) {
+      RaiseAlert(
+          Violation::kUnmanagedMessage,
+          "an sfm field requested memory but its message is not "
+          "arena-allocated; declare the message on the heap (the ROS-SF "
+          "Converter rewrites stack declarations automatically)");
+      return nullptr;  // unreachable: kUnmanagedMessage always throws
+    }
+    cache.manager = this;
+    cache.start = reinterpret_cast<uintptr_t>(found->start);
+    cache.capacity = found->capacity;
+    cache.record = std::move(found);
+    record = cache.record.get();
   }
-  const size_t aligned_end = AlignUp(record->size, align);
-  if (aligned_end + bytes > record->capacity) {
-    RaiseAlert(Violation::kArenaOverflow,
-               "whole message for " + std::string(record->datatype) +
-                   " would grow to " + std::to_string(aligned_end + bytes) +
-                   " bytes, over the arena capacity of " +
-                   std::to_string(record->capacity) +
-                   "; raise it in the IDL (@arena_capacity) or via "
-                   "sfm::SetArenaCapacity()");
-    return nullptr;  // unreachable: kArenaOverflow always throws
-  }
+
+  // Reserve [aligned_end, aligned_end + bytes) with a CAS bump: concurrent
+  // expanders of the same message get disjoint regions, and expanders of
+  // different messages never touch the same lock or cache line.
+  size_t old_size = record->size.load(std::memory_order_relaxed);
+  size_t aligned_end;
+  do {
+    aligned_end = AlignUp(old_size, align);
+    if (aligned_end + bytes > record->capacity) {
+      RaiseAlert(Violation::kArenaOverflow,
+                 "whole message for " + std::string(record->datatype) +
+                     " would grow to " + std::to_string(aligned_end + bytes) +
+                     " bytes, over the arena capacity of " +
+                     std::to_string(record->capacity) +
+                     "; raise it in the IDL (@arena_capacity) or via "
+                     "sfm::SetArenaCapacity()");
+      return nullptr;  // unreachable: kArenaOverflow always throws
+    }
+  } while (!record->size.compare_exchange_weak(
+      old_size, aligned_end + bytes, std::memory_order_acq_rel,
+      std::memory_order_relaxed));
+
+  // Zero the granted region outside any lock: it was exclusively reserved
+  // above, and the arena block cannot disappear while the caller
+  // legitimately owns the message it is expanding.
   uint8_t* out = record->start + aligned_end;
   std::memset(out, 0, bytes);
-  record->size = aligned_end + bytes;
-  ++stats_.expansions;
+  expansions_.fetch_add(1, std::memory_order_relaxed);
   return out;
 }
 
 std::optional<BufferRef> MessageManager::Publish(const void* start) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = records_.find(reinterpret_cast<uintptr_t>(start));
+  const auto key = reinterpret_cast<uintptr_t>(start);
+
+  // Fast path: the publishing thread's cached record IS this message (the
+  // overwhelmingly common shape — the thread that filled the message, whose
+  // Expands primed the cache, is the thread that publishes it).  Publish
+  // requires the record START, so the hit test is exact-key, not range.
+  // Reading `buffer` without the index lock is safe for the same reason
+  // Expand's arena writes are: only Release moves the buffer out, and
+  // releasing a message while another thread is still publishing it is a
+  // use-after-free in the caller (see the ownership rule in the header).
+  ThreadRecordCache& cache = Cache();
+  if (cache.manager == this && key == cache.start &&
+      cache.record->live.load(std::memory_order_acquire)) {
+    Record& record = *cache.record;
+    record.state.store(MessageState::kPublished, std::memory_order_release);
+    publishes_.fetch_add(1, std::memory_order_relaxed);
+    return BufferRef{std::shared_ptr<const uint8_t[]>(record.buffer),
+                     record.size.load(std::memory_order_acquire)};
+  }
+
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  const auto it = records_.find(key);
   if (it == records_.end()) return std::nullopt;
-  Record& record = it->second;
-  record.state = MessageState::kPublished;
-  ++stats_.publishes;
+  Record& record = *it->second;
+  record.state.store(MessageState::kPublished, std::memory_order_release);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  // Copying `record.buffer` is safe under the shared lock: the shared_ptr
+  // object itself is immutable after insertion (only Release moves it out,
+  // under the writer lock), and control-block refcounting is atomic.
   return BufferRef{std::shared_ptr<const uint8_t[]>(record.buffer),
-                   record.size};
+                   record.size.load(std::memory_order_acquire)};
 }
 
 const uint8_t* MessageManager::AdoptReceived(const char* datatype,
@@ -200,30 +285,37 @@ const uint8_t* MessageManager::AdoptReceived(const char* datatype,
                                              size_t capacity, size_t size) {
   SFM_CHECK_MSG(size <= capacity, "received message larger than its block");
   uint8_t* start = block.get();
+  Insert(start, capacity, size, MessageState::kPublished,
+         std::shared_ptr<uint8_t[]>(block.release(),
+                                    std::default_delete<uint8_t[]>()),
+         datatype);
+  received_adoptions_.fetch_add(1, std::memory_order_relaxed);
+  return start;
+}
 
-  Record record;
-  record.start = start;
-  record.capacity = capacity;
-  record.size = size;
-  record.state = MessageState::kPublished;  // paper Fig. 9: enters Published
-  record.buffer = std::shared_ptr<uint8_t[]>(block.release(),
-                                             std::default_delete<uint8_t[]>());
-  record.datatype = datatype;
-
-  std::lock_guard<std::mutex> lock(mutex_);
-  records_.emplace(reinterpret_cast<uintptr_t>(start), std::move(record));
-  ++stats_.received_adoptions;
+const uint8_t* MessageManager::AdoptReceived(const char* datatype,
+                                             PooledBlock block,
+                                             size_t capacity, size_t size) {
+  SFM_CHECK_MSG(size <= capacity, "received message larger than its block");
+  uint8_t* start = block.get();
+  Insert(start, capacity, size, MessageState::kPublished,
+         std::shared_ptr<uint8_t[]>(block.release(), PooledDeleter{capacity}),
+         datatype);
+  received_adoptions_.fetch_add(1, std::memory_order_relaxed);
   return start;
 }
 
 bool MessageManager::TryWholeCopy(void* dst, const void* src,
                                   size_t skeleton_size) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Whole-copy is a rare, coarse operation (generated operator=): the
+  // writer lock keeps it trivially exclusive against the lock-free Expand
+  // path mutating dst's size concurrently.
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
   const auto dst_it = records_.find(reinterpret_cast<uintptr_t>(dst));
   if (dst_it == records_.end()) return false;
-  Record& dst_record = dst_it->second;
+  Record& dst_record = *dst_it->second;
 
-  const Record* src_record = FindLocked(src);
+  const std::shared_ptr<Record> src_record = FindInIndex(src);
   size_t src_size = skeleton_size;
   if (src_record != nullptr) {
     if (src_record->start != static_cast<const uint8_t*>(src)) {
@@ -231,7 +323,7 @@ bool MessageManager::TryWholeCopy(void* dst, const void* src,
       // caller must copy field-wise so payloads land in dst's arena.
       return false;
     }
-    src_size = src_record->size;
+    src_size = src_record->size.load(std::memory_order_acquire);
   }
   if (src_size > dst_record.capacity) {
     RaiseAlert(Violation::kArenaOverflow,
@@ -241,64 +333,53 @@ bool MessageManager::TryWholeCopy(void* dst, const void* src,
     return true;  // unreachable: kArenaOverflow always throws
   }
   std::memcpy(dst_record.start, src, src_size);
-  dst_record.size = src_size;
+  dst_record.size.store(src_size, std::memory_order_release);
   return true;
 }
 
-const uint8_t* MessageManager::AdoptReceived(const char* datatype,
-                                             PooledBlock block,
-                                             size_t capacity, size_t size) {
-  SFM_CHECK_MSG(size <= capacity, "received message larger than its block");
-  uint8_t* start = block.get();
-
-  Record record;
-  record.start = start;
-  record.capacity = capacity;
-  record.size = size;
-  record.state = MessageState::kPublished;
-  record.buffer =
-      std::shared_ptr<uint8_t[]>(block.release(), PooledDeleter{capacity});
-  record.datatype = datatype;
-
-  std::lock_guard<std::mutex> lock(mutex_);
-  records_.emplace(reinterpret_cast<uintptr_t>(start), std::move(record));
-  ++stats_.received_adoptions;
-  return start;
-}
-
 std::optional<RecordInfo> MessageManager::Find(const void* addr) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const Record* record = FindLocked(addr);
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  const std::shared_ptr<Record> record = FindInIndex(addr);
   if (record == nullptr) return std::nullopt;
   RecordInfo info;
   info.start = record->start;
   info.capacity = record->capacity;
-  info.size = record->size;
-  info.state = record->state;
+  info.size = record->size.load(std::memory_order_acquire);
+  info.state = record->state.load(std::memory_order_acquire);
   info.use_count = record->buffer.use_count();
   info.datatype = record->datatype;
   return info;
 }
 
 size_t MessageManager::SizeOf(const void* addr) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const Record* record = FindLocked(addr);
-  return record == nullptr ? 0 : record->size;
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  const std::shared_ptr<Record> record = FindInIndex(addr);
+  return record == nullptr ? 0
+                           : record->size.load(std::memory_order_acquire);
 }
 
 size_t MessageManager::LiveCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
   return records_.size();
 }
 
 ManagerStats MessageManager::Stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  ManagerStats stats;
+  stats.allocations = allocations_.load(std::memory_order_relaxed);
+  stats.releases = releases_.load(std::memory_order_relaxed);
+  stats.expansions = expansions_.load(std::memory_order_relaxed);
+  stats.publishes = publishes_.load(std::memory_order_relaxed);
+  stats.received_adoptions =
+      received_adoptions_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void MessageManager::ResetStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_ = ManagerStats{};
+  allocations_.store(0, std::memory_order_relaxed);
+  releases_.store(0, std::memory_order_relaxed);
+  expansions_.store(0, std::memory_order_relaxed);
+  publishes_.store(0, std::memory_order_relaxed);
+  received_adoptions_.store(0, std::memory_order_relaxed);
 }
 
 MessageManager& gmm() {

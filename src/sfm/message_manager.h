@@ -19,14 +19,28 @@
 // record by binary search over the address-ordered record map — exactly the
 // lookup structure the paper describes — bumps `size`, and returns the new
 // region.
+//
+// Concurrency model (see DESIGN.md "Manager concurrency model"): the record
+// index is read-mostly.  Mutations of the index itself — Allocate, Release,
+// AdoptReceived, TryWholeCopy — take the writer side of a shared_mutex;
+// index readers (Publish, Find, the Expand slow path) take the reader side,
+// so concurrent publishers never serialize on one lock.  Expand reserves
+// its region with a CAS bump loop on the record's atomic size and zeroes
+// the granted bytes outside any lock.  A thread-local one-entry record
+// cache holds a shared_ptr to the last record this thread expanded; a hit
+// is validated by an address-range check plus the record's atomic `live`
+// flag (cleared on Release and manager destruction), making the common
+// pattern — many Expand() calls against the same in-flight message —
+// entirely lock-free: no index lock, no search, one atomic load + one CAS.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 
 namespace sfm {
@@ -83,10 +97,16 @@ size_t ArenaPoolBytes();
 /// Drops all pooled blocks.
 void TrimArenaPool();
 
-/// The message manager.  All methods are thread-safe.
+/// The message manager.  All methods are thread-safe with respect to each
+/// other and to operations on *other* messages.  Operations on one message
+/// follow the normal ownership rule: the thread(s) writing a message may
+/// Expand it concurrently (the CAS bump makes grants disjoint), but
+/// releasing a message while another thread is still expanding it is a
+/// use-after-free bug in the caller, exactly as with any heap object.
 class MessageManager {
  public:
   MessageManager() = default;
+  ~MessageManager();
   MessageManager(const MessageManager&) = delete;
   MessageManager& operator=(const MessageManager&) = delete;
 
@@ -108,11 +128,21 @@ class MessageManager {
   /// size.  Raises kUnmanagedMessage if no record contains `field_addr`
   /// (stack-allocated message: the ROS-SF Converter was not applied) and
   /// kArenaOverflow if capacity is exceeded.  Both are fatal alerts.
+  ///
+  /// Lock-free on the fast path: when the thread's one-entry record cache
+  /// still covers `field_addr` (the overwhelmingly common case — a message
+  /// is filled by one thread, field by field), no index lock is taken at
+  /// all; the region is reserved with a CAS loop on the record's atomic
+  /// size and zeroed outside any lock.  A cache miss falls back to a
+  /// shared-lock binary search and refills the cache.
   void* Expand(const void* field_addr, size_t bytes, size_t align);
 
   /// Marks the message Published and returns an aliased buffer pointer
   /// covering the whole message, for the transmission queue.  nullopt if
-  /// `start` is not registered.
+  /// `start` is not registered.  Lock-free when the calling thread's record
+  /// cache holds this message (the thread that filled it publishes it);
+  /// otherwise takes only a shared lock, so publishers on different
+  /// messages never serialize either way.
   std::optional<BufferRef> Publish(const void* start);
 
   /// Receive path: registers an externally filled arena.  `block` is the
@@ -153,19 +183,50 @@ class MessageManager {
   struct Record {
     uint8_t* start = nullptr;
     size_t capacity = 0;
-    size_t size = 0;
-    MessageState state = MessageState::kAllocated;
+    // The per-record fields the hot path touches; everything else is
+    // immutable once the record is inserted (writer lock held).  `live` is
+    // what lets a thread cache validate a record without the index lock:
+    // Release (and manager destruction) clears it before the record leaves
+    // the index, and the Record struct itself is shared_ptr-owned, so a
+    // stale cache entry reads a cleared flag instead of freed memory.
+    std::atomic<size_t> size{0};
+    std::atomic<MessageState> state{MessageState::kAllocated};
+    std::atomic<bool> live{true};
     std::shared_ptr<uint8_t[]> buffer;  // the buffer pointer
     const char* datatype = "";
   };
 
-  // Returns the record containing `addr`, or nullptr.  Caller holds mutex_.
-  Record* FindLocked(const void* addr);
-  const Record* FindLocked(const void* addr) const;
+  /// One-entry per-thread cache of the last record an Expand() resolved.
+  /// The shared_ptr keeps the (small) Record struct alive across a
+  /// concurrent Release, so validation — range check + `live` — is safe
+  /// with no lock.  Release moves the buffer pointer out of the record, so
+  /// a parked cache entry never pins a multi-megabyte arena block.
+  struct ThreadRecordCache {
+    const MessageManager* manager = nullptr;
+    uintptr_t start = 0;
+    size_t capacity = 0;
+    std::shared_ptr<Record> record;
+  };
+  static ThreadRecordCache& Cache() noexcept;
 
-  mutable std::mutex mutex_;
-  std::map<uintptr_t, Record> records_;  // keyed by start address
-  ManagerStats stats_;
+  // Returns the record containing `addr`, or nullptr.  Caller holds
+  // index_mutex_ in either mode (read-only on the map).
+  std::shared_ptr<Record> FindInIndex(const void* addr) const;
+
+  // Inserts a fresh record under the writer lock and returns its start.
+  uint8_t* Insert(uint8_t* start, size_t capacity, size_t size,
+                  MessageState state, std::shared_ptr<uint8_t[]> buffer,
+                  const char* datatype);
+
+  mutable std::shared_mutex index_mutex_;
+  std::map<uintptr_t, std::shared_ptr<Record>> records_;  // keyed by start
+
+  // Relaxed: counters are monotonic telemetry, never synchronization.
+  std::atomic<uint64_t> allocations_{0};
+  std::atomic<uint64_t> releases_{0};
+  std::atomic<uint64_t> expansions_{0};
+  std::atomic<uint64_t> publishes_{0};
+  std::atomic<uint64_t> received_adoptions_{0};
 };
 
 /// The global message manager (`sfm::gmm` in the paper).

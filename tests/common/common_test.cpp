@@ -231,6 +231,41 @@ TEST(ConcurrentQueue, PopForTimesOut) {
   EXPECT_GE(watch.ElapsedNanos(), 15'000'000ull);
 }
 
+TEST(ConcurrentQueue, PopAllDrainsEverythingAtOnce) {
+  ConcurrentQueue<int> queue;
+  queue.Push(1);
+  queue.Push(2);
+  queue.Push(3);
+  const auto batch = queue.PopAll();
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0], 1);
+  EXPECT_EQ(batch[2], 3);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(ConcurrentQueue, PopAllBlocksThenReturnsEmptyOnShutdown) {
+  ConcurrentQueue<int> queue;
+  std::thread waiter([&] {
+    EXPECT_EQ(queue.PopAll().size(), 1u);  // woken by the push below
+    EXPECT_TRUE(queue.PopAll().empty());   // woken by shutdown
+  });
+  SleepForNanos(10'000'000);
+  queue.Push(7);
+  SleepForNanos(10'000'000);
+  queue.Shutdown();
+  waiter.join();
+}
+
+TEST(ConcurrentQueue, PopAllUnblocksWaitingBoundedPushers) {
+  ConcurrentQueue<int> queue(1, QueueFullPolicy::kBlock);
+  queue.Push(1);
+  std::thread pusher([&] { EXPECT_TRUE(queue.Push(2)); });  // blocks: full
+  SleepForNanos(10'000'000);
+  EXPECT_EQ(queue.PopAll().size(), 1u);  // drain must wake the pusher
+  pusher.join();
+  EXPECT_EQ(*queue.Pop(), 2);
+}
+
 TEST(ConcurrentQueue, ConcurrentProducersConsumers) {
   ConcurrentQueue<int> queue(1024, QueueFullPolicy::kBlock);
   constexpr int kPerProducer = 500;

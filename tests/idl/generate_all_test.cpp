@@ -1,6 +1,7 @@
 // Tests for the full-tree generation path (what the build-time sfmgen run
 // does): directory loading, output layout, and rewrite-only-when-changed.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -15,7 +16,10 @@ namespace fs = std::filesystem;
 class GenerateAllTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    root_ = fs::path(::testing::TempDir()) / "genall";
+    // Unique per process: parallel ctest runs each case in its own process
+    // and concurrent SetUp/TearDown must not share a working tree.
+    root_ = fs::path(::testing::TempDir()) /
+            ("genall_" + std::to_string(::getpid()));
     fs::remove_all(root_);
     fs::create_directories(root_ / "msgs" / "demo_msgs");
     Write("msgs/demo_msgs/Header.msg",

@@ -77,6 +77,83 @@ TEST(Socket, FdGuardMoveSemantics) {
   EXPECT_FALSE(b.valid());
 }
 
+TEST(Socket, WritevAllGathersManyIovecs) {
+  auto [client, server] = MakePair();
+  // 64 chunks with distinct fill values; total 1 MB so the socket buffer
+  // fills and WritevAll must resume mid-iovec after partial writes.
+  constexpr size_t kChunks = 64;
+  constexpr size_t kChunkSize = 16 * 1024;
+  std::vector<std::vector<uint8_t>> chunks(kChunks);
+  std::vector<iovec> iov(kChunks);
+  for (size_t i = 0; i < kChunks; ++i) {
+    chunks[i].assign(kChunkSize, static_cast<uint8_t>(i + 1));
+    iov[i] = {chunks[i].data(), chunks[i].size()};
+  }
+  std::thread writer([&] { ASSERT_TRUE(client.WritevAll(iov).ok()); });
+  std::vector<uint8_t> received(kChunks * kChunkSize);
+  ASSERT_TRUE(server.ReadExact(received).ok());
+  writer.join();
+  for (size_t i = 0; i < kChunks; ++i) {
+    EXPECT_EQ(received[i * kChunkSize], static_cast<uint8_t>(i + 1)) << i;
+    EXPECT_EQ(received[(i + 1) * kChunkSize - 1], static_cast<uint8_t>(i + 1))
+        << i;
+  }
+}
+
+TEST(Socket, WritevAllSkipsEmptyIovecs) {
+  auto [client, server] = MakePair();
+  uint8_t a[] = {1, 2};
+  uint8_t b[] = {3};
+  const iovec iov[] = {{nullptr, 0}, {a, 2}, {nullptr, 0}, {b, 1}};
+  ASSERT_TRUE(client.WritevAll(iov).ok());
+  uint8_t received[3] = {};
+  ASSERT_TRUE(server.ReadExact(received).ok());
+  EXPECT_EQ(received[0], 1);
+  EXPECT_EQ(received[2], 3);
+
+  // An all-empty gather is a no-op, not a syscall.
+  const uint64_t before = WriteSyscallCount();
+  const iovec empty[] = {{nullptr, 0}, {nullptr, 0}};
+  ASSERT_TRUE(client.WritevAll(empty).ok());
+  EXPECT_EQ(WriteSyscallCount(), before);
+}
+
+TEST(Framing, WriteFrameCostsOneSyscall) {
+  auto [client, server] = MakePair();
+  // Small enough that the socket buffer always has room: the length prefix
+  // and payload must go out in ONE gathered syscall (the seed paid two).
+  std::vector<uint8_t> payload(1024, 0x42);
+  const uint64_t before = WriteSyscallCount();
+  ASSERT_TRUE(WriteFrame(client, payload).ok());
+  EXPECT_EQ(WriteSyscallCount() - before, 1u);
+
+  std::vector<uint8_t> received(payload.size());
+  uint32_t length = 0;
+  ASSERT_TRUE(
+      ReadFrame(server, [&](uint32_t) { return received.data(); }, &length)
+          .ok());
+  EXPECT_EQ(length, payload.size());
+  EXPECT_EQ(received[0], 0x42);
+}
+
+TEST(Framing, ScatteredWriteCostsOneSyscall) {
+  auto [client, server] = MakePair();
+  const std::vector<uint8_t> head(16, 0x01);
+  const std::vector<uint8_t> body(2048, 0x02);
+  const uint64_t before = WriteSyscallCount();
+  ASSERT_TRUE(WriteFrameScattered(client, head, body).ok());
+  EXPECT_EQ(WriteSyscallCount() - before, 1u);
+
+  std::vector<uint8_t> received(head.size() + body.size());
+  uint32_t length = 0;
+  ASSERT_TRUE(
+      ReadFrame(server, [&](uint32_t) { return received.data(); }, &length)
+          .ok());
+  ASSERT_EQ(length, head.size() + body.size());
+  EXPECT_EQ(received[0], 0x01);
+  EXPECT_EQ(received[head.size()], 0x02);
+}
+
 TEST(Framing, RoundTripSmallAndLarge) {
   auto [client, server] = MakePair();
   for (const size_t size : {size_t{0}, size_t{1}, size_t{100000}}) {

@@ -4,6 +4,7 @@
 // compiler (-fsyntax-only) on a snippet and expects failure; a control
 // snippet proves the harness itself compiles cleanly.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,8 +26,11 @@ namespace {
 /// Compiles `body` inside a function that has an SFM Image `msg`; returns
 /// true if the snippet compiles.
 bool Compiles(const std::string& body) {
-  const std::string path =
-      std::string(::testing::TempDir()) + "/no_modifier_snippet.cpp";
+  // Unique per process: ctest runs each TEST as its own process, possibly
+  // in parallel, and concurrent cases must not clobber each other's snippet.
+  const std::string path = std::string(::testing::TempDir()) +
+                           "/no_modifier_snippet_" +
+                           std::to_string(::getpid()) + ".cpp";
   {
     std::ofstream out(path);
     out << "#include \"sensor_msgs/sfm/Image.h\"\n"
