@@ -9,8 +9,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/stats.h"
@@ -89,32 +92,72 @@ bool WaitFor(F&& predicate, uint64_t timeout_nanos = 30'000'000'000ull) {
   return predicate();
 }
 
+/// Which transport a RunPubSub cell measures.  The TCP default keeps the
+/// paper-reproduction figures (13/14/16) on wire semantics even though both
+/// nodes share this process; the intra tiers exercise the in-process
+/// transport negotiated at connect time.
+enum class Transport {
+  kTcp,            // loopback TCPROS: serialize, frame, send, receive
+  kIntraWholeCopy, // in-process, publish(const M&): one clone per publish
+  kIntraZeroCopy,  // in-process, publish(shared_ptr): alias, no copy
+};
+
+inline const char* TransportLabel(Transport transport) {
+  switch (transport) {
+    case Transport::kTcp: return "tcp";
+    case Transport::kIntraWholeCopy: return "intra-whole-copy";
+    case Transport::kIntraZeroCopy: return "intra-zero-copy";
+  }
+  return "?";
+}
+
 /// One pub -> sub latency run over the middleware (Fig. 12 topology).
 /// The subscription can be shaped with a SimLink config (Fig. 16 uses it).
+///
+/// The returned recorder follows the paper's convention (§5.1): the stamp
+/// goes into the message BEFORE the payload is written, so construction
+/// (arena zeroing, pixel fill) is inside the measured latency.  When
+/// `transport_latency` is non-null it additionally records publish-call to
+/// callback time — the transport cost alone, which is what stays flat on
+/// the zero-copy tier while the stamped number keeps the constant
+/// construction floor every transport shares.
 template <typename ImageT>
 rsf::LatencyRecorder RunPubSub(uint32_t width, uint32_t height,
                                const Options& options,
-                               rsf::net::LinkConfig link = {}) {
+                               rsf::net::LinkConfig link = {},
+                               Transport transport = Transport::kTcp,
+                               rsf::LatencyRecorder* transport_latency = nullptr) {
   ros::master().Reset();
   ros::NodeHandle pub_node("pub");
   ros::NodeHandle sub_node("sub");
 
   std::mutex mutex;
   rsf::LatencyRecorder recorder;
+  rsf::LatencyRecorder transport_recorder;
+  std::vector<uint64_t> publish_nanos(
+      static_cast<size_t>(options.iterations + options.warmup), 0);
   uint64_t seen = 0;
   const uint64_t skip = static_cast<uint64_t>(options.warmup);
   ros::SubscribeOptions sub_options;
   sub_options.inline_dispatch = true;
   sub_options.link = link;
+  sub_options.allow_intra_process = transport != Transport::kTcp;
   auto sub = sub_node.subscribe<ImageT>(
       "/image", 10,
       [&](const std::shared_ptr<const ImageT>& msg) {
+        const uint64_t now = rsf::MonotonicNanos();
         const uint64_t nanos = rsf::ElapsedSince(msg->header.stamp);
         // Touch the payload the way a consumer would.
         const volatile uint8_t probe = msg->data[msg->data.size() - 1];
         (void)probe;
         std::lock_guard<std::mutex> lock(mutex);
-        if (++seen > skip) recorder.AddNanos(nanos);
+        if (++seen > skip) {
+          recorder.AddNanos(nanos);
+          if (msg->header.seq < publish_nanos.size() &&
+              publish_nanos[msg->header.seq] != 0) {
+            transport_recorder.AddNanos(now - publish_nanos[msg->header.seq]);
+          }
+        }
       },
       sub_options);
   auto pub = pub_node.advertise<ImageT>("/image", 10);
@@ -129,7 +172,18 @@ rsf::LatencyRecorder RunPubSub(uint32_t width, uint32_t height,
   for (int i = 0; i < total; ++i) {
     auto msg = rsf::slam::NewMessage<ImageT>();
     FillImage(*msg, width, height, static_cast<uint32_t>(i));
-    pub.publish(*msg);
+    {
+      // The publish-side half of the transport-only measurement; written
+      // under the callback mutex so an async (TCP) delivery reads it safely.
+      std::lock_guard<std::mutex> lock(mutex);
+      publish_nanos[static_cast<size_t>(i)] = rsf::MonotonicNanos();
+    }
+    if (transport == Transport::kIntraZeroCopy) {
+      // Hand ownership over: co-located subscribers alias this message.
+      pub.publish(std::shared_ptr<const ImageT>(std::move(msg)));
+    } else {
+      pub.publish(*msg);
+    }
     rate.Sleep();
     // Flow control: cap the in-flight window so a slow consumer (one core
     // moving 6MB frames) never overflows the drop-oldest queues — the
@@ -141,6 +195,7 @@ rsf::LatencyRecorder RunPubSub(uint32_t width, uint32_t height,
           10'000'000'000ull);
 
   std::lock_guard<std::mutex> lock(mutex);
+  if (transport_latency != nullptr) *transport_latency = transport_recorder;
   return recorder;
 }
 

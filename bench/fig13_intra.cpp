@@ -1,28 +1,122 @@
 // Reproduces paper Fig. 13: intra-machine transmission latency of ROS vs
-// ROS-SF over loopback TCP for three image sizes (~200KB / ~1MB / ~6MB).
+// ROS-SF for four image sizes (~200KB / ~1MB / ~4MB / ~6MB), and extends it
+// with the in-process transport the paper motivates: when publisher and
+// subscriber share a process, connect-time negotiation replaces loopback
+// TCP with a direct link — a whole-copy tier (one clone per publish) and a
+// zero-copy tier (subscribers alias the published message).
 //
-// Expected shape (paper §5.1): ROS-SF is faster at every size, the gap
-// grows with message size (serialization + de-serialization are O(bytes)),
-// reaching roughly a 76% reduction at 6MB.
+// Expected shape (paper §5.1): ROS-SF beats ROS at every size and the gap
+// grows with message size (serialization is O(bytes)); the in-process tiers
+// then beat loopback TCP by >=10x at 4MB, with zero-copy staying near-flat
+// across sizes (latency no longer scales with the payload).
+//
+// Prints a table and writes BENCH_fig13.json into the working directory.
+#include <vector>
+
 #include "bench/bench_util.h"
+
+namespace {
+
+struct Cell {
+  const char* system;
+  const char* transport;
+  rsf::LatencyRecorder recorder;   // stamp-to-callback (incl. construction)
+  rsf::LatencyRecorder transport_only;  // publish-call-to-callback
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto options = bench::Options::Parse(argc, argv);
   rsf::SetLogLevel(rsf::LogLevel::kError);
 
+  // The paper's three sizes plus ~4MB, where the in-process speedup target
+  // (>=10x over loopback TCP) is asserted.
+  constexpr bench::ImageSize kSizes[] = {
+      {"~200KB (256x256x24b)", 256, 256},
+      {"~1MB (800x600x24b)", 800, 600},
+      {"~4MB (1344x1024x24b)", 1344, 1024},
+      {"~6MB (1920x1080x24b)", 1920, 1080},
+  };
+
   std::printf("=== Fig. 13: intra-machine latency, ROS vs ROS-SF ===\n");
   std::printf("(%d messages per cell at %.0f Hz%s)\n\n", options.iterations,
               options.hz, options.full ? ", paper-scale" : "");
 
-  for (const auto& size : bench::kPaperSizes) {
-    const auto ros = bench::RunPubSub<sensor_msgs::Image>(
-        size.width, size.height, options);
-    const auto rossf = bench::RunPubSub<sensor_msgs::sfm::Image>(
-        size.width, size.height, options);
-    bench::PrintRow("ROS", size.label, ros);
-    bench::PrintRow("ROS-SF", size.label, rossf);
-    bench::PrintReduction(ros.mean_ms(), rossf.mean_ms());
-    std::printf("\n");
+  FILE* json = std::fopen("BENCH_fig13.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"fig13_intra\",\n"
+                 "  \"unit\": \"publish-to-callback latency, ms\",\n"
+                 "  \"iterations\": %d,\n"
+                 "  \"hz\": %.1f,\n"
+                 "  \"results\": [",
+                 options.iterations, options.hz);
+  }
+
+  bool first_row = true;
+  for (const auto& size : kSizes) {
+    using bench::Transport;
+    std::vector<Cell> cells;
+    const auto run = [&](const char* system, const char* label, auto tag,
+                         Transport transport) {
+      using ImageT = typename decltype(tag)::type;
+      Cell cell{system, label, {}, {}};
+      cell.recorder = bench::RunPubSub<ImageT>(
+          size.width, size.height, options, {}, transport,
+          &cell.transport_only);
+      cells.push_back(cell);
+    };
+    struct RegularTag { using type = sensor_msgs::Image; };
+    struct SfmTag { using type = sensor_msgs::sfm::Image; };
+    run("ROS", "tcp", RegularTag{}, Transport::kTcp);
+    run("ROS-SF", "tcp", SfmTag{}, Transport::kTcp);
+    run("ROS-SF", "intra-whole-copy", SfmTag{}, Transport::kIntraWholeCopy);
+    run("ROS-SF", "intra-zero-copy", SfmTag{}, Transport::kIntraZeroCopy);
+
+    const double ros_tcp = cells[0].recorder.mean_ms();
+    const double rossf_tcp = cells[1].recorder.mean_ms();
+    const double zero_copy = cells[3].recorder.mean_ms();
+    const size_t bytes = static_cast<size_t>(size.width) * size.height * 3;
+
+    std::printf("%s (%zu bytes)\n", size.label, bytes);
+    for (const auto& cell : cells) {
+      char label[48];
+      std::snprintf(label, sizeof(label), "%s/%s", cell.system,
+                    cell.transport);
+      bench::PrintRow(cell.system, label, cell.recorder);
+      std::printf("           %-22s transport-only mean %8.3f ms\n", "",
+                  cell.transport_only.mean_ms());
+      if (json != nullptr) {
+        std::fprintf(
+            json,
+            "%s\n    {\"size\": \"%s\", \"bytes\": %zu, \"system\": \"%s\", "
+            "\"transport\": \"%s\", \"mean_ms\": %.4f, \"stddev_ms\": %.4f, "
+            "\"p50_ms\": %.4f, \"transport_mean_ms\": %.4f, "
+            "\"transport_p50_ms\": %.4f, \"n\": %llu}",
+            first_row ? "" : ",", size.label, bytes, cell.system,
+            cell.transport, cell.recorder.mean_ms(),
+            cell.recorder.stddev_ms(), cell.recorder.Percentile(0.5),
+            cell.transport_only.mean_ms(),
+            cell.transport_only.Percentile(0.5),
+            static_cast<unsigned long long>(cell.recorder.count()));
+        first_row = false;
+      }
+    }
+    bench::PrintReduction(ros_tcp, rossf_tcp);
+    std::printf(
+        "  => in-process zero-copy is %.1fx faster than ROS-SF/tcp "
+        "(%.1fx vs ROS/tcp); transport-only %.1fx vs ROS-SF/tcp\n\n",
+        rossf_tcp / zero_copy, ros_tcp / zero_copy,
+        cells[1].transport_only.mean_ms() /
+            cells[3].transport_only.mean_ms());
+  }
+
+  if (json != nullptr) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("  wrote BENCH_fig13.json\n");
   }
   return 0;
 }

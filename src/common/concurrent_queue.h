@@ -17,6 +17,15 @@ enum class QueueFullPolicy {
   kReject,      // push returns false
 };
 
+/// What happened to an Offer()ed element — callers that account for
+/// deliveries (publisher link stats) need to know when acceptance came at
+/// the price of evicting a queued element that will now never be consumed.
+enum class PushOutcome {
+  kAccepted,              // enqueued, nothing displaced
+  kAcceptedEvictedOldest, // enqueued, but the oldest queued element was dropped
+  kRejected,              // not enqueued (kReject policy or shutdown)
+};
+
 template <typename T>
 class ConcurrentQueue {
  public:
@@ -32,26 +41,35 @@ class ConcurrentQueue {
 
   /// Returns false only if rejected (kReject policy) or shut down.
   bool Push(T item) {
+    return Offer(std::move(item)) != PushOutcome::kRejected;
+  }
+
+  /// Like Push, but reports whether acceptance evicted the oldest queued
+  /// element (kDropOldest policy) so callers can account for the drop.
+  PushOutcome Offer(T item) {
     std::unique_lock<std::mutex> lock(mutex_);
-    if (shutdown_) return false;
+    if (shutdown_) return PushOutcome::kRejected;
+    bool evicted = false;
     if (queue_.size() >= capacity_) {
       switch (policy_) {
         case QueueFullPolicy::kBlock:
           not_full_.wait(lock, [&] { return queue_.size() < capacity_ || shutdown_; });
-          if (shutdown_) return false;
+          if (shutdown_) return PushOutcome::kRejected;
           break;
         case QueueFullPolicy::kDropOldest:
           queue_.pop_front();
           ++dropped_;
+          evicted = true;
           break;
         case QueueFullPolicy::kReject:
-          return false;
+          return PushOutcome::kRejected;
       }
     }
     queue_.push_back(std::move(item));
     lock.unlock();
     not_empty_.notify_one();
-    return true;
+    return evicted ? PushOutcome::kAcceptedEvictedOldest
+                   : PushOutcome::kAccepted;
   }
 
   /// Blocks until an item is available or the queue is shut down.

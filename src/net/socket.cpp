@@ -29,10 +29,8 @@ uint64_t WriteSyscallCount() noexcept {
 }
 
 void FdGuard::Reset() noexcept {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  const int fd = Release();
+  if (fd >= 0) ::close(fd);
 }
 
 Result<TcpConnection> TcpConnection::Connect(const std::string& host,
@@ -166,10 +164,36 @@ Result<TcpListener> TcpListener::Listen(uint16_t port) {
   return TcpListener(std::move(fd), ntohs(addr.sin_port));
 }
 
+bool IsTransientAcceptErrno(int error) noexcept {
+  switch (error) {
+    case ECONNABORTED:  // peer aborted between SYN and accept
+    case EINTR:         // signal; retried inline below, listed for callers
+    case EMFILE:        // process fd table full — may drain
+    case ENFILE:        // system fd table full — may drain
+    case ENOBUFS:       // transient kernel memory pressure
+    case ENOMEM:
+    case EAGAIN:        // spurious wake-up on some kernels
+    case EPROTO:        // protocol error on the nascent connection
+      return true;
+    default:
+      return false;
+  }
+}
+
 Result<TcpConnection> TcpListener::Accept() {
-  const int client = ::accept(fd_.fd(), nullptr, nullptr);
-  if (client < 0) return ErrnoStatus("accept");
-  return TcpConnection(FdGuard(client));
+  for (;;) {
+    const int client = ::accept(fd_.fd(), nullptr, nullptr);
+    if (client >= 0) return TcpConnection(FdGuard(client));
+    if (errno == EINTR) continue;  // signal delivery is never fatal here
+    // Transient failures come back as kResourceExhausted so accept loops
+    // can back off and retry instead of abandoning the listener; anything
+    // else (EBADF/EINVAL after Close()) is a terminal kUnavailable.
+    if (IsTransientAcceptErrno(errno)) {
+      return ResourceExhaustedError(std::string("accept: ") +
+                                    std::strerror(errno));
+    }
+    return ErrnoStatus("accept");
+  }
 }
 
 void TcpListener::Close() noexcept {

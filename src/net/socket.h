@@ -8,6 +8,7 @@
 
 #include <sys/uio.h>
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -17,6 +18,13 @@
 namespace rsf::net {
 
 /// Owns a file descriptor; closes it on destruction.  Move-only.
+///
+/// The descriptor is held atomically because the middleware's shutdown
+/// pattern closes sockets from one thread to unblock another thread parked
+/// in accept(2)/recv(2) on the same guard — the standard TCPROS unblock
+/// idiom.  Ownership transfers (move, Release, Reset) are still single-
+/// owner operations; the atomic only makes the close-while-blocked-reader
+/// handoff well defined.
 class FdGuard {
  public:
   FdGuard() noexcept = default;
@@ -27,28 +35,26 @@ class FdGuard {
   FdGuard& operator=(FdGuard&& other) noexcept {
     if (this != &other) {
       Reset();
-      fd_ = other.Release();
+      fd_.store(other.Release(), std::memory_order_relaxed);
     }
     return *this;
   }
   FdGuard(const FdGuard&) = delete;
   FdGuard& operator=(const FdGuard&) = delete;
 
-  [[nodiscard]] int fd() const noexcept { return fd_; }
-  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept {
+    return fd_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool valid() const noexcept { return fd() >= 0; }
 
   /// Releases ownership without closing.
-  int Release() noexcept {
-    int fd = fd_;
-    fd_ = -1;
-    return fd;
-  }
+  int Release() noexcept { return fd_.exchange(-1, std::memory_order_relaxed); }
 
-  /// Closes the descriptor (idempotent).
+  /// Closes the descriptor (idempotent, safe against a concurrent Close).
   void Reset() noexcept;
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
 };
 
 /// A connected TCP stream.  Thread-compatible: one reader + one writer
@@ -95,13 +101,21 @@ class TcpConnection {
 /// syscalls-per-message budget (one `sendmsg` per frame) without strace.
 uint64_t WriteSyscallCount() noexcept;
 
+/// True for accept(2) errno values that do not poison the listener —
+/// aborted handshakes (ECONNABORTED, EPROTO), fd-table or kernel-memory
+/// exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM), signals (EINTR) — so accept
+/// loops should back off and retry instead of exiting.
+bool IsTransientAcceptErrno(int error) noexcept;
+
 /// A listening TCP socket bound to 127.0.0.1.
 class TcpListener {
  public:
   /// Binds and listens; port 0 picks an ephemeral port.
   static Result<TcpListener> Listen(uint16_t port);
 
-  /// Blocks until a connection arrives; kUnavailable once closed.
+  /// Blocks until a connection arrives.  EINTR is retried internally;
+  /// transient failures (see IsTransientAcceptErrno) come back as
+  /// kResourceExhausted, terminal ones (listener closed) as kUnavailable.
   Result<TcpConnection> Accept();
 
   [[nodiscard]] uint16_t port() const noexcept { return port_; }

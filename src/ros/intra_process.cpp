@@ -1,0 +1,34 @@
+#include "ros/intra_process.h"
+
+namespace ros {
+
+void IntraProcessRegistry::Register(const std::string& topic, uint16_t port,
+                                    std::weak_ptr<Publication> publication) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  endpoints_[Key{topic, port}] = std::move(publication);
+}
+
+void IntraProcessRegistry::Unregister(const std::string& topic,
+                                      uint16_t port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  endpoints_.erase(Key{topic, port});
+}
+
+std::shared_ptr<Publication> IntraProcessRegistry::Find(
+    const std::string& topic, uint16_t port) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = endpoints_.find(Key{topic, port});
+  return it == endpoints_.end() ? nullptr : it->second.lock();
+}
+
+size_t IntraProcessRegistry::Size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return endpoints_.size();
+}
+
+IntraProcessRegistry& intra_registry() {
+  static auto* instance = new IntraProcessRegistry();
+  return *instance;
+}
+
+}  // namespace ros

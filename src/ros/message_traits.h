@@ -45,6 +45,19 @@ struct Serializer {
     return SerializedMessage{std::move(buffer), length};
   }
 
+  /// In-process whole-copy tier: one deep copy through the generated copy
+  /// constructor — no serialization, no wire format.  Safe while the
+  /// publisher keeps mutating `msg`.
+  static std::shared_ptr<const M> ToShared(const M& msg) {
+    return std::make_shared<const M>(msg);
+  }
+
+  /// In-process zero-copy tier: for regular messages shared ownership IS
+  /// the borrow — the subscriber holds the same heap object.
+  static std::shared_ptr<const M> Borrow(const std::shared_ptr<const M>& msg) {
+    return msg;
+  }
+
   struct ReceiveArena {
     std::unique_ptr<uint8_t[]> block;
 
@@ -85,6 +98,27 @@ struct Serializer<M> {
     auto buffer = std::shared_ptr<uint8_t[]>(new uint8_t[sizeof(M)]);
     std::memcpy(buffer.get(), &msg, sizeof(M));
     return SerializedMessage{std::move(buffer), sizeof(M)};
+  }
+
+  /// In-process whole-copy tier: the generated copy constructor routes
+  /// through MessageManager::TryWholeCopy — one arena memcpy of the whole
+  /// message, no per-field work (paper §4.3.1's assignment fast path).
+  static std::shared_ptr<const M> ToShared(const M& msg) {
+    return ::sfm::make_message<M>(msg);
+  }
+
+  /// In-process zero-copy tier: aliases the manager's buffer pointer, so
+  /// the subscriber's handle keeps the arena block alive even after the
+  /// publisher's shared_ptr dies and the record is released — SFM reads
+  /// are relative offsets and never need the record back (Fig. 8
+  /// life-cycle, extended to borrowed in-process readers).
+  static std::shared_ptr<const M> Borrow(const std::shared_ptr<const M>& msg) {
+    if (auto buffer = ::sfm::gmm().Borrow(msg.get())) {
+      return std::shared_ptr<const M>(std::move(buffer->data), msg.get());
+    }
+    // Unmanaged (stack-declared, never grown) message: plain shared
+    // ownership of the caller's object is still zero-copy.
+    return msg;
   }
 
   struct ReceiveArena {

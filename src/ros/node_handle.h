@@ -18,6 +18,8 @@
 
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "ros/callback_queue.h"
@@ -44,23 +46,50 @@ class Publisher {
  public:
   Publisher() = default;
 
-  /// Serializes (regular) or aliases (SFM) the message and enqueues it to
-  /// every connected subscriber.
+  /// Publishes a message the caller keeps owning (and may keep mutating).
+  /// TCP subscribers get the wire form; co-located subscribers get the
+  /// whole-copy tier — one clone, shared by all of them.
   template <Message M>
   void publish(const M& msg) const {
-    SFM_CHECK_MSG(impl_ != nullptr, "publish on an invalid Publisher");
-    SFM_CHECK_MSG(impl_->datatype() == M::DataType(),
-                  "publish type does not match advertise type");
-    impl_->Publish(Serializer<M>::ToWire(msg));
+    CheckType<M>();
+    if (impl_->HasIntraLinks()) {
+      impl_->DeliverIntra(std::static_pointer_cast<const void>(
+                              Serializer<M>::ToShared(msg)),
+                          IntraTier::kWholeCopy);
+    }
+    if (impl_->HasTcpLinks()) impl_->Publish(Serializer<M>::ToWire(msg));
   }
 
-  template <Message M>
-  void publish(const std::shared_ptr<M>& msg) const {
-    publish(*msg);
-  }
+  /// Publishing through a shared_ptr relinquishes mutation rights (roscpp's
+  /// intra-process contract): co-located subscribers get the zero-copy tier
+  /// — a handle aliasing this very message, no copy at all.
   template <Message M>
   void publish(const std::shared_ptr<const M>& msg) const {
-    publish(*msg);
+    CheckType<M>();
+    if (impl_->HasIntraLinks()) {
+      impl_->DeliverIntra(std::static_pointer_cast<const void>(
+                              Serializer<M>::Borrow(msg)),
+                          IntraTier::kZeroCopy);
+    }
+    if (impl_->HasTcpLinks()) impl_->Publish(Serializer<M>::ToWire(*msg));
+  }
+  template <Message M>
+  void publish(const std::shared_ptr<M>& msg) const {
+    publish(std::shared_ptr<const M>(msg));
+  }
+
+  /// Publishing an rvalue hands the message over: regular messages move
+  /// into shared ownership and ride the zero-copy tier; SFM messages clone
+  /// once into a fresh arena (relocating an arena-backed skeleton away from
+  /// its payloads would corrupt the relative offsets) and share that clone.
+  template <typename T, Message M = std::remove_cvref_t<T>>
+    requires(!std::is_lvalue_reference_v<T>)
+  void publish(T&& msg) const {
+    if constexpr (::sfm::is_sfm_message_v<M>) {
+      publish(Serializer<M>::ToShared(msg));
+    } else {
+      publish(std::shared_ptr<const M>(std::make_shared<M>(std::move(msg))));
+    }
   }
 
   [[nodiscard]] size_t getNumSubscribers() const {
@@ -69,6 +98,10 @@ class Publisher {
   [[nodiscard]] std::string getTopic() const {
     return impl_ ? impl_->topic() : std::string();
   }
+  /// Publisher-side delivery counters (TCP enqueues/drops, intra tiers).
+  [[nodiscard]] PublicationStats getStats() const {
+    return impl_ ? impl_->Stats() : PublicationStats{};
+  }
   [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
   void shutdown() { impl_.reset(); }
 
@@ -76,6 +109,14 @@ class Publisher {
   friend class NodeHandle;
   explicit Publisher(std::shared_ptr<Publication> impl)
       : impl_(std::move(impl)) {}
+
+  template <Message M>
+  void CheckType() const {
+    SFM_CHECK_MSG(impl_ != nullptr, "publish on an invalid Publisher");
+    SFM_CHECK_MSG(impl_->datatype() == M::DataType(),
+                  "publish type does not match advertise type");
+  }
+
   std::shared_ptr<Publication> impl_;
 };
 
@@ -89,6 +130,15 @@ class Subscriber {
   }
   [[nodiscard]] uint64_t receivedCount() const {
     return impl_ ? impl_->ReceivedCount() : 0;
+  }
+  [[nodiscard]] uint64_t droppedCount() const {
+    return impl_ ? impl_->DroppedCount() : 0;
+  }
+  [[nodiscard]] uint64_t intraZeroCopyCount() const {
+    return impl_ ? impl_->IntraZeroCopyCount() : 0;
+  }
+  [[nodiscard]] uint64_t intraWholeCopyCount() const {
+    return impl_ ? impl_->IntraWholeCopyCount() : 0;
   }
   [[nodiscard]] size_t getNumPublishers() const {
     return impl_ ? impl_->NumPublishers() : 0;
@@ -121,7 +171,7 @@ class NodeHandle {
   Publisher advertise(const std::string& topic, size_t queue_size) {
     auto publication = Publication::Create(topic, M::DataType(),
                                            TransportChecksum<M>(), name_,
-                                           queue_size);
+                                           queue_size, /*intra_capable=*/true);
     SFM_CHECK_MSG(publication.ok(), publication.status().ToString().c_str());
     const auto status = master().RegisterPublisher(
         topic, M::DataType(), TransportChecksum<M>(),

@@ -1,5 +1,8 @@
 #include "ros/publication.h"
 
+#include <algorithm>
+
+#include "common/clock.h"
 #include "common/log.h"
 #include "net/framing.h"
 #include "ros/connection_header.h"
@@ -9,12 +12,19 @@ namespace ros {
 rsf::Result<std::shared_ptr<Publication>> Publication::Create(
     const std::string& topic, const std::string& datatype,
     const std::string& md5sum, const std::string& callerid,
-    size_t queue_size) {
+    size_t queue_size, bool intra_capable) {
   auto listener = rsf::net::TcpListener::Listen(0);
   if (!listener.ok()) return listener.status();
   auto publication = std::shared_ptr<Publication>(
       new Publication(topic, datatype, md5sum, callerid, queue_size,
                       *std::move(listener)));
+  if (intra_capable) {
+    // Register before Start() and before the caller announces the endpoint
+    // to the master, so a subscriber notified of (topic, port) always finds
+    // the publication here.
+    publication->intra_registered_ = true;
+    intra_registry().Register(topic, publication->port_, publication);
+  }
   publication->Start();
   return publication;
 }
@@ -70,15 +80,28 @@ bool Publication::Handshake(rsf::net::TcpConnection& conn) {
 }
 
 void Publication::AcceptLoop() {
+  // Transient accept failures (aborted handshakes, fd exhaustion) back off
+  // and retry instead of killing the listener for every future subscriber.
+  constexpr uint64_t kInitialBackoffNanos = 1'000'000;     // 1 ms
+  constexpr uint64_t kMaxBackoffNanos = 500'000'000;       // 500 ms
+  uint64_t backoff_nanos = kInitialBackoffNanos;
   while (!shutdown_.load(std::memory_order_acquire)) {
     auto conn = listener_.Accept();
     if (!conn.ok()) {
-      if (!shutdown_.load(std::memory_order_acquire)) {
-        RSF_DEBUG("accept on %s ended: %s", topic_.c_str(),
-                  conn.status().ToString().c_str());
+      if (shutdown_.load(std::memory_order_acquire)) return;
+      if (conn.status().code() == rsf::StatusCode::kResourceExhausted) {
+        RSF_WARN("accept on %s failed transiently (%s); retrying in %llu ms",
+                 topic_.c_str(), conn.status().ToString().c_str(),
+                 static_cast<unsigned long long>(backoff_nanos / 1'000'000));
+        rsf::SleepForNanos(backoff_nanos);
+        backoff_nanos = std::min(backoff_nanos * 2, kMaxBackoffNanos);
+        continue;
       }
+      RSF_DEBUG("accept on %s ended: %s", topic_.c_str(),
+                conn.status().ToString().c_str());
       return;
     }
+    backoff_nanos = kInitialBackoffNanos;
     (void)conn->SetNoDelay(true);
     if (!Handshake(*conn)) continue;
 
@@ -96,11 +119,14 @@ void Publication::SenderLoop(SubscriberLink* link) {
     // goes out as its own frame (one gathered syscall per frame).
     auto batch = link->queue.PopAll();
     if (batch.empty()) return;  // queue shut down and drained
-    for (const auto& message : batch) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const auto& message = batch[i];
       const auto status = rsf::net::WriteFrame(
           link->connection,
           std::span<const uint8_t>(message.data.get(), message.size));
       if (!status.ok()) {
+        // This frame and the rest of the batch never reached the wire.
+        dropped_.fetch_add(batch.size() - i, std::memory_order_relaxed);
         link->dead.store(true, std::memory_order_release);
         return;  // subscriber went away; the link is culled on next publish
       }
@@ -126,28 +152,147 @@ void Publication::Publish(SerializedMessage message) {
     }
     for (const auto& link : links_) {
       // Aliased shared buffer: fan-out costs one shared_ptr copy per link.
-      link->queue.Push(message);
-      sent_count_.fetch_add(1, std::memory_order_relaxed);
+      enqueued_.fetch_add(1, std::memory_order_relaxed);
+      const auto outcome = link->queue.Offer(message);
+      if (outcome != rsf::PushOutcome::kAccepted) {
+        // Evicted-oldest displaced a queued frame; rejected means the
+        // queue shut down under us — either way one frame will never be
+        // sent despite having been counted as enqueued.
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
   for (const auto& link : reaped) {
+    // Frames still queued behind the broken connection are lost.
+    dropped_.fetch_add(link->queue.Size(), std::memory_order_relaxed);
     link->queue.Shutdown();
     link->sender.join();
   }
 }
 
-size_t Publication::NumSubscribers() const {
+rsf::Status Publication::AddIntraLink(std::shared_ptr<IntraLinkBase> link) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return rsf::UnavailableError("publication for " + topic_ +
+                                 " is shut down");
+  }
+  // The same negotiation the TCPROS handshake performs: the marked
+  // transport checksum keeps SFM and regular variants of a type apart.
+  if (link->transport_md5() != md5sum_) {
+    return rsf::FailedPreconditionError(
+        "md5sum mismatch on " + topic_ + ": publisher has " + md5sum_ +
+        ", subscriber " + link->callerid() + " negotiated " +
+        link->transport_md5());
+  }
+  std::lock_guard<std::mutex> lock(intra_mutex_);
+  intra_links_.push_back(std::move(link));
+  return rsf::Status::Ok();
+}
+
+void Publication::RemoveIntraLink(const IntraLinkBase* link) {
+  std::lock_guard<std::mutex> lock(intra_mutex_);
+  intra_links_.erase(
+      std::remove_if(intra_links_.begin(), intra_links_.end(),
+                     [link](const std::shared_ptr<IntraLinkBase>& entry) {
+                       return entry.get() == link;
+                     }),
+      intra_links_.end());
+}
+
+size_t Publication::DeliverIntra(const std::shared_ptr<const void>& message,
+                                 IntraTier tier) {
+  // Snapshot under the lock, deliver outside it: Deliver() may run the
+  // subscriber callback inline (on this thread), and that callback is free
+  // to publish, subscribe, or shut down — none of which may deadlock here.
+  std::vector<std::shared_ptr<IntraLinkBase>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(intra_mutex_);
+    snapshot = intra_links_;
+  }
+  size_t delivered = 0;
+  std::vector<const IntraLinkBase*> dead;
+  for (const auto& link : snapshot) {
+    if (link->Deliver(message, tier)) {
+      ++delivered;
+    } else {
+      dead.push_back(link.get());
+    }
+  }
+  if (!dead.empty()) {
+    std::lock_guard<std::mutex> lock(intra_mutex_);
+    intra_links_.erase(
+        std::remove_if(intra_links_.begin(), intra_links_.end(),
+                       [&](const std::shared_ptr<IntraLinkBase>& entry) {
+                         return std::find(dead.begin(), dead.end(),
+                                          entry.get()) != dead.end();
+                       }),
+        intra_links_.end());
+  }
+  if (delivered > 0) {
+    intra_delivered_.fetch_add(delivered, std::memory_order_relaxed);
+    (tier == IntraTier::kZeroCopy ? intra_zero_copy_ : intra_whole_copy_)
+        .fetch_add(delivered, std::memory_order_relaxed);
+  }
+  return delivered;
+}
+
+bool Publication::HasIntraLinks() const {
+  std::lock_guard<std::mutex> lock(intra_mutex_);
+  return !intra_links_.empty();
+}
+
+bool Publication::HasTcpLinks() const {
   std::lock_guard<std::mutex> lock(links_mutex_);
+  return !links_.empty();
+}
+
+size_t Publication::NumSubscribers() const {
   size_t alive = 0;
-  for (const auto& link : links_) {
-    if (!link->dead.load(std::memory_order_acquire)) ++alive;
+  {
+    std::lock_guard<std::mutex> lock(links_mutex_);
+    for (const auto& link : links_) {
+      if (!link->dead.load(std::memory_order_acquire)) ++alive;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(intra_mutex_);
+    for (const auto& link : intra_links_) {
+      if (link->alive()) ++alive;
+    }
   }
   return alive;
+}
+
+PublicationStats Publication::Stats() const {
+  PublicationStats stats;
+  stats.enqueued = enqueued_.load(std::memory_order_relaxed);
+  stats.dropped = dropped_.load(std::memory_order_relaxed);
+  stats.intra_delivered = intra_delivered_.load(std::memory_order_relaxed);
+  stats.intra_zero_copy = intra_zero_copy_.load(std::memory_order_relaxed);
+  stats.intra_whole_copy = intra_whole_copy_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(links_mutex_);
+    for (const auto& link : links_) {
+      if (!link->dead.load(std::memory_order_acquire)) ++stats.tcp_links;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(intra_mutex_);
+    for (const auto& link : intra_links_) {
+      if (link->alive()) ++stats.intra_links;
+    }
+  }
+  return stats;
 }
 
 void Publication::Shutdown() {
   bool expected = false;
   if (!shutdown_.compare_exchange_strong(expected, true)) return;
+
+  if (intra_registered_) intra_registry().Unregister(topic_, port_);
+  {
+    std::lock_guard<std::mutex> lock(intra_mutex_);
+    intra_links_.clear();
+  }
 
   listener_.Close();  // unblocks Accept
   if (accept_thread_.joinable()) accept_thread_.join();

@@ -1,10 +1,12 @@
 // Publisher-side transport for one advertised topic: a listening socket, an
 // accept loop that performs the TCPROS handshake, and one outgoing queue +
-// sender thread per connected subscriber.
+// sender thread per connected subscriber — plus, for typed publishers, the
+// in-process fanout registered by co-located subscriptions (intra_process.h).
 //
-// Publication is untyped: it moves SerializedMessage units.  The typed
-// Publisher handle (node_handle.h) serializes — or, for SFM topics, aliases
-// — messages before enqueueing them here.
+// Publication is untyped: TCP links move SerializedMessage units, and the
+// in-process fanout moves type-erased shared_ptr<const M> handles.  The
+// typed Publisher handle (node_handle.h) serializes / clones / borrows
+// messages before handing them here.
 #pragma once
 
 #include <atomic>
@@ -17,34 +19,79 @@
 #include "common/concurrent_queue.h"
 #include "common/status.h"
 #include "net/socket.h"
+#include "ros/intra_process.h"
 #include "ros/serialized_message.h"
 
 namespace ros {
 
+/// Publisher-side delivery counters.  "Sent" only counts frames that were
+/// actually handed to (or still queued for) a live link: a frame evicted by
+/// the drop-oldest policy, or stranded behind a broken connection, counts
+/// as dropped, never as sent.
+struct PublicationStats {
+  uint64_t enqueued = 0;          // frames pushed toward TCP links
+  uint64_t dropped = 0;           // evicted by drop-oldest or stranded on a dead link
+  uint64_t intra_delivered = 0;   // in-process deliveries (all tiers)
+  uint64_t intra_zero_copy = 0;   // ... of which aliased the publisher's message
+  uint64_t intra_whole_copy = 0;  // ... of which handed out a clone
+  size_t tcp_links = 0;           // live TCP subscriber links
+  size_t intra_links = 0;         // live in-process subscriber links
+};
+
 class Publication {
  public:
   /// Binds a listener on an ephemeral loopback port and starts accepting.
+  /// `intra_capable` publishers (typed ones, i.e. NodeHandle::advertise)
+  /// also register with the in-process registry so co-located subscribers
+  /// can link directly instead of dialing the port.
   static rsf::Result<std::shared_ptr<Publication>> Create(
       const std::string& topic, const std::string& datatype,
       const std::string& md5sum, const std::string& callerid,
-      size_t queue_size);
+      size_t queue_size, bool intra_capable = false);
 
   ~Publication();
   Publication(const Publication&) = delete;
   Publication& operator=(const Publication&) = delete;
 
-  /// Fans the message out to every connected subscriber (aliased shared
+  /// Fans the message out to every connected TCP subscriber (aliased shared
   /// buffer: no per-subscriber copy).  Messages queued while a link's queue
   /// is full evict the oldest (roscpp behaviour).
   void Publish(SerializedMessage message);
 
-  /// Number of live subscriber links.
+  /// In-process handshake: validates the subscriber's negotiated checksum
+  /// against this topic's and, on success, adds the link to the fanout —
+  /// the same contract as the TCPROS header exchange, without the sockets.
+  rsf::Status AddIntraLink(std::shared_ptr<IntraLinkBase> link);
+
+  /// Unhooks one in-process link (subscriber shutdown).  Links whose
+  /// subscriber merely vanished are also culled lazily on publish.
+  void RemoveIntraLink(const IntraLinkBase* link);
+
+  /// Fans a type-erased shared message out to every live in-process link,
+  /// culling dead ones.  Returns the number of subscribers reached.
+  size_t DeliverIntra(const std::shared_ptr<const void>& message,
+                      IntraTier tier);
+
+  /// True if any in-process links are registered (publish should clone or
+  /// borrow the message for them).
+  [[nodiscard]] bool HasIntraLinks() const;
+
+  /// True if any TCP links are connected (publish should serialize).
+  [[nodiscard]] bool HasTcpLinks() const;
+
+  /// Number of live subscriber links, both transports.
   [[nodiscard]] size_t NumSubscribers() const;
 
-  /// Total messages accepted for sending (all links).
+  /// Messages accepted for sending on TCP links, minus those that were
+  /// dropped before reaching the wire.
   [[nodiscard]] uint64_t SentCount() const noexcept {
-    return sent_count_.load(std::memory_order_relaxed);
+    const uint64_t enqueued = enqueued_.load(std::memory_order_relaxed);
+    const uint64_t dropped = dropped_.load(std::memory_order_relaxed);
+    return enqueued >= dropped ? enqueued - dropped : 0;
   }
+
+  /// Delivery counters snapshot.
+  [[nodiscard]] PublicationStats Stats() const;
 
   [[nodiscard]] uint16_t port() const noexcept { return port_; }
   [[nodiscard]] const std::string& topic() const noexcept { return topic_; }
@@ -88,8 +135,13 @@ class Publication {
 
   rsf::net::TcpListener listener_;
   uint16_t port_ = 0;
+  bool intra_registered_ = false;  // written once in Create, before Start
   std::atomic<bool> shutdown_{false};
-  std::atomic<uint64_t> sent_count_{0};
+  std::atomic<uint64_t> enqueued_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> intra_delivered_{0};
+  std::atomic<uint64_t> intra_zero_copy_{0};
+  std::atomic<uint64_t> intra_whole_copy_{0};
   // Started by Start() after construction completes, NEVER in the
   // constructor: the accept loop reads shutdown_/links_, which are declared
   // after it and would not be initialized yet.
@@ -97,6 +149,9 @@ class Publication {
 
   mutable std::mutex links_mutex_;
   std::vector<std::unique_ptr<SubscriberLink>> links_;
+
+  mutable std::mutex intra_mutex_;
+  std::vector<std::shared_ptr<IntraLinkBase>> intra_links_;
 };
 
 }  // namespace ros

@@ -4,6 +4,7 @@
 
 #include "ros/callback_queue.h"     // IWYU pragma: export
 #include "ros/connection_header.h"  // IWYU pragma: export
+#include "ros/intra_process.h"      // IWYU pragma: export
 #include "ros/master.h"             // IWYU pragma: export
 #include "ros/message_traits.h"     // IWYU pragma: export
 #include "ros/node_handle.h"        // IWYU pragma: export

@@ -1,15 +1,19 @@
-// Subscriber-side transport for one topic: connects to every publisher
-// endpoint the master reports, performs the TCPROS handshake, and runs one
-// read loop per publisher link.
+// Subscriber-side transport for one topic: for every publisher endpoint the
+// master reports, the subscription negotiates a transport at connect time —
+// a direct in-process link when the publisher's Publication lives in this
+// process (intra_process.h), loopback TCPROS otherwise.
 //
-// The read loop is where the serialization-free receive path happens: the
-// frame allocator from Serializer<M> decides whether payload bytes land in
-// a scratch buffer (regular messages, de-serialized afterwards) or directly
-// in a registered message arena (SFM messages, re-interpreted in place).
+// The TCP read loop is where the serialization-free receive path happens:
+// the frame allocator from Serializer<M> decides whether payload bytes land
+// in a scratch buffer (regular messages, de-serialized afterwards) or
+// directly in a registered message arena (SFM messages, re-interpreted in
+// place).  The in-process path skips the wire entirely: the publisher hands
+// over a shared_ptr<const M> — a clone on the whole-copy tier, an alias of
+// its own message on the zero-copy tier — and delivery is a queue push.
 //
 // A SubscribeOptions::link configuration routes delivery through a
 // SimLink shaper — the stand-in for the paper's two-machine 10 GbE testbed
-// (§5.2; see DESIGN.md substitutions).
+// (§5.2; see DESIGN.md substitutions) — and therefore forces TCP.
 #pragma once
 
 #include <atomic>
@@ -18,6 +22,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -28,18 +33,24 @@
 #include "net/socket.h"
 #include "ros/callback_queue.h"
 #include "ros/connection_header.h"
+#include "ros/intra_process.h"
 #include "ros/master.h"
 #include "ros/message_traits.h"
+#include "ros/publication.h"
 
 namespace ros {
 
 struct SubscribeOptions {
   /// Incoming message queue depth; overflow drops the oldest (roscpp).
   size_t queue_size = 10;
-  /// Simulated link applied to this subscription's deliveries.
+  /// Simulated link applied to this subscription's deliveries.  A shaped
+  /// link models a remote machine, so it forces the TCP transport.
   rsf::net::LinkConfig link{};
   /// Run the callback on the receive thread instead of the callback queue.
   bool inline_dispatch = false;
+  /// Allow the in-process transport when the publisher is co-located.
+  /// Disable to force TCPROS (benchmark baselines, wire-level tests).
+  bool allow_intra_process = true;
 };
 
 /// Type-erased base so NodeHandle / Subscriber handles can own any
@@ -52,6 +63,10 @@ class SubscriptionBase {
   [[nodiscard]] virtual uint64_t ReceivedCount() const = 0;
   [[nodiscard]] virtual uint64_t DroppedCount() const = 0;
   [[nodiscard]] virtual size_t NumPublishers() const = 0;
+  /// In-process deliveries received on the zero-copy tier (aliased message).
+  [[nodiscard]] virtual uint64_t IntraZeroCopyCount() const = 0;
+  /// In-process deliveries received on the whole-copy tier (cloned message).
+  [[nodiscard]] virtual uint64_t IntraWholeCopyCount() const = 0;
 };
 
 template <Message M>
@@ -90,20 +105,30 @@ class Subscription final
     if (!shutdown_.compare_exchange_strong(expected, true)) return;
     master().UnregisterSubscriber(topic_, master_id_);
     pending_.Shutdown();
-    std::lock_guard<std::mutex> lock(links_mutex_);
-    for (const auto& link : links_) {
-      link->connection.ShutdownBoth();
-      if (!link->reader.joinable()) continue;
-      // The reader's closure holds a shared_ptr to this subscription, so
-      // the destructor (and this Shutdown) can run ON a reader thread when
-      // that reference is the last one; a thread cannot join itself.
-      if (link->reader.get_id() == std::this_thread::get_id()) {
-        link->reader.detach();
-      } else {
-        link->reader.join();
+    std::vector<IntraEntry> intra;
+    {
+      std::lock_guard<std::mutex> lock(links_mutex_);
+      intra.swap(intra_links_);
+      for (const auto& link : links_) {
+        link->connection.ShutdownBoth();
+        if (!link->reader.joinable()) continue;
+        // The reader's closure holds a shared_ptr to this subscription, so
+        // the destructor (and this Shutdown) can run ON a reader thread when
+        // that reference is the last one; a thread cannot join itself.
+        if (link->reader.get_id() == std::this_thread::get_id()) {
+          link->reader.detach();
+        } else {
+          link->reader.join();
+        }
       }
+      links_.clear();
     }
-    links_.clear();
+    // Unhook from publications outside links_mutex_: RemoveIntraLink takes
+    // the publication's intra lock, which a concurrent DeliverIntra holds
+    // around nothing but its own snapshot — still, never nest ours in it.
+    for (const auto& [link, publication] : intra) {
+      if (auto pub = publication.lock()) pub->RemoveIntraLink(link.get());
+    }
   }
 
   [[nodiscard]] const std::string& topic() const override { return topic_; }
@@ -113,9 +138,19 @@ class Subscription final
   [[nodiscard]] uint64_t DroppedCount() const override {
     return pending_.DroppedCount();
   }
+  [[nodiscard]] uint64_t IntraZeroCopyCount() const override {
+    return intra_zero_copy_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t IntraWholeCopyCount() const override {
+    return intra_whole_copy_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] size_t NumPublishers() const override {
     std::lock_guard<std::mutex> lock(links_mutex_);
-    return links_.size();
+    size_t alive = links_.size();
+    for (const auto& [link, publication] : intra_links_) {
+      if (!publication.expired()) ++alive;
+    }
+    return alive;
   }
 
  private:
@@ -123,6 +158,49 @@ class Subscription final
     rsf::net::TcpConnection connection;
     std::thread reader;
   };
+
+  /// The subscriber end of one in-process link.  Holds the subscription
+  /// weakly: a dead subscriber makes Deliver return false, and the
+  /// publication culls the link.
+  class IntraLink final : public IntraLinkBase {
+   public:
+    IntraLink(std::weak_ptr<Subscription> subscription, std::string md5,
+              std::string callerid)
+        : subscription_(std::move(subscription)),
+          md5_(std::move(md5)),
+          callerid_(std::move(callerid)) {}
+
+    bool Deliver(const std::shared_ptr<const void>& message,
+                 IntraTier tier) override {
+      auto self = subscription_.lock();
+      if (self == nullptr) return false;
+      // The cast back to M is safe: AddIntraLink only accepted this link
+      // after matching the negotiated transport checksum.
+      return self->DeliverIntra(std::static_pointer_cast<const M>(message),
+                                tier);
+    }
+
+    [[nodiscard]] bool alive() const noexcept override {
+      auto self = subscription_.lock();
+      return self != nullptr &&
+             !self->shutdown_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] const std::string& transport_md5() const noexcept override {
+      return md5_;
+    }
+    [[nodiscard]] const std::string& callerid() const noexcept override {
+      return callerid_;
+    }
+
+   private:
+    std::weak_ptr<Subscription> subscription_;
+    const std::string md5_;
+    const std::string callerid_;
+  };
+
+  using IntraEntry =
+      std::pair<std::shared_ptr<IntraLinkBase>, std::weak_ptr<Publication>>;
 
   Subscription(const std::string& topic, const std::string& transport_md5,
                const std::string& callerid, const SubscribeOptions& options,
@@ -137,8 +215,39 @@ class Subscription final
         pending_(options.queue_size == 0 ? 1 : options.queue_size,
                  rsf::QueueFullPolicy::kDropOldest) {}
 
+  [[nodiscard]] bool ShapedLink() const noexcept {
+    return options_.link.bandwidth_bps > 0 ||
+           options_.link.propagation_nanos > 0;
+  }
+
   void OnPublisher(const TopicEndpoint& endpoint) {
     if (shutdown_.load(std::memory_order_acquire)) return;
+
+    // Transport negotiation: prefer the in-process link when the endpoint's
+    // Publication lives in this process and nothing pins us to the wire.
+    if (options_.allow_intra_process && !ShapedLink()) {
+      if (auto publication = intra_registry().Find(topic_, endpoint.port)) {
+        auto link = std::make_shared<IntraLink>(this->weak_from_this(),
+                                                transport_md5_, callerid_);
+        const auto status = publication->AddIntraLink(link);
+        if (status.ok()) {
+          std::lock_guard<std::mutex> lock(links_mutex_);
+          if (shutdown_.load(std::memory_order_acquire)) {
+            publication->RemoveIntraLink(link.get());
+            return;
+          }
+          intra_links_.emplace_back(std::move(link), publication);
+        } else {
+          RSF_WARN("publisher rejected in-process subscription to %s: %s",
+                   topic_.c_str(), status.ToString().c_str());
+        }
+        // Never fall back to TCP for a co-located publication: a rejection
+        // here (checksum mismatch) would be rejected by the TCPROS
+        // handshake too.
+        return;
+      }
+    }
+
     auto conn = rsf::net::TcpConnection::Connect(endpoint.host, endpoint.port);
     if (!conn.ok()) {
       RSF_WARN("connect to publisher of %s failed: %s", topic_.c_str(),
@@ -203,8 +312,7 @@ class Subscription final
       received_.fetch_add(1, std::memory_order_relaxed);
 
       // Simulated-link shaping: hold delivery for wire + propagation time.
-      if (options_.link.bandwidth_bps > 0 ||
-          options_.link.propagation_nanos > 0) {
+      if (ShapedLink()) {
         const uint64_t delay =
             shaper_.DelayFor(length + 4, rsf::MonotonicNanos());
         if (delay > 0) rsf::SleepForNanos(delay);
@@ -212,6 +320,18 @@ class Subscription final
 
       Dispatch(*std::move(msg));
     }
+  }
+
+  /// In-process delivery: called by the publication's fanout, on the
+  /// publisher's thread.  Returns false once shut down (the publication
+  /// culls the link).
+  bool DeliverIntra(MessagePtr msg, IntraTier tier) {
+    if (shutdown_.load(std::memory_order_acquire)) return false;
+    received_.fetch_add(1, std::memory_order_relaxed);
+    (tier == IntraTier::kZeroCopy ? intra_zero_copy_ : intra_whole_copy_)
+        .fetch_add(1, std::memory_order_relaxed);
+    Dispatch(std::move(msg));
+    return true;
   }
 
   void Dispatch(MessagePtr msg) {
@@ -240,9 +360,12 @@ class Subscription final
   uint64_t master_id_ = 0;
   std::atomic<bool> shutdown_{false};
   std::atomic<uint64_t> received_{0};
+  std::atomic<uint64_t> intra_zero_copy_{0};
+  std::atomic<uint64_t> intra_whole_copy_{0};
 
   mutable std::mutex links_mutex_;
   std::vector<std::unique_ptr<PublisherLink>> links_;
+  std::vector<IntraEntry> intra_links_;
 };
 
 }  // namespace ros

@@ -280,6 +280,12 @@ std::optional<BufferRef> MessageManager::Publish(const void* start) {
                    record.size.load(std::memory_order_acquire)};
 }
 
+std::optional<BufferRef> MessageManager::Borrow(const void* start) {
+  auto ref = Publish(start);
+  if (ref.has_value()) borrows_.fetch_add(1, std::memory_order_relaxed);
+  return ref;
+}
+
 const uint8_t* MessageManager::AdoptReceived(const char* datatype,
                                              std::unique_ptr<uint8_t[]> block,
                                              size_t capacity, size_t size) {
@@ -371,6 +377,7 @@ ManagerStats MessageManager::Stats() const {
   stats.publishes = publishes_.load(std::memory_order_relaxed);
   stats.received_adoptions =
       received_adoptions_.load(std::memory_order_relaxed);
+  stats.borrows = borrows_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -380,6 +387,7 @@ void MessageManager::ResetStats() {
   expansions_.store(0, std::memory_order_relaxed);
   publishes_.store(0, std::memory_order_relaxed);
   received_adoptions_.store(0, std::memory_order_relaxed);
+  borrows_.store(0, std::memory_order_relaxed);
 }
 
 MessageManager& gmm() {

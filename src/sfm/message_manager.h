@@ -74,6 +74,10 @@ struct ManagerStats {
   uint64_t expansions = 0;
   uint64_t publishes = 0;
   uint64_t received_adoptions = 0;
+  // Zero-copy in-process publishes: the subscriber borrowed the arena via
+  // an aliased buffer pointer instead of receiving bytes.  A subset of
+  // `publishes`.
+  uint64_t borrows = 0;
 };
 
 /// Deleter that returns an arena block to the process-wide block pool.
@@ -144,6 +148,15 @@ class MessageManager {
   /// otherwise takes only a shared lock, so publishers on different
   /// messages never serialize either way.
   std::optional<BufferRef> Publish(const void* start);
+
+  /// Zero-copy in-process publish ("borrowed publish"): identical to
+  /// Publish(), but counted separately.  The returned BufferRef's shared
+  /// ownership of the arena block is the life-cycle guarantee the
+  /// in-process transport relies on: even after the publisher's handle dies
+  /// and Release() erases the record, the block stays alive until the last
+  /// borrowing subscriber drops its aliased pointer (SFM reads are relative
+  /// offsets, so they never need the record back).
+  std::optional<BufferRef> Borrow(const void* start);
 
   /// Receive path: registers an externally filled arena.  `block` is the
   /// heap block (capacity bytes), `size` the received whole-message size.
@@ -227,6 +240,7 @@ class MessageManager {
   std::atomic<uint64_t> expansions_{0};
   std::atomic<uint64_t> publishes_{0};
   std::atomic<uint64_t> received_adoptions_{0};
+  std::atomic<uint64_t> borrows_{0};
 };
 
 /// The global message manager (`sfm::gmm` in the paper).

@@ -125,6 +125,9 @@ class SlamNode {
     debug_pub_ = node_.template advertise<Image>("/debug_image", 10);
     ros::SubscribeOptions options;
     options.inline_dispatch = true;  // compute on the receive thread
+    // The SLAM pipeline reproduces the paper's inter-process figures, so
+    // every hop stays on the wire transport even when nodes share a process.
+    options.allow_intra_process = false;
     subscriber_ = node_.template subscribe<Image>(
         "/camera/image", 10,
         [this](const typename Image::ConstPtr& msg) { OnImage(msg); },
@@ -274,6 +277,7 @@ class LatencySinkNode {
       : node_(name) {
     ros::SubscribeOptions options;
     options.inline_dispatch = true;
+    options.allow_intra_process = false;  // measure the wire path (see above)
     subscriber_ = node_.template subscribe<M>(
         topic, 50,
         [this](const std::shared_ptr<const M>& msg) {
