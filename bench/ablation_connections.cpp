@@ -1,0 +1,196 @@
+// Ablation: connection scaling — thread-per-connection vs the shared epoll
+// reactor (src/net/poller.h).  One publisher fans a message out to N TCP
+// subscriber links (in-process transport disabled, so every delivery
+// crosses a real loopback socket) for N in {1, 8, 64, 256}; each
+// configuration records the process thread count at steady state and the
+// p50/p99 publish-to-last-delivery latency.
+//
+// The claim under test: reactor-mode transport threads stay O(cores) no
+// matter how many links exist (thread-per-connection pays one sender on
+// the publisher plus one reader on the subscriber PER LINK), without
+// regressing latency at small link counts.
+//
+// All thread-per-connection configurations run FIRST: the reactor's loop
+// pool starts lazily on first use and persists for the process lifetime,
+// which would pollute the legacy rows' thread counts.
+//
+// Prints a table and writes BENCH_connections.json.
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/poller.h"
+#include "ros/ros.h"
+#include "std_msgs/String.h"
+
+namespace {
+
+size_t CountProcessThreads() {
+  size_t count = 0;
+  DIR* dir = ::opendir("/proc/self/task");
+  if (dir == nullptr) return 0;
+  while (dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') ++count;
+  }
+  ::closedir(dir);
+  return count;
+}
+
+bool WaitFor(const std::function<bool()>& predicate,
+             uint64_t timeout_nanos = 20'000'000'000ull) {
+  const uint64_t deadline = rsf::MonotonicNanos() + timeout_nanos;
+  while (rsf::MonotonicNanos() < deadline) {
+    if (predicate()) return true;
+    rsf::SleepForNanos(200'000);
+  }
+  return predicate();
+}
+
+double Percentile(std::vector<double> values, double fraction) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index = static_cast<size_t>(
+      fraction * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+struct Row {
+  const char* mode;
+  size_t links;
+  size_t threads_total;
+  double p50_us;
+  double p99_us;
+};
+
+struct Config {
+  size_t payload_bytes = 4096;
+  int iterations = 200;
+  int warmup = 10;
+};
+
+/// One configuration: N wire subscribers on one topic, `iterations`
+/// stop-and-wait fan-outs.  Latency per iteration = publish() to the LAST
+/// subscriber's callback.
+Row RunConfig(const char* mode, size_t links, const Config& config) {
+  ros::NodeHandle pub_node("bench_pub");
+  ros::NodeHandle sub_node("bench_sub");
+  const std::string topic =
+      "/conn_scaling_" + std::string(mode) + "_" + std::to_string(links);
+  auto pub = pub_node.advertise<std_msgs::String>(topic, 10);
+
+  std::atomic<uint64_t> delivered{0};
+  ros::SubscribeOptions options;
+  options.inline_dispatch = true;        // latency measured at the callback
+  options.allow_intra_process = false;   // force the wire
+  std::vector<ros::Subscriber> subs;
+  subs.reserve(links);
+  for (size_t i = 0; i < links; ++i) {
+    subs.push_back(sub_node.subscribe<std_msgs::String>(
+        topic, 10,
+        [&](const std_msgs::String::ConstPtr&) {
+          delivered.fetch_add(1, std::memory_order_relaxed);
+        },
+        options));
+  }
+  if (!WaitFor([&] { return pub.getNumSubscribers() == links; })) {
+    std::fprintf(stderr, "FATAL: %s/%zu links never all connected\n", mode,
+                 links);
+    std::exit(1);
+  }
+
+  std_msgs::String msg;
+  msg.data.assign(config.payload_bytes, 'x');
+
+  std::vector<double> latencies_us;
+  latencies_us.reserve(config.iterations);
+  uint64_t expected = 0;
+  size_t threads_at_steady_state = 0;
+  for (int i = -config.warmup; i < config.iterations; ++i) {
+    expected += links;
+    const rsf::Stopwatch watch;
+    pub.publish(msg);
+    if (!WaitFor([&] {
+          return delivered.load(std::memory_order_relaxed) >= expected;
+        })) {
+      std::fprintf(stderr, "FATAL: %s/%zu links stalled at iteration %d\n",
+                   mode, links, i);
+      std::exit(1);
+    }
+    if (i == 0) threads_at_steady_state = CountProcessThreads();
+    if (i >= 0) latencies_us.push_back(watch.ElapsedNanos() * 1e-3);
+  }
+
+  return {mode, links, threads_at_steady_state,
+          Percentile(latencies_us, 0.50), Percentile(latencies_us, 0.99)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      config.iterations = 1000;
+    } else if (arg == "--iters" && i + 1 < argc) {
+      config.iterations = std::atoi(argv[++i]);
+    } else if (arg == "--bytes" && i + 1 < argc) {
+      config.payload_bytes = static_cast<size_t>(std::atol(argv[++i]));
+    }
+  }
+  config.iterations = std::max(config.iterations, 1);
+  config.payload_bytes = std::max(config.payload_bytes, size_t{1});
+
+  const std::vector<size_t> link_counts = {1, 8, 64, 256};
+  // NOTE: do not touch Reactor::Get() before the legacy rows run — it
+  // lazily starts the loop pool, whose threads would pollute their counts.
+  std::printf(
+      "=== Ablation: connection scaling, %zu-byte payload, %d iterations "
+      "===\n\n",
+      config.payload_bytes, config.iterations);
+  std::printf("  %-10s %-8s %14s %12s %12s\n", "mode", "links",
+              "threads total", "p50 (us)", "p99 (us)");
+
+  std::vector<Row> rows;
+  // Legacy first (see the file comment: the reactor pool is sticky).
+  for (const char* mode : {"threads", "reactor"}) {
+    rsf::net::SetReactorTransportEnabled(std::string(mode) == "reactor");
+    for (const size_t links : link_counts) {
+      rows.push_back(RunConfig(mode, links, config));
+      const Row& row = rows.back();
+      std::printf("  %-10s %-8zu %14zu %12.1f %12.1f\n", row.mode, row.links,
+                  row.threads_total, row.p50_us, row.p99_us);
+      ros::master().Reset();
+    }
+  }
+  rsf::net::SetReactorTransportEnabled(true);
+
+  FILE* json = std::fopen("BENCH_connections.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"ablation_connections\",\n"
+                 "  \"unit\": \"publish-to-last-delivery latency, "
+                 "microseconds\",\n"
+                 "  \"payload_bytes\": %zu,\n  \"iterations\": %d,\n"
+                 "  \"results\": [\n",
+                 config.payload_bytes, config.iterations);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(json,
+                   "    {\"mode\": \"%s\", \"links\": %zu, "
+                   "\"threads_total\": %zu, \"p50_us\": %.1f, "
+                   "\"p99_us\": %.1f}%s\n",
+                   rows[i].mode, rows[i].links, rows[i].threads_total,
+                   rows[i].p50_us, rows[i].p99_us,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\n  wrote BENCH_connections.json\n");
+  }
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "net/framing.h"
 
+#include <algorithm>
+
 #include "common/endian.h"
 
 namespace rsf::net {
@@ -47,6 +49,141 @@ Status ReadFrame(TcpConnection& conn, const FrameAllocator& alloc,
     RSF_RETURN_IF_ERROR(conn.ReadExact(std::span<uint8_t>(dst, len)));
   }
   *length = len;
+  return Status::Ok();
+}
+
+void FrameReader::Reset() noexcept {
+  state_ = State::kHeader;
+  header_got_ = 0;
+  payload_ = nullptr;
+  payload_len_ = 0;
+  payload_got_ = 0;
+}
+
+Result<FrameReader::Step> FrameReader::Poll(TcpConnection& conn,
+                                            const FrameAllocator& alloc,
+                                            uint32_t* length) {
+  for (;;) {
+    if (state_ == State::kHeader) {
+      auto n = conn.ReadSome(
+          std::span<uint8_t>(header_ + header_got_, 4 - header_got_));
+      if (!n.ok()) {
+        if (n.status().code() == StatusCode::kUnavailable &&
+            header_got_ > 0) {
+          return Status(StatusCode::kUnavailable,
+                        "connection closed mid-frame (header)");
+        }
+        return n.status();
+      }
+      if (*n == 0) return Step::kNeedMore;
+      header_got_ += *n;
+      if (header_got_ < 4) continue;
+
+      const uint32_t len = LoadLE<uint32_t>(header_);
+      if (len > kMaxFramePayload) {
+        return OutOfRangeError("frame payload too large: " +
+                               std::to_string(len));
+      }
+      payload_len_ = len;
+      payload_got_ = 0;
+      payload_ = alloc(len);
+      if (payload_ == nullptr && len > 0) {
+        return ResourceExhaustedError("frame allocator returned null");
+      }
+      if (len == 0) {
+        Reset();
+        *length = 0;
+        return Step::kFrame;
+      }
+      state_ = State::kPayload;
+    }
+
+    auto n = conn.ReadSome(std::span<uint8_t>(payload_ + payload_got_,
+                                              payload_len_ - payload_got_));
+    if (!n.ok()) {
+      if (n.status().code() == StatusCode::kUnavailable) {
+        return Status(StatusCode::kUnavailable,
+                      "connection closed mid-frame (payload)");
+      }
+      return n.status();
+    }
+    if (*n == 0) return Step::kNeedMore;
+    payload_got_ += *n;
+    if (payload_got_ == payload_len_) {
+      const uint32_t len = payload_len_;
+      Reset();
+      *length = len;
+      return Step::kFrame;
+    }
+  }
+}
+
+bool FrameWriter::Enqueue(std::shared_ptr<const uint8_t[]> payload,
+                          uint32_t size, size_t max_pending) {
+  bool evicted = false;
+  if (max_pending > 0 && pending_.size() >= max_pending) {
+    // Drop-oldest, but never the frame already partially on the wire.
+    const size_t victim = (!pending_.empty() && pending_.front().offset > 0)
+                              ? 1
+                              : 0;
+    if (victim < pending_.size()) {
+      pending_.erase(pending_.begin() + static_cast<long>(victim));
+      evicted = true;
+    }
+  }
+  PendingFrame frame;
+  StoreLE<uint32_t>(frame.header, size);
+  frame.payload = std::move(payload);
+  frame.size = size;
+  pending_.push_back(std::move(frame));
+  return evicted;
+}
+
+Status FrameWriter::Flush(TcpConnection& conn) {
+  // Gather up to kGatherFrames queued frames (header + payload each) into
+  // one sendmsg; resume mid-frame via the front frame's offset.
+  constexpr size_t kGatherFrames = 8;
+  while (!pending_.empty()) {
+    iovec iov[kGatherFrames * 2];
+    size_t iov_count = 0;
+    const size_t frames =
+        std::min(pending_.size(), kGatherFrames);
+    for (size_t i = 0; i < frames; ++i) {
+      PendingFrame& frame = pending_[i];
+      size_t skip = frame.offset;  // only ever non-zero for i == 0
+      if (skip < sizeof(frame.header)) {
+        iov[iov_count++] = {frame.header + skip, sizeof(frame.header) - skip};
+        skip = 0;
+      } else {
+        skip -= sizeof(frame.header);
+      }
+      if (frame.size > skip) {
+        iov[iov_count++] = {
+            const_cast<uint8_t*>(frame.payload.get()) + skip,
+            frame.size - skip};
+      }
+    }
+    if (iov_count == 0) {  // fully written frames (size-0 payloads) linger?
+      pending_.pop_front();
+      ++frames_written_;
+      continue;
+    }
+    auto written = conn.WriteSome(std::span<const iovec>(iov, iov_count));
+    if (!written.ok()) return written.status();
+    if (*written == 0) return Status::Ok();  // socket full: resume later
+    size_t remaining = *written;
+    while (remaining > 0 && !pending_.empty()) {
+      PendingFrame& front = pending_.front();
+      const size_t wire = sizeof(front.header) + front.size;
+      const size_t take = std::min(remaining, wire - front.offset);
+      front.offset += take;
+      remaining -= take;
+      if (front.offset == wire) {
+        pending_.pop_front();
+        ++frames_written_;
+      }
+    }
+  }
   return Status::Ok();
 }
 

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <span>
 
 #include "common/status.h"
@@ -38,5 +40,89 @@ using FrameAllocator = std::function<uint8_t*(uint32_t length)>;
 /// payload length in `*length`.
 Status ReadFrame(TcpConnection& conn, const FrameAllocator& alloc,
                  uint32_t* length);
+
+/// Incremental frame parser for nonblocking connections (the reactor's
+/// receive path).  Poll() consumes whatever bytes the socket has, resuming
+/// mid-header or mid-payload across readiness events; the allocator is
+/// invoked exactly once per frame — as soon as the 4-byte length prefix
+/// completes — so payload bytes stream from the kernel straight into their
+/// final destination (for SFM topics, a message arena: the one-copy
+/// receive).  The buffer the allocator returns must stay valid until the
+/// frame completes, across however many Poll() calls that takes.
+class FrameReader {
+ public:
+  enum class Step {
+    kFrame,     // a full frame completed; *length holds the payload size
+    kNeedMore,  // socket drained mid-frame; call again on next readiness
+  };
+
+  /// Advances the state machine.  After kFrame the reader has reset itself;
+  /// callers loop Poll() until kNeedMore to drain multi-frame bursts.
+  /// A peer close at a frame boundary is kUnavailable ("connection
+  /// closed"); mid-frame it is kUnavailable with a truncation message.
+  Result<Step> Poll(TcpConnection& conn, const FrameAllocator& alloc,
+                    uint32_t* length);
+
+  /// Abandons any partial frame (link teardown reuse).
+  void Reset() noexcept;
+
+  /// True while a frame is partially read (tests).
+  [[nodiscard]] bool MidFrame() const noexcept {
+    return header_got_ > 0 || state_ == State::kPayload;
+  }
+
+ private:
+  enum class State { kHeader, kPayload };
+  State state_ = State::kHeader;
+  uint8_t header_[4] = {};
+  size_t header_got_ = 0;
+  uint8_t* payload_ = nullptr;
+  uint32_t payload_len_ = 0;
+  size_t payload_got_ = 0;
+};
+
+/// Outgoing frame queue + resumable gathered writer for nonblocking
+/// connections (the reactor's send path).  Keeps the one-sendmsg-per-burst
+/// economics of WritevAll: each Flush() gathers the length prefixes and
+/// payloads of every queued frame into as few writev-style syscalls as the
+/// socket buffer allows, resuming mid-frame after partial writes.  Not
+/// thread-safe — confine to one loop thread (callers lock around it when a
+/// producer thread enqueues).
+class FrameWriter {
+ public:
+  /// Queues one frame (shared payload: fan-out costs no copy).  When
+  /// `max_pending` > 0 and the queue is at capacity, the oldest frame whose
+  /// bytes have not begun to leave is evicted first (drop-oldest, matching
+  /// the publisher queue policy); returns true when that happened.  The
+  /// frame whose write is in progress is never evicted — a partial frame on
+  /// the wire must complete or the stream desynchronizes.
+  bool Enqueue(std::shared_ptr<const uint8_t[]> payload, uint32_t size,
+               size_t max_pending = 0);
+
+  /// Writes as much as the socket accepts.  On success, check HasPending():
+  /// true means the socket buffer filled and the caller should arm
+  /// writability.  An error means the link is dead; PendingFrames() tells
+  /// the caller how many queued frames will never reach the wire.
+  Status Flush(TcpConnection& conn);
+
+  [[nodiscard]] bool HasPending() const noexcept { return !pending_.empty(); }
+  [[nodiscard]] size_t PendingFrames() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] uint64_t FramesWritten() const noexcept {
+    return frames_written_;
+  }
+
+ private:
+  struct PendingFrame {
+    uint8_t header[4];
+    std::shared_ptr<const uint8_t[]> payload;
+    uint32_t size = 0;
+    size_t offset = 0;  // bytes of (header + payload) already written
+  };
+
+  std::deque<PendingFrame> pending_;
+  uint64_t frames_written_ = 0;
+};
 
 }  // namespace rsf::net

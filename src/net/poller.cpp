@@ -1,0 +1,269 @@
+#include "net/poller.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace rsf::net {
+namespace {
+
+constexpr int kMaxEvents = 64;
+
+size_t ReactorPoolSize() {
+  if (const char* env = std::getenv("RSF_REACTOR_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1 && parsed <= 64) return static_cast<size_t>(parsed);
+  }
+  return 2;
+}
+
+std::atomic<bool> g_reactor_enabled{[] {
+  const char* env = std::getenv("RSF_TRANSPORT");
+  return env == nullptr || std::strcmp(env, "threads") != 0;
+}()};
+
+}  // namespace
+
+bool ReactorTransportEnabled() noexcept {
+  return g_reactor_enabled.load(std::memory_order_relaxed);
+}
+
+void SetReactorTransportEnabled(bool enabled) noexcept {
+  g_reactor_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  SFM_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  SFM_CHECK_MSG(wake_fd_ >= 0, "eventfd failed");
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = wake_fd_;
+  SFM_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) == 0);
+}
+
+EventLoop::~EventLoop() {
+  Stop();
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void EventLoop::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  stop_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    accepting_ = true;
+  }
+  thread_ = std::thread([this] { Run(); });
+}
+
+void EventLoop::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  {
+    // Refuse new tasks first: everything accepted before this point is
+    // guaranteed to run (below, or in the loop's own final drain), which is
+    // what lets RunSync wait without a timeout.
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    accepting_ = false;
+  }
+  stop_.store(true, std::memory_order_release);
+  Wakeup();
+  if (thread_.joinable()) thread_.join();
+  // Thread joined: no concurrency remains.  Run tasks the loop missed.
+  std::vector<Task> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    leftovers.swap(tasks_);
+  }
+  for (auto& task : leftovers) task();
+  running_.store(false, std::memory_order_release);
+  handlers_.clear();
+}
+
+bool EventLoop::InLoopThread() const noexcept {
+  return thread_.get_id() == std::this_thread::get_id();
+}
+
+void EventLoop::Wakeup() {
+  const uint64_t one = 1;
+  // A full eventfd counter (impossible here) or EINTR just means the loop
+  // is already due to wake; ignore short writes.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+bool EventLoop::Post(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    if (!accepting_) return false;
+    tasks_.push_back(std::move(task));
+  }
+  Wakeup();
+  return true;
+}
+
+void EventLoop::RunInLoop(Task task) {
+  if (InLoopThread() || !Post(task)) task();
+}
+
+void EventLoop::RunSync(Task task) {
+  if (InLoopThread()) {
+    // Already serialized with every handler — run inline (also the path a
+    // teardown takes when the last reference dies inside a callback).
+    task();
+    return;
+  }
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  const bool posted = Post([&] {
+    task();
+    std::lock_guard<std::mutex> lock(mutex);
+    done = true;
+    done_cv.notify_one();
+  });
+  if (!posted) {
+    // Loop stopped (or never started): no concurrent handler execution is
+    // left to wait out — run inline on this thread.
+    task();
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  done_cv.wait(lock, [&] { return done; });
+}
+
+uint32_t EventLoop::ToEpollMask(uint32_t interest) noexcept {
+  uint32_t mask = 0;
+  if (interest & kEventReadable) mask |= EPOLLIN | EPOLLRDHUP;
+  if (interest & kEventWritable) mask |= EPOLLOUT;
+  return mask;
+}
+
+void EventLoop::Add(int fd, uint32_t interest, EventCallback callback) {
+  auto handler = std::make_shared<Handler>();
+  handler->interest = interest;
+  handler->callback = std::move(callback);
+  epoll_event event{};
+  event.events = ToEpollMask(interest);
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    RSF_WARN("epoll_ctl(ADD, %d) failed: %s", fd, std::strerror(errno));
+    return;
+  }
+  handlers_[fd] = std::move(handler);
+}
+
+void EventLoop::SetInterest(int fd, uint32_t interest) {
+  auto it = handlers_.find(fd);
+  if (it == handlers_.end()) return;
+  if (it->second->interest == interest) return;
+  epoll_event event{};
+  event.events = ToEpollMask(interest);
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
+    RSF_WARN("epoll_ctl(MOD, %d) failed: %s", fd, std::strerror(errno));
+    return;
+  }
+  it->second->interest = interest;
+}
+
+void EventLoop::Remove(int fd) {
+  auto it = handlers_.find(fd);
+  if (it == handlers_.end()) return;
+  // The fd may already be closed (peer teardown); EBADF/ENOENT are fine.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(it);
+}
+
+size_t EventLoop::NumHandlers() const {
+  // Tests call this through RunSync, so no lock is needed.
+  return handlers_.size();
+}
+
+void EventLoop::Run() {
+  epoll_event events[kMaxEvents];
+  std::vector<Task> ready;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      RSF_ERROR("epoll_wait failed: %s", std::strerror(errno));
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      // Look up per event, not per batch: an earlier callback in this batch
+      // may have removed this fd.  (A removed-and-immediately-reused fd
+      // number can still receive one stale readiness bit; handlers drain
+      // nonblocking sockets until EAGAIN, so a spurious event is a no-op.)
+      auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      auto handler = it->second;  // keeps the callback alive across Remove
+      const uint32_t raw = events[i].events;
+      uint32_t ready_bits = 0;
+      if (raw & (EPOLLIN | EPOLLRDHUP | EPOLLPRI)) ready_bits |= kEventReadable;
+      if (raw & EPOLLOUT) ready_bits |= kEventWritable;
+      if (raw & (EPOLLERR | EPOLLHUP)) {
+        // Deliver the error through whatever direction is armed so the next
+        // read/write syscall surfaces the errno.
+        ready_bits |= handler->interest;
+        if (ready_bits == 0) ready_bits = kEventReadable;
+      }
+      handler->callback(ready_bits);
+    }
+    ready.clear();
+    {
+      std::lock_guard<std::mutex> lock(tasks_mutex_);
+      ready.swap(tasks_);
+    }
+    for (auto& task : ready) task();
+  }
+  // Drain tasks one last time so RunSync callers posted before Stop never
+  // hang waiting for a loop that already decided to exit.
+  ready.clear();
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    ready.swap(tasks_);
+  }
+  for (auto& task : ready) task();
+}
+
+Reactor::Reactor() {
+  const size_t pool = ReactorPoolSize();
+  loops_.reserve(pool);
+  for (size_t i = 0; i < pool; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>());
+    loops_.back()->Start();
+  }
+}
+
+Reactor::~Reactor() {
+  for (auto& loop : loops_) loop->Stop();
+}
+
+Reactor& Reactor::Get() {
+  static Reactor reactor;
+  return reactor;
+}
+
+EventLoop* Reactor::NextLoop() {
+  const size_t index = next_.fetch_add(1, std::memory_order_relaxed);
+  return loops_[index % loops_.size()].get();
+}
+
+}  // namespace rsf::net

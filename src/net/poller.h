@@ -1,0 +1,141 @@
+// The event-driven I/O core: an epoll-based reactor that replaces the
+// middleware's thread-per-connection transport.
+//
+// One `EventLoop` owns one epoll instance and one thread; every descriptor
+// registered with it is serviced by that thread alone, so per-connection
+// state machines (net/framing.h FrameReader/FrameWriter) never need their
+// own synchronization.  A small fixed pool of loops (`Reactor`, sized
+// O(cores), default 2) carries every TCP publication and subscription link
+// in the process — total transport threads stay constant no matter how
+// many links exist, which is what lets node/topic counts scale past the
+// point where one thread per link exhausts the scheduler (HPRM/DORA make
+// the same argument; see DESIGN.md §8).
+//
+// Cross-thread arming goes through an eventfd wakeup: `Post` enqueues a
+// task and kicks the eventfd, `RunInLoop` runs inline when already on the
+// loop thread, and `RunSync` blocks until the loop has executed the task —
+// the teardown primitive that lets Publication/Subscription destructors
+// guarantee no callback touches freed state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rsf::net {
+
+/// Readiness bits passed to an fd's event callback.
+inline constexpr uint32_t kEventReadable = 1u << 0;
+inline constexpr uint32_t kEventWritable = 1u << 1;
+
+/// One epoll instance + one servicing thread.  Registration (`Add`,
+/// `SetInterest`, `Remove`) is loop-thread-only: call through RunInLoop /
+/// Post from other threads.  Callbacks run on the loop thread.
+class EventLoop {
+ public:
+  using EventCallback = std::function<void(uint32_t events)>;
+  using Task = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Spawns the servicing thread.  Idempotent.
+  void Start();
+  /// Stops the loop and joins the thread.  Idempotent; safe to call with
+  /// handlers still registered (they are dropped, closing nothing — fd
+  /// ownership stays with the handler's captures).
+  void Stop();
+
+  [[nodiscard]] bool InLoopThread() const noexcept;
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Queues `task` for the loop thread and wakes it.  Returns false (task
+  /// not queued) once Stop has begun; every accepted task is guaranteed to
+  /// run — by the loop, or by Stop's post-join drain.
+  bool Post(Task task);
+  /// Runs `task` inline when on the loop thread, else Post.
+  void RunInLoop(Task task);
+  /// Runs `task` on the loop thread and waits for completion.  Inline when
+  /// already on the loop thread; also inline when the loop is not running
+  /// (teardown after Stop — there is no concurrent access left to race).
+  void RunSync(Task task);
+
+  /// Registers `fd` with the given interest bits.  The callback receives
+  /// the ready bits; error/hangup conditions are folded into readability
+  /// (and writability, when armed) so the next syscall surfaces the errno.
+  /// Loop-thread-only.
+  void Add(int fd, uint32_t interest, EventCallback callback);
+  /// Replaces the interest bits of a registered fd.  Loop-thread-only.
+  void SetInterest(int fd, uint32_t interest);
+  /// Unregisters `fd`; no-op if unknown (removal paths may race benignly).
+  /// Safe to call from inside the fd's own callback.  Loop-thread-only.
+  void Remove(int fd);
+
+  /// Registered descriptor count (tests).
+  [[nodiscard]] size_t NumHandlers() const;
+
+ private:
+  struct Handler {
+    uint32_t interest = 0;
+    EventCallback callback;
+  };
+
+  void Run();
+  void Wakeup();
+  static uint32_t ToEpollMask(uint32_t interest) noexcept;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+
+  // Loop-thread-only.  Values are shared_ptr so Remove() can erase the map
+  // entry while the handler's own callback is still executing (the dispatch
+  // loop keeps the Handler alive through its local reference).
+  std::unordered_map<int, std::shared_ptr<Handler>> handlers_;
+
+  std::mutex tasks_mutex_;
+  std::vector<Task> tasks_;
+  bool accepting_ = false;  // guarded by tasks_mutex_
+};
+
+/// The process-wide loop pool.  Lazily started on first use; loops are
+/// handed out round-robin so links spread across the pool.
+class Reactor {
+ public:
+  /// Pool size: RSF_REACTOR_THREADS env override, else 2 (O(cores) — this
+  /// repo's reference host is small; real deployments raise the env).
+  static Reactor& Get();
+
+  EventLoop* NextLoop();
+  [[nodiscard]] size_t NumLoops() const noexcept { return loops_.size(); }
+
+ private:
+  Reactor();
+  ~Reactor();
+
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::atomic<size_t> next_{0};
+};
+
+/// Whether new Publications/Subscriptions use the reactor transport
+/// (default) or the legacy thread-per-connection code.  Sampled at link
+/// creation; the env var RSF_TRANSPORT=threads flips the initial value.
+/// The setter exists for the connection-scaling ablation bench, which runs
+/// both configurations in one process.
+bool ReactorTransportEnabled() noexcept;
+void SetReactorTransportEnabled(bool enabled) noexcept;
+
+}  // namespace rsf::net

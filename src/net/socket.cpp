@@ -1,6 +1,7 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -129,6 +130,66 @@ Status TcpConnection::ReadExact(std::span<uint8_t> data) {
   return Status::Ok();
 }
 
+Result<size_t> TcpConnection::ReadSome(std::span<uint8_t> data) {
+  if (data.empty()) return size_t{0};  // recv(…, 0) would mimic EOF
+  for (;;) {
+    const ssize_t n = ::recv(fd_.fd(), data.data(), data.size(), 0);
+    if (n > 0) return static_cast<size_t>(n);
+    if (n == 0) return UnavailableError("connection closed");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    return ErrnoStatus("recv");
+  }
+}
+
+Result<size_t> TcpConnection::WriteSome(std::span<const iovec> iov) {
+  if (iov.empty()) return size_t{0};
+  for (;;) {
+    msghdr msg{};
+    msg.msg_iov = const_cast<iovec*>(iov.data());
+    msg.msg_iovlen = std::min(iov.size(), size_t{IOV_MAX});
+    g_write_syscalls.fetch_add(1, std::memory_order_relaxed);
+    const ssize_t n = ::sendmsg(fd_.fd(), &msg, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    return ErrnoStatus("sendmsg");
+  }
+}
+
+Status TcpConnection::SetNonBlocking(bool enabled) {
+  const int flags = ::fcntl(fd_.fd(), F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  const int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_.fd(), F_SETFL, wanted) != 0) {
+    return ErrnoStatus("fcntl(F_SETFL)");
+  }
+  return Status::Ok();
+}
+
+Result<int> TcpConnection::GetIntOption(int level, int option) const {
+  int value = 0;
+  socklen_t len = sizeof(value);
+  if (::getsockopt(fd_.fd(), level, option, &value, &len) != 0) {
+    return ErrnoStatus("getsockopt");
+  }
+  return value;
+}
+
+Status ApplyTransportSocketOptions(TcpConnection& conn) {
+  RSF_RETURN_IF_ERROR(conn.SetNoDelay(true));
+  const int bytes = kSocketBufferBytes;
+  if (::setsockopt(conn.fd(), SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes)) !=
+      0) {
+    return ErrnoStatus("setsockopt(SO_RCVBUF)");
+  }
+  if (::setsockopt(conn.fd(), SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) !=
+      0) {
+    return ErrnoStatus("setsockopt(SO_SNDBUF)");
+  }
+  return Status::Ok();
+}
+
 Status TcpConnection::SetNoDelay(bool enabled) {
   const int flag = enabled ? 1 : 0;
   if (::setsockopt(fd_.fd(), IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag)) != 0) {
@@ -194,6 +255,32 @@ Result<TcpConnection> TcpListener::Accept() {
     }
     return ErrnoStatus("accept");
   }
+}
+
+Result<bool> TcpListener::TryAccept(TcpConnection* out) {
+  for (;;) {
+    const int client = ::accept(fd_.fd(), nullptr, nullptr);
+    if (client >= 0) {
+      *out = TcpConnection(FdGuard(client));
+      return true;
+    }
+    if (errno == EINTR) continue;
+    // EAGAIN means drained; other transient errnos (aborted handshakes, fd
+    // pressure) also yield to the event loop — level-triggered epoll
+    // re-reports while a connection is still pending.
+    if (IsTransientAcceptErrno(errno)) return false;
+    return ErrnoStatus("accept");
+  }
+}
+
+Status TcpListener::SetNonBlocking(bool enabled) {
+  const int flags = ::fcntl(fd_.fd(), F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  const int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_.fd(), F_SETFL, wanted) != 0) {
+    return ErrnoStatus("fcntl(F_SETFL)");
+  }
+  return Status::Ok();
 }
 
 void TcpListener::Close() noexcept {

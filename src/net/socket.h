@@ -82,8 +82,26 @@ class TcpConnection {
   /// Reads exactly data.size() bytes; kUnavailable on orderly EOF.
   Status ReadExact(std::span<uint8_t> data);
 
+  /// Nonblocking single read (reactor transport).  Returns the byte count
+  /// (> 0), or 0 when the socket has no data right now (EAGAIN) — callers
+  /// must never pass an empty span.  Orderly EOF and resets come back as
+  /// kUnavailable.
+  Result<size_t> ReadSome(std::span<uint8_t> data);
+
+  /// Nonblocking single gathered write (one sendmsg).  Returns the bytes
+  /// the kernel accepted, or 0 when the socket buffer is full (EAGAIN).
+  /// The caller resumes from wherever the count left off (FrameWriter).
+  Result<size_t> WriteSome(std::span<const iovec> iov);
+
+  /// Switches O_NONBLOCK on or off (reactor-managed connections are
+  /// nonblocking; the legacy thread transport and SimLink stay blocking).
+  Status SetNonBlocking(bool enabled);
+
   /// Disables Nagle's algorithm (latency benchmarks need this, as does ROS).
   Status SetNoDelay(bool enabled);
+
+  /// getsockopt as an int (tests audit the applied options).
+  Result<int> GetIntOption(int level, int option) const;
 
   /// Shuts down both directions, unblocking any reader.
   void ShutdownBoth() noexcept;
@@ -95,6 +113,19 @@ class TcpConnection {
  private:
   FdGuard fd_;
 };
+
+/// Kernel socket buffer size requested for every transport connection,
+/// both directions.  One tunable so the accept and dial paths can never
+/// drift apart: ApplyTransportSocketOptions sets SO_RCVBUF/SO_SNDBUF to
+/// this and TCP_NODELAY on.  256 KiB holds tens of frames at typical
+/// message sizes without approaching net.core.{r,w}mem_max defaults (the
+/// kernel clamps to those, then doubles for bookkeeping).
+inline constexpr int kSocketBufferBytes = 256 * 1024;
+
+/// Applies the transport socket options (TCP_NODELAY, SO_RCVBUF/SO_SNDBUF
+/// from kSocketBufferBytes) to a connection.  Called on both accepted and
+/// dialed sockets.
+Status ApplyTransportSocketOptions(TcpConnection& conn);
 
 /// Process-wide count of write-side socket syscalls (`send` + `sendmsg`)
 /// issued by TcpConnection.  A test shim: frame-write tests assert the
@@ -118,6 +149,16 @@ class TcpListener {
   /// kResourceExhausted, terminal ones (listener closed) as kUnavailable.
   Result<TcpConnection> Accept();
 
+  /// Nonblocking accept for reactor use (listener must be O_NONBLOCK).
+  /// Returns true with `*out` filled, false when the backlog is drained
+  /// (EAGAIN) or the failure is transient, or an error when the listener is
+  /// terminally broken (closed).
+  Result<bool> TryAccept(TcpConnection* out);
+
+  /// Switches O_NONBLOCK on the listening socket.
+  Status SetNonBlocking(bool enabled);
+
+  [[nodiscard]] int fd() const noexcept { return fd_.fd(); }
   [[nodiscard]] uint16_t port() const noexcept { return port_; }
   [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
 

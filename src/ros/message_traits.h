@@ -15,7 +15,9 @@
 //             routine" of Fig. 9 — zero copy
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <vector>
 
 #include "common/status.h"
 #include "serialization/field_model.h"
@@ -26,6 +28,19 @@
 namespace ros {
 
 using rsf::ser::Message;
+
+/// Receive-path shim counters: how frame payloads reached their final
+/// message.  Tests assert the copy budget with these instead of strace —
+/// the SFM path must show arena-direct landings and zero scratch
+/// allocations / deserialize copies (exactly one kernel→arena copy), and
+/// the regular path must show scratch reuse instead of per-frame
+/// allocation.  Relaxed telemetry, never synchronization.
+namespace shim {
+inline std::atomic<uint64_t> scratch_allocations{0};  // scratch grew (heap)
+inline std::atomic<uint64_t> scratch_reuses{0};     // frame fit in scratch
+inline std::atomic<uint64_t> deserialize_copies{0};  // generated de-serializer ran
+inline std::atomic<uint64_t> arena_direct{0};  // payload read straight into an arena
+}  // namespace shim
 
 /// A frame destination handed to the transport's frame reader, plus the
 /// typed finalization once the bytes are in.
@@ -59,21 +74,40 @@ struct Serializer {
   }
 
   struct ReceiveArena {
-    std::unique_ptr<uint8_t[]> block;
+    /// Per-link scratch staging buffer, reused across frames: the read loop
+    /// owns it and keeps its capacity, so steady-state receive does zero
+    /// heap allocation for the staging bytes.  Grow-only.
+    std::vector<uint8_t>* scratch = nullptr;
+    std::unique_ptr<uint8_t[]> owned;  // fallback when no scratch is wired
+    uint8_t* data = nullptr;
 
     uint8_t* Allocate(uint32_t length) {
-      // Default-initialized: the socket read fills it (make_unique would
-      // value-initialize, i.e. memset the whole block).
-      block.reset(new uint8_t[length == 0 ? 1 : length]);
-      return block.get();
+      const size_t needed = length == 0 ? 1 : length;
+      if (scratch != nullptr) {
+        if (scratch->size() < needed) {
+          scratch->resize(needed);
+          shim::scratch_allocations.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          shim::scratch_reuses.fetch_add(1, std::memory_order_relaxed);
+        }
+        data = scratch->data();
+      } else {
+        // Default-initialized: the socket read fills it (make_unique would
+        // value-initialize, i.e. memset the whole block).
+        owned.reset(new uint8_t[needed]);
+        shim::scratch_allocations.fetch_add(1, std::memory_order_relaxed);
+        data = owned.get();
+      }
+      return data;
     }
   };
 
   static rsf::Result<std::shared_ptr<const M>> FromWire(ReceiveArena arena,
                                                         uint32_t length) {
     auto msg = std::make_shared<M>();
+    shim::deserialize_copies.fetch_add(1, std::memory_order_relaxed);
     RSF_RETURN_IF_ERROR(
-        rsf::ser::ros1::Deserialize(arena.block.get(), length, *msg));
+        rsf::ser::ros1::Deserialize(arena.data, length, *msg));
     return std::shared_ptr<const M>(std::move(msg));
   }
 };
@@ -122,6 +156,9 @@ struct Serializer<M> {
   }
 
   struct ReceiveArena {
+    /// Present for interface parity with the regular variant; the SFM path
+    /// never stages bytes — payloads land in the arena block directly.
+    std::vector<uint8_t>* scratch = nullptr;
     ::sfm::PooledBlock block;
     size_t capacity = 0;
 
@@ -132,6 +169,7 @@ struct Serializer<M> {
       // largest message of the type), so recycling keeps pages warm and a
       // value-initializing allocation would memset the full capacity.
       block = ::sfm::AcquireArenaBlock(capacity);
+      shim::arena_direct.fetch_add(1, std::memory_order_relaxed);
       return block.get();
     }
   };

@@ -39,13 +39,50 @@ Publication::Publication(const std::string& topic, const std::string& datatype,
       callerid_(callerid),
       queue_size_(queue_size == 0 ? 1 : queue_size),
       listener_(std::move(listener)),
-      port_(listener_.port()) {}
+      port_(listener_.port()),
+      reactor_mode_(rsf::net::ReactorTransportEnabled()) {}
 
 void Publication::Start() {
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (!reactor_mode_) {
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    return;
+  }
+  loop_ = rsf::net::Reactor::Get().NextLoop();
+  (void)listener_.SetNonBlocking(true);
+  std::weak_ptr<Publication> weak = shared_from_this();
+  const int fd = listener_.fd();
+  loop_->RunInLoop([weak, fd, loop = loop_] {
+    auto self = weak.lock();
+    if (self == nullptr) return;
+    loop->Add(fd, rsf::net::kEventReadable, [weak](uint32_t) {
+      if (auto alive = weak.lock()) alive->OnAcceptReady();
+    });
+  });
 }
 
 Publication::~Publication() { Shutdown(); }
+
+/// Decides a subscriber's fate from its connection-header bytes and
+/// produces the reply frame.  Shared by both transport modes.
+bool Publication::EvaluateHandshake(const uint8_t* request, uint32_t length,
+                                    std::vector<uint8_t>* reply_frame) {
+  auto header = DecodeConnectionHeader(request, length);
+  rsf::Status valid = header.ok()
+                          ? ValidateSubscriberHeader(*header, topic_,
+                                                     datatype_, md5sum_)
+                          : header.status();
+
+  ConnectionHeader reply;
+  if (valid.ok()) {
+    reply = {{"type", datatype_}, {"md5sum", md5sum_}, {"callerid", callerid_}};
+  } else {
+    reply = {{"error", valid.ToString()}};
+    RSF_WARN("rejecting subscriber on %s: %s", topic_.c_str(),
+             valid.ToString().c_str());
+  }
+  *reply_frame = EncodeConnectionHeader(reply);
+  return valid.ok();
+}
 
 bool Publication::Handshake(rsf::net::TcpConnection& conn) {
   // Read the subscriber's connection header frame.
@@ -60,23 +97,159 @@ bool Publication::Handshake(rsf::net::TcpConnection& conn) {
       &length);
   if (!read_status.ok()) return false;
 
-  auto header = DecodeConnectionHeader(request.data(), length);
-  rsf::Status valid = header.ok()
-                          ? ValidateSubscriberHeader(*header, topic_,
-                                                     datatype_, md5sum_)
-                          : header.status();
+  std::vector<uint8_t> reply;
+  const bool accepted = EvaluateHandshake(request.data(), length, &reply);
+  if (!rsf::net::WriteFrame(conn, reply).ok()) return false;
+  return accepted;
+}
 
-  ConnectionHeader reply;
-  if (valid.ok()) {
-    reply = {{"type", datatype_}, {"md5sum", md5sum_}, {"callerid", callerid_}};
-  } else {
-    reply = {{"error", valid.ToString()}};
-    RSF_WARN("rejecting subscriber on %s: %s", topic_.c_str(),
-             valid.ToString().c_str());
+// ---- reactor mode ----
+
+void Publication::OnAcceptReady() {
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    rsf::net::TcpConnection conn;
+    auto got = listener_.TryAccept(&conn);
+    if (!got.ok()) {
+      // Terminal listener failure (normally: Shutdown closed it).
+      loop_->Remove(listener_.fd());
+      return;
+    }
+    if (!*got) return;  // backlog drained
+    (void)conn.SetNonBlocking(true);
+    (void)rsf::net::ApplyTransportSocketOptions(conn);
+    auto peer = std::make_shared<PendingPeer>(std::move(conn));
+    pending_peers_.push_back(peer);
+    std::weak_ptr<Publication> weak = weak_from_this();
+    loop_->Add(peer->connection.fd(), rsf::net::kEventReadable,
+               [weak, peer](uint32_t events) {
+                 if (auto self = weak.lock()) self->OnPeerEvent(peer, events);
+               });
   }
-  const auto encoded = EncodeConnectionHeader(reply);
-  if (!rsf::net::WriteFrame(conn, encoded).ok()) return false;
-  return valid.ok();
+}
+
+void Publication::OnPeerEvent(const std::shared_ptr<PendingPeer>& peer,
+                              uint32_t events) {
+  if (!peer->reply_queued && (events & rsf::net::kEventReadable)) {
+    uint32_t length = 0;
+    auto step = peer->reader.Poll(
+        peer->connection,
+        [&](uint32_t len) {
+          peer->request.resize(len == 0 ? 1 : len);
+          return peer->request.data();
+        },
+        &length);
+    if (!step.ok()) {
+      DropPeer(peer);
+      return;
+    }
+    if (*step == rsf::net::FrameReader::Step::kNeedMore) return;
+
+    std::vector<uint8_t> reply;
+    peer->accepted = EvaluateHandshake(peer->request.data(), length, &reply);
+    auto frame = std::shared_ptr<uint8_t[]>(new uint8_t[reply.size()]);
+    std::copy(reply.begin(), reply.end(), frame.get());
+    peer->writer.Enqueue(std::move(frame),
+                         static_cast<uint32_t>(reply.size()));
+    peer->reply_queued = true;
+  }
+  if (peer->reply_queued) FinishHandshake(peer);
+}
+
+void Publication::FinishHandshake(const std::shared_ptr<PendingPeer>& peer) {
+  if (!peer->writer.Flush(peer->connection).ok()) {
+    DropPeer(peer);
+    return;
+  }
+  if (peer->writer.HasPending()) {
+    // Reply didn't fit (pathological for a ~100-byte header, but legal):
+    // resume on writability.
+    loop_->SetInterest(peer->connection.fd(),
+                       rsf::net::kEventReadable | rsf::net::kEventWritable);
+    return;
+  }
+  if (peer->accepted) {
+    PromotePeer(peer);
+  } else {
+    DropPeer(peer);
+  }
+}
+
+void Publication::PromotePeer(const std::shared_ptr<PendingPeer>& peer) {
+  const int fd = peer->connection.fd();
+  loop_->Remove(fd);
+  std::erase(pending_peers_, peer);
+  auto link = std::make_shared<ReactorLink>(std::move(peer->connection));
+  {
+    std::lock_guard<std::mutex> lock(links_mutex_);
+    reactor_links_.push_back(link);
+  }
+  std::weak_ptr<Publication> weak = weak_from_this();
+  loop_->Add(fd, rsf::net::kEventReadable, [weak, link](uint32_t events) {
+    if (auto self = weak.lock()) self->OnLinkEvent(link, events);
+  });
+}
+
+void Publication::DropPeer(const std::shared_ptr<PendingPeer>& peer) {
+  loop_->Remove(peer->connection.fd());
+  peer->connection.Close();
+  std::erase(pending_peers_, peer);
+}
+
+void Publication::OnLinkEvent(const std::shared_ptr<ReactorLink>& link,
+                              uint32_t events) {
+  if (events & rsf::net::kEventReadable) {
+    // Subscribers never speak after the handshake: readable means close,
+    // reset, or stray bytes (drained and ignored).
+    uint8_t sink[1024];
+    for (;;) {
+      auto n = link->connection.ReadSome(sink);
+      if (!n.ok()) {
+        RemoveLink(link);
+        return;
+      }
+      if (*n == 0) break;
+    }
+  }
+  if (events & rsf::net::kEventWritable) FlushLink(link);
+}
+
+void Publication::FlushLink(const std::shared_ptr<ReactorLink>& link) {
+  rsf::Status status;
+  bool pending;
+  {
+    std::lock_guard<std::mutex> lock(link->mutex);
+    status = link->writer.Flush(link->connection);
+    pending = link->writer.HasPending();
+  }
+  if (!status.ok()) {
+    RemoveLink(link);
+    return;
+  }
+  if (pending != link->writable_armed) {
+    link->writable_armed = pending;
+    loop_->SetInterest(
+        link->connection.fd(),
+        rsf::net::kEventReadable |
+            (pending ? rsf::net::kEventWritable : 0u));
+  }
+}
+
+void Publication::RemoveLink(const std::shared_ptr<ReactorLink>& link) {
+  {
+    std::lock_guard<std::mutex> lock(links_mutex_);
+    auto it = std::find(reactor_links_.begin(), reactor_links_.end(), link);
+    if (it == reactor_links_.end()) return;  // already removed
+    reactor_links_.erase(it);
+  }
+  size_t stranded;
+  {
+    std::lock_guard<std::mutex> lock(link->mutex);
+    stranded = link->writer.PendingFrames();
+  }
+  // Frames still queued behind the broken connection are lost.
+  dropped_.fetch_add(stranded, std::memory_order_relaxed);
+  loop_->Remove(link->connection.fd());
+  link->connection.Close();
 }
 
 void Publication::AcceptLoop() {
@@ -102,7 +275,7 @@ void Publication::AcceptLoop() {
       return;
     }
     backoff_nanos = kInitialBackoffNanos;
-    (void)conn->SetNoDelay(true);
+    (void)rsf::net::ApplyTransportSocketOptions(*conn);
     if (!Handshake(*conn)) continue;
 
     auto link = std::make_unique<SubscriberLink>(*std::move(conn), queue_size_);
@@ -135,6 +308,46 @@ void Publication::SenderLoop(SubscriberLink* link) {
 }
 
 void Publication::Publish(SerializedMessage message) {
+  if (reactor_mode_) {
+    // Enqueue onto every link's frame queue (aliased shared buffer: one
+    // shared_ptr copy per link), then kick the loop once to flush them all.
+    std::vector<std::shared_ptr<ReactorLink>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(links_mutex_);
+      snapshot = reactor_links_;
+    }
+    if (snapshot.empty()) return;
+    for (const auto& link : snapshot) {
+      enqueued_.fetch_add(1, std::memory_order_relaxed);
+      bool evicted;
+      {
+        std::lock_guard<std::mutex> lock(link->mutex);
+        evicted = link->writer.Enqueue(
+            message.data, static_cast<uint32_t>(message.size), queue_size_);
+      }
+      if (evicted) dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Coalesced wake-up: back-to-back publishes share one loop task.  The
+    // flag resets BEFORE flushing so a publish racing with the flush always
+    // either lands its frames in a writer the flush is about to drain, or
+    // wins the exchange and schedules the next kick.
+    if (!kick_pending_.exchange(true, std::memory_order_acq_rel)) {
+      std::weak_ptr<Publication> weak = weak_from_this();
+      loop_->RunInLoop([weak] {
+        auto self = weak.lock();
+        if (self == nullptr) return;
+        self->kick_pending_.store(false, std::memory_order_release);
+        std::vector<std::shared_ptr<ReactorLink>> links;
+        {
+          std::lock_guard<std::mutex> lock(self->links_mutex_);
+          links = self->reactor_links_;
+        }
+        for (const auto& link : links) self->FlushLink(link);
+      });
+    }
+    return;
+  }
+
   // Cull links whose sender hit a broken pipe: unhook them under the lock,
   // but Shutdown()/join() after releasing it — joining a sender that is
   // blocked in a multi-megabyte send would otherwise stall every other
@@ -242,7 +455,7 @@ bool Publication::HasIntraLinks() const {
 
 bool Publication::HasTcpLinks() const {
   std::lock_guard<std::mutex> lock(links_mutex_);
-  return !links_.empty();
+  return !links_.empty() || !reactor_links_.empty();
 }
 
 size_t Publication::NumSubscribers() const {
@@ -252,6 +465,7 @@ size_t Publication::NumSubscribers() const {
     for (const auto& link : links_) {
       if (!link->dead.load(std::memory_order_acquire)) ++alive;
     }
+    alive += reactor_links_.size();
   }
   {
     std::lock_guard<std::mutex> lock(intra_mutex_);
@@ -274,6 +488,7 @@ PublicationStats Publication::Stats() const {
     for (const auto& link : links_) {
       if (!link->dead.load(std::memory_order_acquire)) ++stats.tcp_links;
     }
+    stats.tcp_links += reactor_links_.size();
   }
   {
     std::lock_guard<std::mutex> lock(intra_mutex_);
@@ -292,6 +507,40 @@ void Publication::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(intra_mutex_);
     intra_links_.clear();
+  }
+
+  if (reactor_mode_) {
+    // All per-fd state lives on the loop thread: tear it down there and
+    // wait, so no callback can touch this object once RunSync returns
+    // (the destructor relies on exactly this).
+    if (loop_ != nullptr) {
+      loop_->RunSync([this] {
+        loop_->Remove(listener_.fd());
+        for (const auto& peer : pending_peers_) {
+          loop_->Remove(peer->connection.fd());
+          peer->connection.Close();
+        }
+        pending_peers_.clear();
+        std::vector<std::shared_ptr<ReactorLink>> links;
+        {
+          std::lock_guard<std::mutex> lock(links_mutex_);
+          links.swap(reactor_links_);
+        }
+        for (const auto& link : links) {
+          size_t stranded;
+          {
+            std::lock_guard<std::mutex> lock(link->mutex);
+            stranded = link->writer.PendingFrames();
+          }
+          // Frames never flushed before shutdown are lost.
+          dropped_.fetch_add(stranded, std::memory_order_relaxed);
+          loop_->Remove(link->connection.fd());
+          link->connection.Close();
+        }
+      });
+    }
+    listener_.Close();
+    return;
   }
 
   listener_.Close();  // unblocks Accept

@@ -1,7 +1,20 @@
-// Publisher-side transport for one advertised topic: a listening socket, an
-// accept loop that performs the TCPROS handshake, and one outgoing queue +
-// sender thread per connected subscriber — plus, for typed publishers, the
-// in-process fanout registered by co-located subscriptions (intra_process.h).
+// Publisher-side transport for one advertised topic: a listening socket,
+// the TCPROS handshake, and per-subscriber outgoing frame queues — plus,
+// for typed publishers, the in-process fanout registered by co-located
+// subscriptions (intra_process.h).
+//
+// Two transport modes exist, sampled from net::ReactorTransportEnabled()
+// at Create time:
+//
+//  - reactor (default): the listener, every handshake, and every link's
+//    send queue live on ONE EventLoop of the shared pool.  Accept,
+//    handshake framing, and sends are nonblocking resumable state machines
+//    (net/framing.h), drained on readiness; Publish() enqueues frames and
+//    kicks the loop.  Total transport threads stay O(cores) regardless of
+//    subscriber count (DESIGN.md §8).
+//  - threads (legacy, kept for the connection-scaling ablation and as an
+//    escape hatch): one accept thread plus one sender thread per link,
+//    blocking I/O.
 //
 // Publication is untyped: TCP links move SerializedMessage units, and the
 // in-process fanout moves type-erased shared_ptr<const M> handles.  The
@@ -10,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -18,6 +32,8 @@
 
 #include "common/concurrent_queue.h"
 #include "common/status.h"
+#include "net/framing.h"
+#include "net/poller.h"
 #include "net/socket.h"
 #include "ros/intra_process.h"
 #include "ros/serialized_message.h"
@@ -38,7 +54,7 @@ struct PublicationStats {
   size_t intra_links = 0;         // live in-process subscriber links
 };
 
-class Publication {
+class Publication : public std::enable_shared_from_this<Publication> {
  public:
   /// Binds a listener on an ephemeral loopback port and starts accepting.
   /// `intra_capable` publishers (typed ones, i.e. NodeHandle::advertise)
@@ -108,8 +124,12 @@ class Publication {
               const std::string& md5sum, const std::string& callerid,
               size_t queue_size, rsf::net::TcpListener listener);
 
-  /// Starts the accept loop (called once by Create).
+  /// Starts the accept machinery (called once by Create): registers the
+  /// listener with the event loop (reactor mode) or spawns the accept
+  /// thread (legacy mode).
   void Start();
+
+  // ---- legacy thread-per-connection mode ----
 
   struct SubscriberLink {
     rsf::net::TcpConnection connection;
@@ -126,6 +146,49 @@ class Publication {
   void SenderLoop(SubscriberLink* link);
   // Performs the handshake; returns false to drop the connection.
   bool Handshake(rsf::net::TcpConnection& conn);
+  // Shared by both modes: validates a request header, builds the reply
+  // frame, returns whether the subscriber is accepted.
+  bool EvaluateHandshake(const uint8_t* request, uint32_t length,
+                         std::vector<uint8_t>* reply_frame);
+
+  // ---- reactor mode ----
+
+  /// A connected subscriber on the event loop.  The FrameWriter and its
+  /// queue bound are guarded by `mutex` (producers enqueue from publish
+  /// threads; the loop thread flushes); everything else is loop-confined.
+  struct ReactorLink {
+    rsf::net::TcpConnection connection;
+    std::mutex mutex;
+    rsf::net::FrameWriter writer;
+    bool writable_armed = false;
+
+    explicit ReactorLink(rsf::net::TcpConnection conn)
+        : connection(std::move(conn)) {}
+  };
+
+  /// A connection mid-handshake, loop-confined: request frame in, reply
+  /// frame out, then promotion to ReactorLink or teardown.
+  struct PendingPeer {
+    rsf::net::TcpConnection connection;
+    rsf::net::FrameReader reader;
+    std::vector<uint8_t> request;
+    rsf::net::FrameWriter writer;  // the reply frame
+    bool accepted = false;
+    bool reply_queued = false;
+
+    explicit PendingPeer(rsf::net::TcpConnection conn)
+        : connection(std::move(conn)) {}
+  };
+
+  // All loop-thread-only.
+  void OnAcceptReady();
+  void OnPeerEvent(const std::shared_ptr<PendingPeer>& peer, uint32_t events);
+  void FinishHandshake(const std::shared_ptr<PendingPeer>& peer);
+  void PromotePeer(const std::shared_ptr<PendingPeer>& peer);
+  void DropPeer(const std::shared_ptr<PendingPeer>& peer);
+  void OnLinkEvent(const std::shared_ptr<ReactorLink>& link, uint32_t events);
+  void FlushLink(const std::shared_ptr<ReactorLink>& link);
+  void RemoveLink(const std::shared_ptr<ReactorLink>& link);
 
   const std::string topic_;
   const std::string datatype_;
@@ -136,6 +199,7 @@ class Publication {
   rsf::net::TcpListener listener_;
   uint16_t port_ = 0;
   bool intra_registered_ = false;  // written once in Create, before Start
+  const bool reactor_mode_;        // sampled once in the constructor
   std::atomic<bool> shutdown_{false};
   std::atomic<uint64_t> enqueued_{0};
   std::atomic<uint64_t> dropped_{0};
@@ -144,11 +208,17 @@ class Publication {
   std::atomic<uint64_t> intra_whole_copy_{0};
   // Started by Start() after construction completes, NEVER in the
   // constructor: the accept loop reads shutdown_/links_, which are declared
-  // after it and would not be initialized yet.
+  // after it and would not be initialized yet.  Legacy mode only.
   std::thread accept_thread_;
 
+  // Reactor mode: the loop carrying this publication's listener and links.
+  rsf::net::EventLoop* loop_ = nullptr;
+  std::atomic<bool> kick_pending_{false};  // coalesces Publish() wake-ups
+  std::vector<std::shared_ptr<PendingPeer>> pending_peers_;  // loop-confined
+
   mutable std::mutex links_mutex_;
-  std::vector<std::unique_ptr<SubscriberLink>> links_;
+  std::vector<std::unique_ptr<SubscriberLink>> links_;     // legacy mode
+  std::vector<std::shared_ptr<ReactorLink>> reactor_links_;  // reactor mode
 
   mutable std::mutex intra_mutex_;
   std::vector<std::shared_ptr<IntraLinkBase>> intra_links_;

@@ -29,6 +29,7 @@
 #include "common/concurrent_queue.h"
 #include "common/log.h"
 #include "net/framing.h"
+#include "net/poller.h"
 #include "net/sim_link.h"
 #include "net/socket.h"
 #include "ros/callback_queue.h"
@@ -106,9 +107,11 @@ class Subscription final
     master().UnregisterSubscriber(topic_, master_id_);
     pending_.Shutdown();
     std::vector<IntraEntry> intra;
+    std::vector<std::shared_ptr<ReactorPubLink>> reactor;
     {
       std::lock_guard<std::mutex> lock(links_mutex_);
       intra.swap(intra_links_);
+      reactor.swap(reactor_links_);
       for (const auto& link : links_) {
         link->connection.ShutdownBoth();
         if (!link->reader.joinable()) continue;
@@ -122,6 +125,21 @@ class Subscription final
         }
       }
       links_.clear();
+    }
+    // Reactor links tear down ON their loop thread and synchronously:
+    // after RunSync returns, no event callback for the fd is running or
+    // will ever run, which is what makes the destructor safe.  Done
+    // outside links_mutex_ — a concurrent RemoveReactorLink on the loop
+    // thread takes that mutex, and holding it here would deadlock the
+    // RunSync handshake.  (When Shutdown itself runs on a loop thread —
+    // the last reference died inside a callback — RunSync executes
+    // inline, and cross-loop teardown still can't cycle: loop tasks never
+    // RunSync back.)
+    for (const auto& link : reactor) {
+      link->loop->RunSync([&link] {
+        link->loop->Remove(link->connection.fd());
+        link->connection.Close();
+      });
     }
     // Unhook from publications outside links_mutex_: RemoveIntraLink takes
     // the publication's intra lock, which a concurrent DeliverIntra holds
@@ -146,7 +164,7 @@ class Subscription final
   }
   [[nodiscard]] size_t NumPublishers() const override {
     std::lock_guard<std::mutex> lock(links_mutex_);
-    size_t alive = links_.size();
+    size_t alive = links_.size() + reactor_links_.size();
     for (const auto& [link, publication] : intra_links_) {
       if (!publication.expired()) ++alive;
     }
@@ -157,6 +175,20 @@ class Subscription final
   struct PublisherLink {
     rsf::net::TcpConnection connection;
     std::thread reader;
+    std::vector<uint8_t> scratch;  // reused staging (regular messages)
+  };
+
+  /// A publisher connection serviced by the reactor: the FrameReader and
+  /// the in-flight ReceiveArena are loop-confined.  `scratch` is the
+  /// per-link staging buffer regular messages reuse across frames (grows
+  /// to the largest frame seen, then allocation-free); the SFM variant
+  /// ignores it and lands payloads straight in arena blocks.
+  struct ReactorPubLink {
+    rsf::net::TcpConnection connection;
+    rsf::net::EventLoop* loop = nullptr;
+    rsf::net::FrameReader reader;
+    std::vector<uint8_t> scratch;
+    typename Serializer<M>::ReceiveArena arena;
   };
 
   /// The subscriber end of one in-process link.  Holds the subscription
@@ -254,8 +286,17 @@ class Subscription final
                conn.status().ToString().c_str());
       return;
     }
-    (void)conn->SetNoDelay(true);
+    // Same options as the accept side (TCP_NODELAY, paired buffer sizes).
+    (void)rsf::net::ApplyTransportSocketOptions(*conn);
     if (!Handshake(*conn)) return;
+
+    // Shaped links must keep a dedicated blocking reader: the shaper
+    // sleeps in the delivery path, which would stall every other link on a
+    // shared loop thread.
+    if (rsf::net::ReactorTransportEnabled() && !ShapedLink()) {
+      AttachReactorLink(*std::move(conn));
+      return;
+    }
 
     auto link = std::make_unique<PublisherLink>();
     link->connection = *std::move(conn);
@@ -267,6 +308,75 @@ class Subscription final
     auto self = this->shared_from_this();
     raw->reader = std::thread([self, raw] { self->ReadLoop(raw); });
     links_.push_back(std::move(link));
+  }
+
+  /// Hands a handshaken connection to an event loop (round-robin across
+  /// the pool).  Called on the master's notify thread.
+  void AttachReactorLink(rsf::net::TcpConnection conn) {
+    (void)conn.SetNonBlocking(true);
+    auto link = std::make_shared<ReactorPubLink>();
+    link->connection = std::move(conn);
+    link->loop = rsf::net::Reactor::Get().NextLoop();
+    {
+      std::lock_guard<std::mutex> lock(links_mutex_);
+      if (shutdown_.load(std::memory_order_acquire)) return;
+      reactor_links_.push_back(link);
+    }
+    std::weak_ptr<Subscription> weak = this->weak_from_this();
+    link->loop->RunInLoop([weak, link] {
+      auto self = weak.lock();
+      if (self == nullptr) return;
+      link->loop->Add(link->connection.fd(), rsf::net::kEventReadable,
+                      [weak, link](uint32_t) {
+                        if (auto alive = weak.lock()) {
+                          alive->OnReactorReadable(link);
+                        }
+                      });
+    });
+  }
+
+  /// Loop-thread-only: drains every complete frame the socket has, parking
+  /// mid-frame state in the link's FrameReader/arena between events.
+  void OnReactorReadable(const std::shared_ptr<ReactorPubLink>& link) {
+    while (!shutdown_.load(std::memory_order_acquire)) {
+      uint32_t length = 0;
+      auto step = link->reader.Poll(
+          link->connection,
+          [&](uint32_t len) {
+            // One allocator call per frame: regular messages stage in the
+            // link's reused scratch, SFM messages land arena-direct.
+            link->arena = {};
+            link->arena.scratch = &link->scratch;
+            return link->arena.Allocate(len);
+          },
+          &length);
+      if (!step.ok()) {  // publisher gone, reset, or malformed framing
+        RemoveReactorLink(link);
+        return;
+      }
+      if (*step == rsf::net::FrameReader::Step::kNeedMore) return;
+
+      auto msg = Serializer<M>::FromWire(std::move(link->arena), length);
+      if (!msg.ok()) {
+        RSF_ERROR("dropping malformed message on %s: %s", topic_.c_str(),
+                  msg.status().ToString().c_str());
+        continue;
+      }
+      received_.fetch_add(1, std::memory_order_relaxed);
+      Dispatch(*std::move(msg));
+    }
+  }
+
+  /// Loop-thread-only (or post-RunSync teardown).
+  void RemoveReactorLink(const std::shared_ptr<ReactorPubLink>& link) {
+    {
+      std::lock_guard<std::mutex> lock(links_mutex_);
+      auto it = std::find(reactor_links_.begin(), reactor_links_.end(), link);
+      if (it == reactor_links_.end()) return;  // already removed
+      reactor_links_.erase(it);
+    }
+    link->loop->Remove(link->connection.fd());
+    link->connection.Close();
   }
 
   bool Handshake(rsf::net::TcpConnection& conn) {
@@ -297,6 +407,7 @@ class Subscription final
   void ReadLoop(PublisherLink* link) {
     while (!shutdown_.load(std::memory_order_acquire)) {
       typename Serializer<M>::ReceiveArena arena;
+      arena.scratch = &link->scratch;
       uint32_t length = 0;
       const auto status = rsf::net::ReadFrame(
           link->connection,
@@ -364,7 +475,8 @@ class Subscription final
   std::atomic<uint64_t> intra_whole_copy_{0};
 
   mutable std::mutex links_mutex_;
-  std::vector<std::unique_ptr<PublisherLink>> links_;
+  std::vector<std::unique_ptr<PublisherLink>> links_;      // blocking readers
+  std::vector<std::shared_ptr<ReactorPubLink>> reactor_links_;
   std::vector<IntraEntry> intra_links_;
 };
 

@@ -3,6 +3,9 @@
 // simulated link model used by the inter-machine experiment.
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+
 #include <cstring>
 #include <thread>
 
@@ -217,6 +220,35 @@ TEST(Framing, NullAllocatorRejected) {
                 .code(),
             StatusCode::kResourceExhausted);
   writer.join();
+}
+
+// Audits the one-tunable socket-option contract: both ends of a transport
+// connection — the accepted side AND the dialed side — get TCP_NODELAY and
+// SO_RCVBUF/SO_SNDBUF derived from kSocketBufferBytes.  (The kernel at
+// least doubles requested buffer sizes for bookkeeping, so the assertion
+// is >=, and requires net.core.{r,w}mem_max >= kSocketBufferBytes.)
+void ExpectTransportOptions(TcpConnection& conn) {
+  auto nodelay = conn.GetIntOption(IPPROTO_TCP, TCP_NODELAY);
+  ASSERT_TRUE(nodelay.ok());
+  EXPECT_NE(*nodelay, 0);
+  auto rcvbuf = conn.GetIntOption(SOL_SOCKET, SO_RCVBUF);
+  ASSERT_TRUE(rcvbuf.ok());
+  EXPECT_GE(*rcvbuf, kSocketBufferBytes);
+  auto sndbuf = conn.GetIntOption(SOL_SOCKET, SO_SNDBUF);
+  ASSERT_TRUE(sndbuf.ok());
+  EXPECT_GE(*sndbuf, kSocketBufferBytes);
+}
+
+TEST(SocketOptions, AppliedToAcceptedConnection) {
+  auto [client, server] = MakePair();
+  ASSERT_TRUE(ApplyTransportSocketOptions(server).ok());
+  ExpectTransportOptions(server);
+}
+
+TEST(SocketOptions, AppliedToDialedConnection) {
+  auto [client, server] = MakePair();
+  ASSERT_TRUE(ApplyTransportSocketOptions(client).ok());
+  ExpectTransportOptions(client);
 }
 
 TEST(SimLink, WireTimeMatchesBandwidth) {
