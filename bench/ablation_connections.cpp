@@ -1,18 +1,16 @@
-// Ablation: connection scaling — thread-per-connection vs the shared epoll
-// reactor (src/net/poller.h).  One publisher fans a message out to N TCP
-// subscriber links (in-process transport disabled, so every delivery
-// crosses a real loopback socket) for N in {1, 8, 64, 256}; each
-// configuration records the process thread count at steady state and the
-// p50/p99 publish-to-last-delivery latency.
+// Ablation: connection scaling on the reactor transport (src/net/poller.h,
+// src/net/link.h).  One publisher fans a message out to N TCP subscriber
+// links (in-process transport disabled, so every delivery crosses a real
+// loopback socket) for N in {1, 8, 64, 256}; each configuration records
+// the process thread count at steady state and the p50/p99
+// publish-to-last-delivery latency.
 //
-// The claim under test: reactor-mode transport threads stay O(cores) no
-// matter how many links exist (thread-per-connection pays one sender on
-// the publisher plus one reader on the subscriber PER LINK), without
-// regressing latency at small link counts.
-//
-// All thread-per-connection configurations run FIRST: the reactor's loop
-// pool starts lazily on first use and persists for the process lifetime,
-// which would pollute the legacy rows' thread counts.
+// The claim under test: transport threads stay O(cores) no matter how many
+// links exist, without regressing latency at small link counts.  The
+// thread-per-connection transport this used to ablate against was removed
+// in PR 4 (it paid one sender on the publisher plus one reader on the
+// subscriber PER LINK); its historical rows are preserved in
+// EXPERIMENTS.md.
 //
 // Prints a table and writes BENCH_connections.json.
 #include <dirent.h>
@@ -147,8 +145,6 @@ int main(int argc, char** argv) {
   config.payload_bytes = std::max(config.payload_bytes, size_t{1});
 
   const std::vector<size_t> link_counts = {1, 8, 64, 256};
-  // NOTE: do not touch Reactor::Get() before the legacy rows run — it
-  // lazily starts the loop pool, whose threads would pollute their counts.
   std::printf(
       "=== Ablation: connection scaling, %zu-byte payload, %d iterations "
       "===\n\n",
@@ -157,18 +153,13 @@ int main(int argc, char** argv) {
               "threads total", "p50 (us)", "p99 (us)");
 
   std::vector<Row> rows;
-  // Legacy first (see the file comment: the reactor pool is sticky).
-  for (const char* mode : {"threads", "reactor"}) {
-    rsf::net::SetReactorTransportEnabled(std::string(mode) == "reactor");
-    for (const size_t links : link_counts) {
-      rows.push_back(RunConfig(mode, links, config));
-      const Row& row = rows.back();
-      std::printf("  %-10s %-8zu %14zu %12.1f %12.1f\n", row.mode, row.links,
-                  row.threads_total, row.p50_us, row.p99_us);
-      ros::master().Reset();
-    }
+  for (const size_t links : link_counts) {
+    rows.push_back(RunConfig("reactor", links, config));
+    const Row& row = rows.back();
+    std::printf("  %-10s %-8zu %14zu %12.1f %12.1f\n", row.mode, row.links,
+                row.threads_total, row.p50_us, row.p99_us);
+    ros::master().Reset();
   }
-  rsf::net::SetReactorTransportEnabled(true);
 
   FILE* json = std::fopen("BENCH_connections.json", "w");
   if (json != nullptr) {

@@ -1,0 +1,206 @@
+// The one transport lifecycle: a loop-confined state machine that owns a
+// connected (or connecting) socket, its resumable framing, its stats, and
+// its teardown — shared by every TCP-backed link in the middleware
+// (publication fan-out, subscription receive, shaped SimLink delivery, bag
+// record/replay).  Publication and Subscription are policy over this class:
+// they decide which tier a peer lands on (intra zero-copy / intra
+// whole-copy / TCP) and what the frames mean; Link owns how bytes move.
+//
+//   Connecting ──connect completes──▶ Handshaking ──accepted──▶ Established
+//        │                                │    │                     │
+//        │ SO_ERROR / timeout             │    └──rejected──▶ Draining│
+//        ▼                                ▼                      │    ▼
+//      Closed ◀──────────────────────── error ◀──reply flushed──┘  Closed
+//
+// Every state transition, every callback, and all reader-side state run on
+// ONE EventLoop thread; the only cross-thread entry points are
+// EnqueueFrame (mutex-guarded writer queue — producers never touch the
+// socket) and CloseSync (RunSync teardown: after it returns, no callback
+// will run again, which is what lets owners destroy captured state).
+//
+// The handshake is pluggable: Link moves handshake *frames*; the owner
+// supplies encode/validate callbacks (TCPROS connection headers live in
+// src/ros/, the net layer stays protocol-agnostic).  A dial
+// (`Link::Dial`) never blocks the calling thread — the nonblocking
+// connect(2) is initiated inline (EINPROGRESS), completion arrives as an
+// EPOLLOUT event on the loop, and a timer closes the link if the peer
+// never answers.  This is what takes the master-notify thread out of the
+// connect path entirely.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/framing.h"
+#include "net/poller.h"
+#include "net/socket.h"
+
+namespace rsf::net {
+
+/// Largest accepted handshake frame (connection headers are < 1 KiB; the
+/// cap guards the pre-validation allocator against hostile lengths).
+inline constexpr uint32_t kMaxHandshakeFrame = 1u * 1024u * 1024u;
+
+class Link : public std::enable_shared_from_this<Link> {
+ public:
+  enum class State : uint8_t {
+    kConnecting,    // dial in flight (EINPROGRESS), waiting for EPOLLOUT
+    kHandshaking,   // exchanging handshake frames
+    kEstablished,   // app frames flow
+    kDraining,      // handshake rejected: flushing the error reply, then close
+    kClosed,
+  };
+
+  struct Options {
+    /// Drop-oldest bound for the outgoing frame queue (0 = unbounded).
+    size_t max_pending_frames = 0;
+    /// A dial still in kConnecting after this long is closed.
+    uint64_t connect_timeout_nanos = 10ull * 1'000'000'000ull;
+  };
+
+  /// All callbacks run on the link's loop thread.  They are released (on
+  /// the loop) once the link closes, so owners may capture shared_ptrs to
+  /// themselves without leaking: the Link ⇄ owner cycle is broken at close.
+  struct Callbacks {
+    /// Server role: validate the peer's handshake request and fill the
+    /// reply frame.  Return false to reject — the reply (an error header)
+    /// is still flushed before the link closes (kDraining).
+    std::function<bool(const uint8_t* data, uint32_t length,
+                       std::vector<uint8_t>* reply)>
+        on_handshake_request;
+    /// Client role: the handshake request frame to send once connected.
+    std::function<std::vector<uint8_t>()> make_handshake_request;
+    /// Client role: validate the server's reply.  Return false to close.
+    std::function<bool(const uint8_t* data, uint32_t length)>
+        on_handshake_reply;
+    /// Established receive path: where payload bytes land (the SFM
+    /// arena-direct hook) and what to do when a frame completes.  When
+    /// on_frame is absent the link drains and discards inbound bytes,
+    /// watching only for EOF — the publisher side of a TCPROS link.
+    FrameAllocator alloc;
+    std::function<void(uint32_t length)> on_frame;
+    /// Fired once on the transition into kEstablished.  Receives the link
+    /// so owners can file it without racing the factory's return value
+    /// (a dial may establish before Dial() even returns to the caller).
+    std::function<void(const std::shared_ptr<Link>&)> on_established;
+    /// Fired when the LINK decides to close (peer hangup, socket error,
+    /// handshake rejection, connect failure/timeout) — NOT on
+    /// owner-initiated CloseNow/CloseSync, so owners never re-enter their
+    /// own teardown.
+    std::function<void(const std::shared_ptr<Link>&)> on_closed;
+  };
+
+  /// Wraps an accepted connection (server role, starts handshaking).
+  /// Callable from any thread; the link activates on `loop`.
+  static std::shared_ptr<Link> Accepted(TcpConnection conn, EventLoop* loop,
+                                        Options options, Callbacks callbacks);
+
+  /// Starts a nonblocking dial (client role).  Never blocks: the connect
+  /// is initiated inline and completes (or fails, or times out) on `loop`.
+  /// Always returns a link — a dial that can never succeed surfaces as
+  /// on_closed, keeping the caller's error handling in one place.
+  static std::shared_ptr<Link> Dial(const std::string& host, uint16_t port,
+                                    EventLoop* loop, Options options,
+                                    Callbacks callbacks);
+
+  /// Use the factories; public only for std::make_shared.
+  Link(EventLoop* loop, Options options, Callbacks callbacks);
+  ~Link() = default;
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Queues one outgoing frame (thread-safe; producers call this).  Returns
+  /// true when the frame will never reach the wire — an older frame was
+  /// evicted (drop-oldest at max_pending_frames) or the link is already
+  /// closed — so callers can count drops.  Frames do not start moving until
+  /// someone kicks FlushOnLoop (publication coalesces one kick per burst).
+  bool EnqueueFrame(std::shared_ptr<const uint8_t[]> payload, uint32_t size);
+
+  /// Flushes the writer queue as far as the socket allows and re-arms
+  /// interest.  Loop-thread-only (RunInLoop a kick from producers).
+  void FlushOnLoop();
+
+  /// Stops delivering frames: read interest is dropped until
+  /// ResumeReading.  The pause lands between frames (never mid-frame), and
+  /// unread bytes back up into the kernel buffer — TCP flow control then
+  /// pushes back on the sender, exactly like the blocking reader the
+  /// shaped path used to run.  Loop-thread-only.
+  void PauseReading();
+  /// Re-arms read interest (no-op unless kEstablished); level-triggered
+  /// epoll re-reports any bytes that arrived while paused.
+  /// Loop-thread-only.
+  void ResumeReading();
+
+  /// Owner-initiated close, loop-thread-only.  Does not fire on_closed.
+  void CloseNow();
+  /// Owner-initiated close from any thread; returns after the loop has
+  /// torn the link down — no callback runs after this.  The teardown
+  /// primitive for Publication/Subscription destructors.
+  void CloseSync();
+
+  [[nodiscard]] State state() const noexcept {
+    return state_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool established() const noexcept {
+    return state() == State::kEstablished;
+  }
+
+  struct Stats {
+    uint64_t frames_enqueued = 0;
+    uint64_t frames_evicted = 0;  // drop-oldest + enqueue-after-close
+    uint64_t frames_sent = 0;
+    uint64_t frames_received = 0;
+    uint64_t frames_stranded = 0;  // queued but unsent when the link closed
+  };
+  [[nodiscard]] Stats stats() const noexcept;
+
+  [[nodiscard]] int fd() const noexcept { return conn_.fd(); }
+  [[nodiscard]] EventLoop* loop() const noexcept { return loop_; }
+
+ private:
+  enum class Role : uint8_t { kServer, kClient };
+
+  void StartServerOnLoop();
+  void StartClientOnLoop(bool in_progress);
+  void Register();
+  void UpdateInterest();
+  [[nodiscard]] uint32_t CurrentInterest();
+  void OnEvent(uint32_t events);
+  void ResolveConnect();
+  void EnterClientHandshake();
+  void HandshakeReadable();
+  void EnterEstablished();
+  void ReadEstablished();
+  void DrainDiscard();
+  void PeekForEof();
+  void FlushWriter();
+  void CloseOnLoop(bool notify);
+
+  EventLoop* const loop_;
+  const Options options_;
+  Callbacks callbacks_;
+  Role role_ = Role::kServer;
+  TcpConnection conn_;
+  std::atomic<State> state_{State::kClosed};
+
+  // Loop-confined.
+  bool registered_ = false;
+  bool paused_ = false;
+  FrameReader reader_;
+  std::vector<uint8_t> handshake_buf_;
+
+  std::mutex write_mutex_;
+  FrameWriter writer_;  // guarded by write_mutex_
+
+  std::atomic<uint64_t> enqueued_{0};
+  std::atomic<uint64_t> evicted_{0};
+  std::atomic<uint64_t> sent_{0};
+  std::atomic<uint64_t> received_{0};
+  std::atomic<uint64_t> stranded_{0};
+};
+
+}  // namespace rsf::net

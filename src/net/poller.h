@@ -1,26 +1,30 @@
-// The event-driven I/O core: an epoll-based reactor that replaces the
-// middleware's thread-per-connection transport.
+// The event-driven I/O core: an epoll-based reactor that carries every
+// transport link in the process.
 //
 // One `EventLoop` owns one epoll instance and one thread; every descriptor
 // registered with it is serviced by that thread alone, so per-connection
-// state machines (net/framing.h FrameReader/FrameWriter) never need their
-// own synchronization.  A small fixed pool of loops (`Reactor`, sized
-// O(cores), default 2) carries every TCP publication and subscription link
-// in the process — total transport threads stay constant no matter how
-// many links exist, which is what lets node/topic counts scale past the
-// point where one thread per link exhausts the scheduler (HPRM/DORA make
-// the same argument; see DESIGN.md §8).
+// state machines (net/link.h, net/framing.h) never need their own
+// synchronization.  A small fixed pool of loops (`Reactor`, sized from the
+// host's core count) carries every TCP publication and subscription link in
+// the process — total transport threads stay constant no matter how many
+// links exist, which is what lets node/topic counts scale past the point
+// where one thread per link exhausts the scheduler (HPRM/DORA make the same
+// argument; see DESIGN.md §8).
 //
 // Cross-thread arming goes through an eventfd wakeup: `Post` enqueues a
 // task and kicks the eventfd, `RunInLoop` runs inline when already on the
 // loop thread, and `RunSync` blocks until the loop has executed the task —
 // the teardown primitive that lets Publication/Subscription destructors
-// guarantee no callback touches freed state.
+// guarantee no callback touches freed state.  `RunAfter` schedules delayed
+// tasks on a per-loop timerfd — the facility that lets SimLink-shaped
+// deliveries pace themselves on the loop instead of sleeping a dedicated
+// reader thread.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -52,7 +56,9 @@ class EventLoop {
   void Start();
   /// Stops the loop and joins the thread.  Idempotent; safe to call with
   /// handlers still registered (they are dropped, closing nothing — fd
-  /// ownership stays with the handler's captures).
+  /// ownership stays with the handler's captures).  Pending timers are
+  /// DISCARDED (unlike accepted Post tasks, which are guaranteed to run):
+  /// a delayed task firing after its loop died has no state left to pace.
   void Stop();
 
   [[nodiscard]] bool InLoopThread() const noexcept;
@@ -71,19 +77,32 @@ class EventLoop {
   /// (teardown after Stop — there is no concurrent access left to race).
   void RunSync(Task task);
 
+  /// Schedules `task` to run on the loop thread once `delay_nanos` have
+  /// elapsed (timerfd precision; delay 0 fires on the next loop turn).
+  /// Callable from any thread.  Tasks with equal deadlines run in
+  /// scheduling order.  Returns false once Stop has begun; pending timers
+  /// are discarded at Stop.  There is no cancellation — capture weak
+  /// pointers and let a stale firing no-op.
+  bool RunAfter(uint64_t delay_nanos, Task task);
+
   /// Registers `fd` with the given interest bits.  The callback receives
   /// the ready bits; error/hangup conditions are folded into readability
   /// (and writability, when armed) so the next syscall surfaces the errno.
   /// Loop-thread-only.
   void Add(int fd, uint32_t interest, EventCallback callback);
-  /// Replaces the interest bits of a registered fd.  Loop-thread-only.
+  /// Replaces the interest bits of a registered fd.  Interest 0 parks the
+  /// fd (no events delivered until re-armed) — the shaped-delivery pause.
+  /// Loop-thread-only.
   void SetInterest(int fd, uint32_t interest);
   /// Unregisters `fd`; no-op if unknown (removal paths may race benignly).
   /// Safe to call from inside the fd's own callback.  Loop-thread-only.
   void Remove(int fd);
 
-  /// Registered descriptor count (tests).
+  /// Registered descriptor count (tests; loop-confined — read via RunSync).
   [[nodiscard]] size_t NumHandlers() const;
+  /// Armed (not yet fired) timer count (tests; loop-confined — read via
+  /// RunSync).
+  [[nodiscard]] size_t NumTimers() const;
 
  private:
   struct Handler {
@@ -93,10 +112,14 @@ class EventLoop {
 
   void Run();
   void Wakeup();
+  void AddTimerOnLoop(uint64_t deadline_nanos, Task task);
+  void ArmTimerFd(uint64_t now_nanos);
+  void FireDueTimers();
   static uint32_t ToEpollMask(uint32_t interest) noexcept;
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
+  int timer_fd_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::thread thread_;
@@ -105,6 +128,10 @@ class EventLoop {
   // entry while the handler's own callback is still executing (the dispatch
   // loop keeps the Handler alive through its local reference).
   std::unordered_map<int, std::shared_ptr<Handler>> handlers_;
+
+  // Loop-thread-only: deadline → task, FIFO-stable for equal deadlines
+  // (multimap inserts equivalent keys at the upper bound).
+  std::multimap<uint64_t, Task> timers_;
 
   std::mutex tasks_mutex_;
   std::vector<Task> tasks_;
@@ -115,8 +142,9 @@ class EventLoop {
 /// handed out round-robin so links spread across the pool.
 class Reactor {
  public:
-  /// Pool size: RSF_REACTOR_THREADS env override, else 2 (O(cores) — this
-  /// repo's reference host is small; real deployments raise the env).
+  /// Pool size: RSF_REACTOR_THREADS env override (1-64), else sized from
+  /// the host — clamp(hardware_concurrency() / 4, 2, 8).  The chosen size
+  /// is logged once at startup.
   static Reactor& Get();
 
   EventLoop* NextLoop();
@@ -129,13 +157,5 @@ class Reactor {
   std::vector<std::unique_ptr<EventLoop>> loops_;
   std::atomic<size_t> next_{0};
 };
-
-/// Whether new Publications/Subscriptions use the reactor transport
-/// (default) or the legacy thread-per-connection code.  Sampled at link
-/// creation; the env var RSF_TRANSPORT=threads flips the initial value.
-/// The setter exists for the connection-scaling ablation bench, which runs
-/// both configurations in one process.
-bool ReactorTransportEnabled() noexcept;
-void SetReactorTransportEnabled(bool enabled) noexcept;
 
 }  // namespace rsf::net

@@ -9,7 +9,10 @@
 // The middleware applies the resulting extra delay on the receive path
 // before dispatching the callback (after the bytes have crossed the real
 // loopback socket, whose cost is also part of the measurement, as it is in
-// the paper's intra-machine runs).
+// the paper's intra-machine runs).  Shaped subscriptions pace delivery on
+// their reactor loop: the subscription pauses the link's reads and arms an
+// EventLoop::RunAfter timer for DelayFor's answer, so shaping costs no
+// dedicated thread (see net/link.h).
 #pragma once
 
 #include <cstdint>

@@ -22,11 +22,16 @@ Status ErrnoStatus(const char* what) {
 }
 
 std::atomic<uint64_t> g_write_syscalls{0};
+std::atomic<uint64_t> g_blocking_connects{0};
 
 }  // namespace
 
 uint64_t WriteSyscallCount() noexcept {
   return g_write_syscalls.load(std::memory_order_relaxed);
+}
+
+uint64_t BlockingConnectCount() noexcept {
+  return g_blocking_connects.load(std::memory_order_relaxed);
 }
 
 void FdGuard::Reset() noexcept {
@@ -36,6 +41,7 @@ void FdGuard::Reset() noexcept {
 
 Result<TcpConnection> TcpConnection::Connect(const std::string& host,
                                              uint16_t port) {
+  g_blocking_connects.fetch_add(1, std::memory_order_relaxed);
   FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return ErrnoStatus("socket");
 
@@ -49,6 +55,42 @@ Result<TcpConnection> TcpConnection::Connect(const std::string& host,
     return ErrnoStatus("connect");
   }
   return TcpConnection(std::move(fd));
+}
+
+Result<TcpConnection> TcpConnection::ConnectStart(const std::string& host,
+                                                  uint16_t port,
+                                                  bool* in_progress) {
+  *in_progress = false;
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("bad address: " + host);
+  }
+  for (;;) {
+    if (::connect(fd.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      return TcpConnection(std::move(fd));
+    }
+    if (errno == EINTR) continue;
+    if (errno == EINPROGRESS) {
+      *in_progress = true;
+      return TcpConnection(std::move(fd));
+    }
+    return ErrnoStatus("connect");
+  }
+}
+
+int TcpConnection::TakeConnectError() noexcept {
+  int error = 0;
+  socklen_t len = sizeof(error);
+  if (::getsockopt(fd_.fd(), SOL_SOCKET, SO_ERROR, &error, &len) != 0) {
+    return errno != 0 ? errno : EBADF;
+  }
+  return error;
 }
 
 Status TcpConnection::WriteAll(std::span<const uint8_t> data) {

@@ -1,9 +1,10 @@
 // RAII TCP socket primitives over the BSD socket API.
 //
-// The middleware uses blocking I/O with one receive thread per connection
-// (the same structure as roscpp's TCPROS transport).  All data-path traffic
-// in the benchmarks flows through real loopback TCP sockets, matching the
-// paper's intra-machine experimental setup (§5.1).
+// Transport connections are nonblocking and reactor-managed (net/poller.h,
+// net/link.h); the blocking helpers remain for tools and tests that want a
+// simple synchronous peer.  All data-path traffic in the benchmarks flows
+// through real loopback TCP sockets, matching the paper's intra-machine
+// experimental setup (§5.1).
 #pragma once
 
 #include <sys/uio.h>
@@ -64,8 +65,24 @@ class TcpConnection {
   TcpConnection() = default;
   explicit TcpConnection(FdGuard fd) : fd_(std::move(fd)) {}
 
-  /// Connects to host:port (blocking).
+  /// Connects to host:port (blocking).  Transport code should use
+  /// ConnectStart + a reactor loop instead; this remains for tools, tests,
+  /// and benches.  Every call bumps BlockingConnectCount().
   static Result<TcpConnection> Connect(const std::string& host, uint16_t port);
+
+  /// Initiates a nonblocking connect to host:port.  On success the returned
+  /// connection is O_NONBLOCK; `*in_progress` tells whether the three-way
+  /// handshake is still pending (EINPROGRESS — arm kEventWritable and call
+  /// TakeConnectError when it fires) or already complete (loopback often
+  /// connects synchronously).  Never blocks, so it is safe to call from the
+  /// master-notify thread.
+  static Result<TcpConnection> ConnectStart(const std::string& host,
+                                            uint16_t port, bool* in_progress);
+
+  /// Resolves a pending nonblocking connect: reads and clears SO_ERROR.
+  /// 0 means the connection is established; otherwise the errno the connect
+  /// failed with (ECONNREFUSED, ETIMEDOUT, …).
+  int TakeConnectError() noexcept;
 
   [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
 
@@ -131,6 +148,11 @@ Status ApplyTransportSocketOptions(TcpConnection& conn);
 /// issued by TcpConnection.  A test shim: frame-write tests assert the
 /// syscalls-per-message budget (one `sendmsg` per frame) without strace.
 uint64_t WriteSyscallCount() noexcept;
+
+/// Process-wide count of blocking TcpConnection::Connect calls.  A test
+/// shim: middleware tests assert the subscriber dial path (which runs on
+/// the master-notify thread) never issues a blocking connect.
+uint64_t BlockingConnectCount() noexcept;
 
 /// True for accept(2) errno values that do not poison the listener —
 /// aborted handshakes (ECONNABORTED, EPROTO), fd-table or kernel-memory

@@ -1,15 +1,18 @@
 #include "ros/bag.h"
 
 #include <atomic>
+#include <cstring>
 #include <map>
 #include <mutex>
 
 #include "common/clock.h"
 #include "common/endian.h"
 #include "net/framing.h"
+#include "net/link.h"
+#include "net/poller.h"
+#include "ros/connection_header.h"
 #include "ros/master.h"
 #include "ros/publication.h"
-#include "ros/subscription.h"
 
 namespace ros {
 namespace {
@@ -136,9 +139,14 @@ rsf::Result<std::vector<BagRecord>> BagReader::ReadAll() {
 
 // ---- TopicRecorder ----
 //
-// Type-erased subscription: connects like a Subscription<M> but treats the
-// payload as an opaque frame.  It handshakes with datatype "*" / md5 "*",
-// which the publisher-side validation accepts (rostopic/rosbag behaviour).
+// Type-erased subscription over client-role Links: connects like a
+// Subscription<M> but treats the payload as an opaque frame.  It handshakes
+// with datatype "*" / md5 "*", which the publisher-side validation accepts
+// (rostopic/rosbag behaviour).  The recorder spawns NO threads: each
+// publisher link dials nonblockingly, handshakes on its reactor loop, and
+// appends records from the loop's frame callback.  (Bag appends are small
+// buffered ofstream writes; they run on the loop thread, serialized across
+// links by write_mutex since one BagWriter can span topics and loops.)
 
 struct TopicRecorder::Impl : std::enable_shared_from_this<TopicRecorder::Impl> {
   std::string topic;
@@ -148,91 +156,101 @@ struct TopicRecorder::Impl : std::enable_shared_from_this<TopicRecorder::Impl> {
   std::atomic<bool> shutdown{false};
   std::atomic<uint64_t> recorded{0};
 
-  std::mutex links_mutex;
-  std::vector<std::unique_ptr<rsf::net::TcpConnection>> connections;
-  std::vector<std::thread> readers;
+  /// One recorded publisher connection.  datatype/md5 (learned from the
+  /// handshake reply) and the payload staging buffer are loop-confined.
+  struct RecordLink {
+    std::shared_ptr<rsf::net::Link> link;  // under links_mutex
+    bool removed = false;                  // under links_mutex
+    std::string datatype = "*";
+    std::string md5 = "*";
+    std::vector<uint8_t> payload;
+  };
 
+  std::mutex links_mutex;
+  std::vector<std::shared_ptr<RecordLink>> links;
+
+  /// Master-notify thread; never blocks.
   void OnPublisher(const TopicEndpoint& endpoint) {
     if (shutdown.load(std::memory_order_acquire)) return;
-    auto conn =
-        rsf::net::TcpConnection::Connect(endpoint.host, endpoint.port);
-    if (!conn.ok()) return;
-    (void)conn->SetNoDelay(true);
+    auto rl = std::make_shared<RecordLink>();
+    std::weak_ptr<Impl> weak = weak_from_this();
 
-    const auto request = EncodeConnectionHeader(
-        MakeSubscriberHeader(topic, "*", "*", "rsfbag_record"));
-    if (!rsf::net::WriteFrame(*conn, request).ok()) return;
-    std::vector<uint8_t> reply;
-    uint32_t reply_len = 0;
-    if (!rsf::net::ReadFrame(
-             *conn,
-             [&](uint32_t len) {
-               reply.resize(len == 0 ? 1 : len);
-               return reply.data();
-             },
-             &reply_len)
-             .ok()) {
-      return;
+    rsf::net::Link::Callbacks callbacks;
+    callbacks.make_handshake_request = [topic = topic] {
+      return EncodeConnectionHeader(
+          MakeSubscriberHeader(topic, "*", "*", "rsfbag_record"));
+    };
+    callbacks.on_handshake_reply = [rl](const uint8_t* data, uint32_t length) {
+      auto header = DecodeConnectionHeader(data, length);
+      if (!header.ok() || header->count("error") != 0) return false;
+      if (const auto it = header->find("type"); it != header->end()) {
+        rl->datatype = it->second;
+      }
+      if (const auto it = header->find("md5sum"); it != header->end()) {
+        rl->md5 = it->second;
+      }
+      return true;
+    };
+    callbacks.alloc = [rl](uint32_t length) {
+      rl->payload.resize(length == 0 ? 1 : length);
+      return rl->payload.data();
+    };
+    callbacks.on_frame = [weak, rl](uint32_t length) {
+      if (auto self = weak.lock()) self->OnFrame(*rl, length);
+    };
+    callbacks.on_closed = [weak,
+                           rl](const std::shared_ptr<rsf::net::Link>&) {
+      if (auto self = weak.lock()) self->RemoveLink(rl);
+    };
+
+    auto link = rsf::net::Link::Dial(endpoint.host, endpoint.port,
+                                     rsf::net::Reactor::Get().NextLoop(),
+                                     rsf::net::Link::Options{},
+                                     std::move(callbacks));
+    {
+      std::lock_guard<std::mutex> lock(links_mutex);
+      if (!shutdown.load(std::memory_order_acquire)) {
+        rl->link = link;
+        if (!rl->removed) links.push_back(rl);
+        return;
+      }
     }
-    auto header = DecodeConnectionHeader(reply.data(), reply_len);
-    if (!header.ok() || header->count("error") != 0) return;
-    const std::string datatype =
-        header->count("type") != 0 ? (*header)["type"] : "*";
-    const std::string md5 =
-        header->count("md5sum") != 0 ? (*header)["md5sum"] : "*";
-
-    auto owned = std::make_unique<rsf::net::TcpConnection>(*std::move(conn));
-    rsf::net::TcpConnection* raw = owned.get();
-    std::lock_guard<std::mutex> lock(links_mutex);
-    if (shutdown.load(std::memory_order_acquire)) return;
-    connections.push_back(std::move(owned));
-    auto self = shared_from_this();
-    readers.emplace_back([self, raw, datatype, md5] {
-      self->ReadLoop(raw, datatype, md5);
-    });
+    link->CloseSync();
   }
 
-  void ReadLoop(rsf::net::TcpConnection* conn, const std::string& datatype,
-                const std::string& md5) {
-    std::vector<uint8_t> payload;
-    while (!shutdown.load(std::memory_order_acquire)) {
-      uint32_t length = 0;
-      const auto status = rsf::net::ReadFrame(
-          *conn,
-          [&](uint32_t len) {
-            payload.resize(len == 0 ? 1 : len);
-            return payload.data();
-          },
-          &length);
-      if (!status.ok()) return;
-      {
-        std::lock_guard<std::mutex> lock(write_mutex);
-        const auto now = rsf::Time::Now().ToNanos();
-        if (!writer->Write(topic, datatype, md5, now, payload.data(), length)
-                 .ok()) {
-          return;
-        }
+  /// Loop-thread-only: one frame arrived on a recorded link.
+  void OnFrame(const RecordLink& rl, uint32_t length) {
+    if (shutdown.load(std::memory_order_acquire)) return;
+    {
+      std::lock_guard<std::mutex> lock(write_mutex);
+      const auto now = rsf::Time::Now().ToNanos();
+      if (!writer->Write(topic, rl.datatype, rl.md5, now, rl.payload.data(),
+                         length)
+               .ok()) {
+        return;
       }
-      recorded.fetch_add(1, std::memory_order_relaxed);
     }
+    recorded.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void RemoveLink(const std::shared_ptr<RecordLink>& rl) {
+    std::lock_guard<std::mutex> lock(links_mutex);
+    rl->removed = true;
+    std::erase(links, rl);
   }
 
   void Shutdown() {
     bool expected = false;
     if (!shutdown.compare_exchange_strong(expected, true)) return;
     master().UnregisterSubscriber(topic, master_id);
-    std::lock_guard<std::mutex> lock(links_mutex);
-    for (const auto& conn : connections) conn->ShutdownBoth();
-    for (auto& reader : readers) {
-      if (!reader.joinable()) continue;
-      if (reader.get_id() == std::this_thread::get_id()) {
-        reader.detach();
-      } else {
-        reader.join();
-      }
+    std::vector<std::shared_ptr<RecordLink>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(links_mutex);
+      snapshot.swap(links);
     }
-    readers.clear();
-    connections.clear();
+    // Outside links_mutex_: CloseSync handshakes with the loop thread,
+    // which may be blocked in RemoveLink on that mutex.
+    for (const auto& rl : snapshot) rl->link->CloseSync();
   }
 };
 
@@ -281,17 +299,22 @@ rsf::Result<uint64_t> PlayBag(const std::string& path, double rate) {
 
   uint64_t published = 0;
   uint64_t previous_stamp = (*records)[0].stamp_nanos;
-  for (const auto& record : *records) {
+  for (auto& record : *records) {
     if (rate > 0 && record.stamp_nanos > previous_stamp) {
       rsf::SleepForNanos(static_cast<uint64_t>(
           static_cast<double>(record.stamp_nanos - previous_stamp) / rate));
     }
     previous_stamp = record.stamp_nanos;
 
-    auto buffer = std::shared_ptr<uint8_t[]>(new uint8_t[record.payload.size()]);
-    std::memcpy(buffer.get(), record.payload.data(), record.payload.size());
-    publications[record.topic]->Publish(
-        SerializedMessage{std::move(buffer), record.payload.size()});
+    // The record's payload is already exactly the wire frame body: move it
+    // into a shared holder and alias it, so every subscriber link's writer
+    // queue references the bag bytes directly — no re-serialize, no copy.
+    const size_t size = record.payload.size();
+    auto holder =
+        std::make_shared<std::vector<uint8_t>>(std::move(record.payload));
+    if (holder->empty()) holder->resize(1);  // keep data() non-null
+    publications[record.topic]->Publish(SerializedMessage{
+        std::shared_ptr<uint8_t[]>(holder, holder->data()), size});
     ++published;
   }
   // Let the frames drain before tearing the publications down.

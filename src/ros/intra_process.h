@@ -29,6 +29,11 @@
 // (SubscribeOptions::allow_intra_process = false), and as the fallback for
 // endpoints that never registered here (e.g. bag replay, which fans out
 // untyped wire frames).
+//
+// Accounting: an in-process delivery attempt flows through the SAME
+// publisher-side enqueued/dropped counters as a TCP frame (an attempt on a
+// dead link is a drop), so Publication::SentCount() and PublicationStats
+// describe the topic across both transports, not one wire.
 #pragma once
 
 #include <cstdint>

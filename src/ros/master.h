@@ -39,7 +39,10 @@ struct TopicInfo {
 };
 
 /// Notified with every publisher endpoint for a subscribed topic: existing
-/// ones at registration time, new ones as they appear.
+/// ones at registration time, new ones as they appear.  Callbacks run on
+/// whichever thread registers the publisher and MUST NOT block: since PR 4
+/// every subscriber connect is a nonblocking Link::Dial that completes on a
+/// reactor loop, so a notify callback only allocates link state and returns.
 using PublisherUpdateFn = std::function<void(const TopicEndpoint&)>;
 
 class Master {

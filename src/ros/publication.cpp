@@ -2,9 +2,7 @@
 
 #include <algorithm>
 
-#include "common/clock.h"
 #include "common/log.h"
-#include "net/framing.h"
 #include "ros/connection_header.h"
 
 namespace ros {
@@ -39,14 +37,9 @@ Publication::Publication(const std::string& topic, const std::string& datatype,
       callerid_(callerid),
       queue_size_(queue_size == 0 ? 1 : queue_size),
       listener_(std::move(listener)),
-      port_(listener_.port()),
-      reactor_mode_(rsf::net::ReactorTransportEnabled()) {}
+      port_(listener_.port()) {}
 
 void Publication::Start() {
-  if (!reactor_mode_) {
-    accept_thread_ = std::thread([this] { AcceptLoop(); });
-    return;
-  }
   loop_ = rsf::net::Reactor::Get().NextLoop();
   (void)listener_.SetNonBlocking(true);
   std::weak_ptr<Publication> weak = shared_from_this();
@@ -63,7 +56,7 @@ void Publication::Start() {
 Publication::~Publication() { Shutdown(); }
 
 /// Decides a subscriber's fate from its connection-header bytes and
-/// produces the reply frame.  Shared by both transport modes.
+/// produces the reply frame.
 bool Publication::EvaluateHandshake(const uint8_t* request, uint32_t length,
                                     std::vector<uint8_t>* reply_frame) {
   auto header = DecodeConnectionHeader(request, length);
@@ -84,27 +77,6 @@ bool Publication::EvaluateHandshake(const uint8_t* request, uint32_t length,
   return valid.ok();
 }
 
-bool Publication::Handshake(rsf::net::TcpConnection& conn) {
-  // Read the subscriber's connection header frame.
-  std::vector<uint8_t> request;
-  uint32_t length = 0;
-  const auto read_status = rsf::net::ReadFrame(
-      conn,
-      [&](uint32_t len) {
-        request.resize(len == 0 ? 1 : len);
-        return request.data();
-      },
-      &length);
-  if (!read_status.ok()) return false;
-
-  std::vector<uint8_t> reply;
-  const bool accepted = EvaluateHandshake(request.data(), length, &reply);
-  if (!rsf::net::WriteFrame(conn, reply).ok()) return false;
-  return accepted;
-}
-
-// ---- reactor mode ----
-
 void Publication::OnAcceptReady() {
   while (!shutdown_.load(std::memory_order_acquire)) {
     rsf::net::TcpConnection conn;
@@ -115,271 +87,90 @@ void Publication::OnAcceptReady() {
       return;
     }
     if (!*got) return;  // backlog drained
-    (void)conn.SetNonBlocking(true);
-    (void)rsf::net::ApplyTransportSocketOptions(conn);
-    auto peer = std::make_shared<PendingPeer>(std::move(conn));
-    pending_peers_.push_back(peer);
+
     std::weak_ptr<Publication> weak = weak_from_this();
-    loop_->Add(peer->connection.fd(), rsf::net::kEventReadable,
-               [weak, peer](uint32_t events) {
-                 if (auto self = weak.lock()) self->OnPeerEvent(peer, events);
-               });
+    rsf::net::Link::Options options;
+    options.max_pending_frames = queue_size_;
+    rsf::net::Link::Callbacks callbacks;
+    callbacks.on_handshake_request =
+        [weak](const uint8_t* data, uint32_t length,
+               std::vector<uint8_t>* reply) {
+          auto self = weak.lock();
+          return self != nullptr &&
+                 self->EvaluateHandshake(data, length, reply);
+        };
+    callbacks.on_established =
+        [weak](const std::shared_ptr<rsf::net::Link>& link) {
+          if (auto self = weak.lock()) self->OnLinkEstablished(link);
+        };
+    callbacks.on_closed = [weak](const std::shared_ptr<rsf::net::Link>& link) {
+      if (auto self = weak.lock()) self->OnLinkClosed(link);
+    };
+    // No on_frame: subscribers never speak after the handshake, so the
+    // link drains-and-discards, watching only for EOF.
+    auto link = rsf::net::Link::Accepted(std::move(conn), loop_, options,
+                                         std::move(callbacks));
+    std::lock_guard<std::mutex> lock(links_mutex_);
+    pending_links_.push_back(std::move(link));
   }
 }
 
-void Publication::OnPeerEvent(const std::shared_ptr<PendingPeer>& peer,
-                              uint32_t events) {
-  if (!peer->reply_queued && (events & rsf::net::kEventReadable)) {
-    uint32_t length = 0;
-    auto step = peer->reader.Poll(
-        peer->connection,
-        [&](uint32_t len) {
-          peer->request.resize(len == 0 ? 1 : len);
-          return peer->request.data();
-        },
-        &length);
-    if (!step.ok()) {
-      DropPeer(peer);
-      return;
-    }
-    if (*step == rsf::net::FrameReader::Step::kNeedMore) return;
-
-    std::vector<uint8_t> reply;
-    peer->accepted = EvaluateHandshake(peer->request.data(), length, &reply);
-    auto frame = std::shared_ptr<uint8_t[]>(new uint8_t[reply.size()]);
-    std::copy(reply.begin(), reply.end(), frame.get());
-    peer->writer.Enqueue(std::move(frame),
-                         static_cast<uint32_t>(reply.size()));
-    peer->reply_queued = true;
-  }
-  if (peer->reply_queued) FinishHandshake(peer);
-}
-
-void Publication::FinishHandshake(const std::shared_ptr<PendingPeer>& peer) {
-  if (!peer->writer.Flush(peer->connection).ok()) {
-    DropPeer(peer);
+void Publication::OnLinkEstablished(
+    const std::shared_ptr<rsf::net::Link>& link) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    link->CloseNow();
     return;
   }
-  if (peer->writer.HasPending()) {
-    // Reply didn't fit (pathological for a ~100-byte header, but legal):
-    // resume on writability.
-    loop_->SetInterest(peer->connection.fd(),
-                       rsf::net::kEventReadable | rsf::net::kEventWritable);
-    return;
-  }
-  if (peer->accepted) {
-    PromotePeer(peer);
-  } else {
-    DropPeer(peer);
-  }
+  std::lock_guard<std::mutex> lock(links_mutex_);
+  std::erase(pending_links_, link);
+  links_.push_back(link);
 }
 
-void Publication::PromotePeer(const std::shared_ptr<PendingPeer>& peer) {
-  const int fd = peer->connection.fd();
-  loop_->Remove(fd);
-  std::erase(pending_peers_, peer);
-  auto link = std::make_shared<ReactorLink>(std::move(peer->connection));
+void Publication::OnLinkClosed(const std::shared_ptr<rsf::net::Link>& link) {
   {
     std::lock_guard<std::mutex> lock(links_mutex_);
-    reactor_links_.push_back(link);
-  }
-  std::weak_ptr<Publication> weak = weak_from_this();
-  loop_->Add(fd, rsf::net::kEventReadable, [weak, link](uint32_t events) {
-    if (auto self = weak.lock()) self->OnLinkEvent(link, events);
-  });
-}
-
-void Publication::DropPeer(const std::shared_ptr<PendingPeer>& peer) {
-  loop_->Remove(peer->connection.fd());
-  peer->connection.Close();
-  std::erase(pending_peers_, peer);
-}
-
-void Publication::OnLinkEvent(const std::shared_ptr<ReactorLink>& link,
-                              uint32_t events) {
-  if (events & rsf::net::kEventReadable) {
-    // Subscribers never speak after the handshake: readable means close,
-    // reset, or stray bytes (drained and ignored).
-    uint8_t sink[1024];
-    for (;;) {
-      auto n = link->connection.ReadSome(sink);
-      if (!n.ok()) {
-        RemoveLink(link);
-        return;
-      }
-      if (*n == 0) break;
-    }
-  }
-  if (events & rsf::net::kEventWritable) FlushLink(link);
-}
-
-void Publication::FlushLink(const std::shared_ptr<ReactorLink>& link) {
-  rsf::Status status;
-  bool pending;
-  {
-    std::lock_guard<std::mutex> lock(link->mutex);
-    status = link->writer.Flush(link->connection);
-    pending = link->writer.HasPending();
-  }
-  if (!status.ok()) {
-    RemoveLink(link);
-    return;
-  }
-  if (pending != link->writable_armed) {
-    link->writable_armed = pending;
-    loop_->SetInterest(
-        link->connection.fd(),
-        rsf::net::kEventReadable |
-            (pending ? rsf::net::kEventWritable : 0u));
-  }
-}
-
-void Publication::RemoveLink(const std::shared_ptr<ReactorLink>& link) {
-  {
-    std::lock_guard<std::mutex> lock(links_mutex_);
-    auto it = std::find(reactor_links_.begin(), reactor_links_.end(), link);
-    if (it == reactor_links_.end()) return;  // already removed
-    reactor_links_.erase(it);
-  }
-  size_t stranded;
-  {
-    std::lock_guard<std::mutex> lock(link->mutex);
-    stranded = link->writer.PendingFrames();
+    std::erase(pending_links_, link);
+    std::erase(links_, link);
   }
   // Frames still queued behind the broken connection are lost.
-  dropped_.fetch_add(stranded, std::memory_order_relaxed);
-  loop_->Remove(link->connection.fd());
-  link->connection.Close();
-}
-
-void Publication::AcceptLoop() {
-  // Transient accept failures (aborted handshakes, fd exhaustion) back off
-  // and retry instead of killing the listener for every future subscriber.
-  constexpr uint64_t kInitialBackoffNanos = 1'000'000;     // 1 ms
-  constexpr uint64_t kMaxBackoffNanos = 500'000'000;       // 500 ms
-  uint64_t backoff_nanos = kInitialBackoffNanos;
-  while (!shutdown_.load(std::memory_order_acquire)) {
-    auto conn = listener_.Accept();
-    if (!conn.ok()) {
-      if (shutdown_.load(std::memory_order_acquire)) return;
-      if (conn.status().code() == rsf::StatusCode::kResourceExhausted) {
-        RSF_WARN("accept on %s failed transiently (%s); retrying in %llu ms",
-                 topic_.c_str(), conn.status().ToString().c_str(),
-                 static_cast<unsigned long long>(backoff_nanos / 1'000'000));
-        rsf::SleepForNanos(backoff_nanos);
-        backoff_nanos = std::min(backoff_nanos * 2, kMaxBackoffNanos);
-        continue;
-      }
-      RSF_DEBUG("accept on %s ended: %s", topic_.c_str(),
-                conn.status().ToString().c_str());
-      return;
-    }
-    backoff_nanos = kInitialBackoffNanos;
-    (void)rsf::net::ApplyTransportSocketOptions(*conn);
-    if (!Handshake(*conn)) continue;
-
-    auto link = std::make_unique<SubscriberLink>(*std::move(conn), queue_size_);
-    SubscriberLink* raw = link.get();
-    raw->sender = std::thread([this, raw] { SenderLoop(raw); });
-    std::lock_guard<std::mutex> lock(links_mutex_);
-    links_.push_back(std::move(link));
-  }
-}
-
-void Publication::SenderLoop(SubscriberLink* link) {
-  while (true) {
-    // Drain whatever is queued in one lock acquisition; each message still
-    // goes out as its own frame (one gathered syscall per frame).
-    auto batch = link->queue.PopAll();
-    if (batch.empty()) return;  // queue shut down and drained
-    for (size_t i = 0; i < batch.size(); ++i) {
-      const auto& message = batch[i];
-      const auto status = rsf::net::WriteFrame(
-          link->connection,
-          std::span<const uint8_t>(message.data.get(), message.size));
-      if (!status.ok()) {
-        // This frame and the rest of the batch never reached the wire.
-        dropped_.fetch_add(batch.size() - i, std::memory_order_relaxed);
-        link->dead.store(true, std::memory_order_release);
-        return;  // subscriber went away; the link is culled on next publish
-      }
-    }
-  }
+  dropped_.fetch_add(link->stats().frames_stranded,
+                     std::memory_order_relaxed);
 }
 
 void Publication::Publish(SerializedMessage message) {
-  if (reactor_mode_) {
-    // Enqueue onto every link's frame queue (aliased shared buffer: one
-    // shared_ptr copy per link), then kick the loop once to flush them all.
-    std::vector<std::shared_ptr<ReactorLink>> snapshot;
-    {
-      std::lock_guard<std::mutex> lock(links_mutex_);
-      snapshot = reactor_links_;
-    }
-    if (snapshot.empty()) return;
-    for (const auto& link : snapshot) {
-      enqueued_.fetch_add(1, std::memory_order_relaxed);
-      bool evicted;
-      {
-        std::lock_guard<std::mutex> lock(link->mutex);
-        evicted = link->writer.Enqueue(
-            message.data, static_cast<uint32_t>(message.size), queue_size_);
-      }
-      if (evicted) dropped_.fetch_add(1, std::memory_order_relaxed);
-    }
-    // Coalesced wake-up: back-to-back publishes share one loop task.  The
-    // flag resets BEFORE flushing so a publish racing with the flush always
-    // either lands its frames in a writer the flush is about to drain, or
-    // wins the exchange and schedules the next kick.
-    if (!kick_pending_.exchange(true, std::memory_order_acq_rel)) {
-      std::weak_ptr<Publication> weak = weak_from_this();
-      loop_->RunInLoop([weak] {
-        auto self = weak.lock();
-        if (self == nullptr) return;
-        self->kick_pending_.store(false, std::memory_order_release);
-        std::vector<std::shared_ptr<ReactorLink>> links;
-        {
-          std::lock_guard<std::mutex> lock(self->links_mutex_);
-          links = self->reactor_links_;
-        }
-        for (const auto& link : links) self->FlushLink(link);
-      });
-    }
-    return;
-  }
-
-  // Cull links whose sender hit a broken pipe: unhook them under the lock,
-  // but Shutdown()/join() after releasing it — joining a sender that is
-  // blocked in a multi-megabyte send would otherwise stall every other
-  // publisher of this topic behind links_mutex_.
-  std::vector<std::unique_ptr<SubscriberLink>> reaped;
+  // Enqueue onto every established link's frame queue (aliased shared
+  // buffer: one shared_ptr copy per link), then kick the loop once to
+  // flush them all.
+  std::vector<std::shared_ptr<rsf::net::Link>> snapshot;
   {
     std::lock_guard<std::mutex> lock(links_mutex_);
-    for (auto it = links_.begin(); it != links_.end();) {
-      if ((*it)->dead.load(std::memory_order_acquire)) {
-        reaped.push_back(std::move(*it));
-        it = links_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    for (const auto& link : links_) {
-      // Aliased shared buffer: fan-out costs one shared_ptr copy per link.
-      enqueued_.fetch_add(1, std::memory_order_relaxed);
-      const auto outcome = link->queue.Offer(message);
-      if (outcome != rsf::PushOutcome::kAccepted) {
-        // Evicted-oldest displaced a queued frame; rejected means the
-        // queue shut down under us — either way one frame will never be
-        // sent despite having been counted as enqueued.
-        dropped_.fetch_add(1, std::memory_order_relaxed);
-      }
+    snapshot = links_;
+  }
+  if (snapshot.empty()) return;
+  for (const auto& link : snapshot) {
+    enqueued_.fetch_add(1, std::memory_order_relaxed);
+    if (link->EnqueueFrame(message.data,
+                           static_cast<uint32_t>(message.size))) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  for (const auto& link : reaped) {
-    // Frames still queued behind the broken connection are lost.
-    dropped_.fetch_add(link->queue.Size(), std::memory_order_relaxed);
-    link->queue.Shutdown();
-    link->sender.join();
+  // Coalesced wake-up: back-to-back publishes share one loop task.  The
+  // flag resets BEFORE flushing so a publish racing with the flush always
+  // either lands its frames in a writer the flush is about to drain, or
+  // wins the exchange and schedules the next kick.
+  if (!kick_pending_.exchange(true, std::memory_order_acq_rel)) {
+    std::weak_ptr<Publication> weak = weak_from_this();
+    loop_->RunInLoop([weak] {
+      auto self = weak.lock();
+      if (self == nullptr) return;
+      self->kick_pending_.store(false, std::memory_order_release);
+      std::vector<std::shared_ptr<rsf::net::Link>> links;
+      {
+        std::lock_guard<std::mutex> lock(self->links_mutex_);
+        links = self->links_;
+      }
+      for (const auto& link : links) link->FlushOnLoop();
+    });
   }
 }
 
@@ -424,9 +215,13 @@ size_t Publication::DeliverIntra(const std::shared_ptr<const void>& message,
   size_t delivered = 0;
   std::vector<const IntraLinkBase*> dead;
   for (const auto& link : snapshot) {
+    // Same accounting as a TCP frame: the attempt is enqueued; reaching a
+    // dead link is a drop.  SentCount() then spans both transports.
+    enqueued_.fetch_add(1, std::memory_order_relaxed);
     if (link->Deliver(message, tier)) {
       ++delivered;
     } else {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
       dead.push_back(link.get());
     }
   }
@@ -455,17 +250,14 @@ bool Publication::HasIntraLinks() const {
 
 bool Publication::HasTcpLinks() const {
   std::lock_guard<std::mutex> lock(links_mutex_);
-  return !links_.empty() || !reactor_links_.empty();
+  return !links_.empty();
 }
 
 size_t Publication::NumSubscribers() const {
   size_t alive = 0;
   {
     std::lock_guard<std::mutex> lock(links_mutex_);
-    for (const auto& link : links_) {
-      if (!link->dead.load(std::memory_order_acquire)) ++alive;
-    }
-    alive += reactor_links_.size();
+    alive += links_.size();
   }
   {
     std::lock_guard<std::mutex> lock(intra_mutex_);
@@ -485,10 +277,7 @@ PublicationStats Publication::Stats() const {
   stats.intra_whole_copy = intra_whole_copy_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(links_mutex_);
-    for (const auto& link : links_) {
-      if (!link->dead.load(std::memory_order_acquire)) ++stats.tcp_links;
-    }
-    stats.tcp_links += reactor_links_.size();
+    stats.tcp_links = links_.size();
   }
   {
     std::lock_guard<std::mutex> lock(intra_mutex_);
@@ -509,50 +298,29 @@ void Publication::Shutdown() {
     intra_links_.clear();
   }
 
-  if (reactor_mode_) {
-    // All per-fd state lives on the loop thread: tear it down there and
-    // wait, so no callback can touch this object once RunSync returns
-    // (the destructor relies on exactly this).
-    if (loop_ != nullptr) {
-      loop_->RunSync([this] {
-        loop_->Remove(listener_.fd());
-        for (const auto& peer : pending_peers_) {
-          loop_->Remove(peer->connection.fd());
-          peer->connection.Close();
-        }
-        pending_peers_.clear();
-        std::vector<std::shared_ptr<ReactorLink>> links;
-        {
-          std::lock_guard<std::mutex> lock(links_mutex_);
-          links.swap(reactor_links_);
-        }
-        for (const auto& link : links) {
-          size_t stranded;
-          {
-            std::lock_guard<std::mutex> lock(link->mutex);
-            stranded = link->writer.PendingFrames();
-          }
-          // Frames never flushed before shutdown are lost.
-          dropped_.fetch_add(stranded, std::memory_order_relaxed);
-          loop_->Remove(link->connection.fd());
-          link->connection.Close();
-        }
-      });
-    }
-    listener_.Close();
-    return;
+  // All per-fd state lives on the loop thread: tear it down there and
+  // wait, so no callback can touch this object once RunSync returns
+  // (the destructor relies on exactly this).
+  if (loop_ != nullptr) {
+    loop_->RunSync([this] {
+      loop_->Remove(listener_.fd());
+      std::vector<std::shared_ptr<rsf::net::Link>> pending;
+      std::vector<std::shared_ptr<rsf::net::Link>> established;
+      {
+        std::lock_guard<std::mutex> lock(links_mutex_);
+        pending.swap(pending_links_);
+        established.swap(links_);
+      }
+      for (const auto& link : pending) link->CloseNow();
+      for (const auto& link : established) {
+        link->CloseNow();
+        // Frames never flushed before shutdown are lost.
+        dropped_.fetch_add(link->stats().frames_stranded,
+                           std::memory_order_relaxed);
+      }
+    });
   }
-
-  listener_.Close();  // unblocks Accept
-  if (accept_thread_.joinable()) accept_thread_.join();
-
-  std::lock_guard<std::mutex> lock(links_mutex_);
-  for (const auto& link : links_) {
-    link->queue.Shutdown();
-    link->connection.ShutdownBoth();
-    if (link->sender.joinable()) link->sender.join();
-  }
-  links_.clear();
+  listener_.Close();
 }
 
 }  // namespace ros

@@ -1,38 +1,34 @@
 // Publisher-side transport for one advertised topic: a listening socket,
-// the TCPROS handshake, and per-subscriber outgoing frame queues — plus,
-// for typed publishers, the in-process fanout registered by co-located
-// subscriptions (intra_process.h).
+// the TCPROS handshake policy, and the fan-out across subscriber links —
+// plus, for typed publishers, the in-process fanout registered by
+// co-located subscriptions (intra_process.h).
 //
-// Two transport modes exist, sampled from net::ReactorTransportEnabled()
-// at Create time:
-//
-//  - reactor (default): the listener, every handshake, and every link's
-//    send queue live on ONE EventLoop of the shared pool.  Accept,
-//    handshake framing, and sends are nonblocking resumable state machines
-//    (net/framing.h), drained on readiness; Publish() enqueues frames and
-//    kicks the loop.  Total transport threads stay O(cores) regardless of
-//    subscriber count (DESIGN.md §8).
-//  - threads (legacy, kept for the connection-scaling ablation and as an
-//    escape hatch): one accept thread plus one sender thread per link,
-//    blocking I/O.
+// Publication is pure policy over `rsf::net::Link`: the listener and every
+// subscriber link live on ONE EventLoop of the shared reactor pool, Link
+// owns the handshake/framing/teardown state machines, and this class only
+// decides what the frames are (EvaluateHandshake validates connection
+// headers; Publish enqueues one shared-payload frame per link and kicks
+// the loop once).  Total transport threads stay O(cores) regardless of
+// subscriber count (DESIGN.md §8).  The thread-per-connection transport
+// was removed in PR 4; RSF_TRANSPORT=threads only logs a deprecation
+// warning.
 //
 // Publication is untyped: TCP links move SerializedMessage units, and the
 // in-process fanout moves type-erased shared_ptr<const M> handles.  The
 // typed Publisher handle (node_handle.h) serializes / clones / borrows
-// messages before handing them here.
+// messages before handing them here.  Both transports feed the same
+// enqueued/dropped counters, so SentCount() means "deliveries that
+// reached a live subscriber" regardless of tier.
 #pragma once
 
 #include <atomic>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "common/concurrent_queue.h"
 #include "common/status.h"
-#include "net/framing.h"
+#include "net/link.h"
 #include "net/poller.h"
 #include "net/socket.h"
 #include "ros/intra_process.h"
@@ -43,14 +39,16 @@ namespace ros {
 /// Publisher-side delivery counters.  "Sent" only counts frames that were
 /// actually handed to (or still queued for) a live link: a frame evicted by
 /// the drop-oldest policy, or stranded behind a broken connection, counts
-/// as dropped, never as sent.
+/// as dropped, never as sent.  Intra-process deliveries flow through the
+/// same enqueued/dropped pair (a delivery attempt on a dead link is a
+/// drop), so the counters describe the topic, not one transport.
 struct PublicationStats {
-  uint64_t enqueued = 0;          // frames pushed toward TCP links
-  uint64_t dropped = 0;           // evicted by drop-oldest or stranded on a dead link
+  uint64_t enqueued = 0;          // delivery attempts, TCP frames + intra
+  uint64_t dropped = 0;           // evicted, stranded, or dead-link attempts
   uint64_t intra_delivered = 0;   // in-process deliveries (all tiers)
   uint64_t intra_zero_copy = 0;   // ... of which aliased the publisher's message
   uint64_t intra_whole_copy = 0;  // ... of which handed out a clone
-  size_t tcp_links = 0;           // live TCP subscriber links
+  size_t tcp_links = 0;           // live (established) TCP subscriber links
   size_t intra_links = 0;         // live in-process subscriber links
 };
 
@@ -69,9 +67,9 @@ class Publication : public std::enable_shared_from_this<Publication> {
   Publication(const Publication&) = delete;
   Publication& operator=(const Publication&) = delete;
 
-  /// Fans the message out to every connected TCP subscriber (aliased shared
-  /// buffer: no per-subscriber copy).  Messages queued while a link's queue
-  /// is full evict the oldest (roscpp behaviour).
+  /// Fans the message out to every established TCP subscriber link (aliased
+  /// shared buffer: no per-subscriber copy).  Messages queued while a
+  /// link's queue is full evict the oldest (roscpp behaviour).
   void Publish(SerializedMessage message);
 
   /// In-process handshake: validates the subscriber's negotiated checksum
@@ -85,6 +83,8 @@ class Publication : public std::enable_shared_from_this<Publication> {
 
   /// Fans a type-erased shared message out to every live in-process link,
   /// culling dead ones.  Returns the number of subscribers reached.
+  /// Every attempt counts as enqueued; an attempt on a dead link counts as
+  /// dropped — the same accounting TCP frames get.
   size_t DeliverIntra(const std::shared_ptr<const void>& message,
                       IntraTier tier);
 
@@ -92,14 +92,14 @@ class Publication : public std::enable_shared_from_this<Publication> {
   /// borrow the message for them).
   [[nodiscard]] bool HasIntraLinks() const;
 
-  /// True if any TCP links are connected (publish should serialize).
+  /// True if any TCP links are established (publish should serialize).
   [[nodiscard]] bool HasTcpLinks() const;
 
   /// Number of live subscriber links, both transports.
   [[nodiscard]] size_t NumSubscribers() const;
 
-  /// Messages accepted for sending on TCP links, minus those that were
-  /// dropped before reaching the wire.
+  /// Delivery attempts that reached (or are still queued for) a live
+  /// subscriber, across both transports.
   [[nodiscard]] uint64_t SentCount() const noexcept {
     const uint64_t enqueued = enqueued_.load(std::memory_order_relaxed);
     const uint64_t dropped = dropped_.load(std::memory_order_relaxed);
@@ -116,7 +116,8 @@ class Publication : public std::enable_shared_from_this<Publication> {
   }
   [[nodiscard]] const std::string& md5sum() const noexcept { return md5sum_; }
 
-  /// Stops accepting, closes all links, joins all threads.  Idempotent.
+  /// Stops accepting and closes all links (RunSync: once this returns no
+  /// loop callback touches this object).  Idempotent.
   void Shutdown();
 
  private:
@@ -124,71 +125,18 @@ class Publication : public std::enable_shared_from_this<Publication> {
               const std::string& md5sum, const std::string& callerid,
               size_t queue_size, rsf::net::TcpListener listener);
 
-  /// Starts the accept machinery (called once by Create): registers the
-  /// listener with the event loop (reactor mode) or spawns the accept
-  /// thread (legacy mode).
+  /// Registers the listener with the event loop (called once by Create).
   void Start();
 
-  // ---- legacy thread-per-connection mode ----
-
-  struct SubscriberLink {
-    rsf::net::TcpConnection connection;
-    rsf::ConcurrentQueue<SerializedMessage> queue;
-    std::thread sender;
-    std::atomic<bool> dead{false};
-
-    SubscriberLink(rsf::net::TcpConnection conn, size_t queue_size)
-        : connection(std::move(conn)),
-          queue(queue_size, rsf::QueueFullPolicy::kDropOldest) {}
-  };
-
-  void AcceptLoop();
-  void SenderLoop(SubscriberLink* link);
-  // Performs the handshake; returns false to drop the connection.
-  bool Handshake(rsf::net::TcpConnection& conn);
-  // Shared by both modes: validates a request header, builds the reply
-  // frame, returns whether the subscriber is accepted.
+  /// Validates a request header, builds the reply frame, returns whether
+  /// the subscriber is accepted.  The Link handshake callback.
   bool EvaluateHandshake(const uint8_t* request, uint32_t length,
                          std::vector<uint8_t>* reply_frame);
 
-  // ---- reactor mode ----
-
-  /// A connected subscriber on the event loop.  The FrameWriter and its
-  /// queue bound are guarded by `mutex` (producers enqueue from publish
-  /// threads; the loop thread flushes); everything else is loop-confined.
-  struct ReactorLink {
-    rsf::net::TcpConnection connection;
-    std::mutex mutex;
-    rsf::net::FrameWriter writer;
-    bool writable_armed = false;
-
-    explicit ReactorLink(rsf::net::TcpConnection conn)
-        : connection(std::move(conn)) {}
-  };
-
-  /// A connection mid-handshake, loop-confined: request frame in, reply
-  /// frame out, then promotion to ReactorLink or teardown.
-  struct PendingPeer {
-    rsf::net::TcpConnection connection;
-    rsf::net::FrameReader reader;
-    std::vector<uint8_t> request;
-    rsf::net::FrameWriter writer;  // the reply frame
-    bool accepted = false;
-    bool reply_queued = false;
-
-    explicit PendingPeer(rsf::net::TcpConnection conn)
-        : connection(std::move(conn)) {}
-  };
-
-  // All loop-thread-only.
+  // Loop-thread-only.
   void OnAcceptReady();
-  void OnPeerEvent(const std::shared_ptr<PendingPeer>& peer, uint32_t events);
-  void FinishHandshake(const std::shared_ptr<PendingPeer>& peer);
-  void PromotePeer(const std::shared_ptr<PendingPeer>& peer);
-  void DropPeer(const std::shared_ptr<PendingPeer>& peer);
-  void OnLinkEvent(const std::shared_ptr<ReactorLink>& link, uint32_t events);
-  void FlushLink(const std::shared_ptr<ReactorLink>& link);
-  void RemoveLink(const std::shared_ptr<ReactorLink>& link);
+  void OnLinkEstablished(const std::shared_ptr<rsf::net::Link>& link);
+  void OnLinkClosed(const std::shared_ptr<rsf::net::Link>& link);
 
   const std::string topic_;
   const std::string datatype_;
@@ -199,26 +147,22 @@ class Publication : public std::enable_shared_from_this<Publication> {
   rsf::net::TcpListener listener_;
   uint16_t port_ = 0;
   bool intra_registered_ = false;  // written once in Create, before Start
-  const bool reactor_mode_;        // sampled once in the constructor
   std::atomic<bool> shutdown_{false};
   std::atomic<uint64_t> enqueued_{0};
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> intra_delivered_{0};
   std::atomic<uint64_t> intra_zero_copy_{0};
   std::atomic<uint64_t> intra_whole_copy_{0};
-  // Started by Start() after construction completes, NEVER in the
-  // constructor: the accept loop reads shutdown_/links_, which are declared
-  // after it and would not be initialized yet.  Legacy mode only.
-  std::thread accept_thread_;
 
-  // Reactor mode: the loop carrying this publication's listener and links.
+  // The loop carrying this publication's listener and every link.
   rsf::net::EventLoop* loop_ = nullptr;
   std::atomic<bool> kick_pending_{false};  // coalesces Publish() wake-ups
-  std::vector<std::shared_ptr<PendingPeer>> pending_peers_;  // loop-confined
 
   mutable std::mutex links_mutex_;
-  std::vector<std::unique_ptr<SubscriberLink>> links_;     // legacy mode
-  std::vector<std::shared_ptr<ReactorLink>> reactor_links_;  // reactor mode
+  // Mid-handshake and established links.  Links move from pending_links_
+  // to links_ in OnLinkEstablished; OnLinkClosed erases from both.
+  std::vector<std::shared_ptr<rsf::net::Link>> pending_links_;
+  std::vector<std::shared_ptr<rsf::net::Link>> links_;
 
   mutable std::mutex intra_mutex_;
   std::vector<std::shared_ptr<IntraLinkBase>> intra_links_;

@@ -3,17 +3,25 @@
 // a direct in-process link when the publisher's Publication lives in this
 // process (intra_process.h), loopback TCPROS otherwise.
 //
-// The TCP read loop is where the serialization-free receive path happens:
-// the frame allocator from Serializer<M> decides whether payload bytes land
-// in a scratch buffer (regular messages, de-serialized afterwards) or
-// directly in a registered message arena (SFM messages, re-interpreted in
-// place).  The in-process path skips the wire entirely: the publisher hands
-// over a shared_ptr<const M> — a clone on the whole-copy tier, an alias of
-// its own message on the zero-copy tier — and delivery is a queue push.
+// The TCP path is policy over `rsf::net::Link`: OnPublisher starts a
+// NONBLOCKING dial (the master-notify thread never waits on connect(2) or
+// the handshake — both complete on the reactor loop), and the established
+// link's frame allocator is where the serialization-free receive happens:
+// Serializer<M> decides whether payload bytes land in a per-link scratch
+// buffer (regular messages, de-serialized afterwards) or directly in a
+// registered message arena (SFM messages, re-interpreted in place).  The
+// in-process path skips the wire entirely: the publisher hands over a
+// shared_ptr<const M> — a clone on the whole-copy tier, an alias of its
+// own message on the zero-copy tier — and delivery is a queue push.
 //
 // A SubscribeOptions::link configuration routes delivery through a
 // SimLink shaper — the stand-in for the paper's two-machine 10 GbE testbed
-// (§5.2; see DESIGN.md substitutions) — and therefore forces TCP.
+// (§5.2; see DESIGN.md substitutions) — and therefore forces TCP.  Shaping
+// is paced on the loop: the link's reads pause and an EventLoop::RunAfter
+// timer delivers the frame when its wire time has elapsed, so a shaped
+// subscription costs no dedicated thread and unread bytes exert real TCP
+// backpressure on the publisher, exactly like the blocking reader it
+// replaced.
 #pragma once
 
 #include <atomic>
@@ -21,14 +29,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/concurrent_queue.h"
 #include "common/log.h"
-#include "net/framing.h"
+#include "net/link.h"
 #include "net/poller.h"
 #include "net/sim_link.h"
 #include "net/socket.h"
@@ -107,40 +114,20 @@ class Subscription final
     master().UnregisterSubscriber(topic_, master_id_);
     pending_.Shutdown();
     std::vector<IntraEntry> intra;
-    std::vector<std::shared_ptr<ReactorPubLink>> reactor;
+    std::vector<std::shared_ptr<WireLink>> wire;
     {
       std::lock_guard<std::mutex> lock(links_mutex_);
       intra.swap(intra_links_);
-      reactor.swap(reactor_links_);
-      for (const auto& link : links_) {
-        link->connection.ShutdownBoth();
-        if (!link->reader.joinable()) continue;
-        // The reader's closure holds a shared_ptr to this subscription, so
-        // the destructor (and this Shutdown) can run ON a reader thread when
-        // that reference is the last one; a thread cannot join itself.
-        if (link->reader.get_id() == std::this_thread::get_id()) {
-          link->reader.detach();
-        } else {
-          link->reader.join();
-        }
-      }
-      links_.clear();
+      wire.swap(wire_links_);
     }
-    // Reactor links tear down ON their loop thread and synchronously:
-    // after RunSync returns, no event callback for the fd is running or
-    // will ever run, which is what makes the destructor safe.  Done
-    // outside links_mutex_ — a concurrent RemoveReactorLink on the loop
-    // thread takes that mutex, and holding it here would deadlock the
-    // RunSync handshake.  (When Shutdown itself runs on a loop thread —
-    // the last reference died inside a callback — RunSync executes
-    // inline, and cross-loop teardown still can't cycle: loop tasks never
-    // RunSync back.)
-    for (const auto& link : reactor) {
-      link->loop->RunSync([&link] {
-        link->loop->Remove(link->connection.fd());
-        link->connection.Close();
-      });
-    }
+    // Links tear down ON their loop thread and synchronously: after
+    // CloseSync returns, no callback for that link is running or will ever
+    // run, which is what makes the destructor safe.  Done outside
+    // links_mutex_ — a concurrent RemoveWireLink on the loop thread takes
+    // that mutex, and holding it here would deadlock the RunSync
+    // handshake.  (When Shutdown itself runs on a loop thread — the last
+    // reference died inside a callback — RunSync executes inline.)
+    for (const auto& wl : wire) wl->link->CloseSync();
     // Unhook from publications outside links_mutex_: RemoveIntraLink takes
     // the publication's intra lock, which a concurrent DeliverIntra holds
     // around nothing but its own snapshot — still, never nest ours in it.
@@ -164,7 +151,10 @@ class Subscription final
   }
   [[nodiscard]] size_t NumPublishers() const override {
     std::lock_guard<std::mutex> lock(links_mutex_);
-    size_t alive = links_.size() + reactor_links_.size();
+    size_t alive = 0;
+    for (const auto& wl : wire_links_) {
+      if (wl->link->established()) ++alive;
+    }
     for (const auto& [link, publication] : intra_links_) {
       if (!publication.expired()) ++alive;
     }
@@ -172,21 +162,21 @@ class Subscription final
   }
 
  private:
-  struct PublisherLink {
-    rsf::net::TcpConnection connection;
-    std::thread reader;
-    std::vector<uint8_t> scratch;  // reused staging (regular messages)
-  };
-
-  /// A publisher connection serviced by the reactor: the FrameReader and
-  /// the in-flight ReceiveArena are loop-confined.  `scratch` is the
-  /// per-link staging buffer regular messages reuse across frames (grows
-  /// to the largest frame seen, then allocation-free); the SFM variant
-  /// ignores it and lands payloads straight in arena blocks.
-  struct ReactorPubLink {
-    rsf::net::TcpConnection connection;
-    rsf::net::EventLoop* loop = nullptr;
-    rsf::net::FrameReader reader;
+  /// One publisher connection: the Link that owns the socket plus the
+  /// loop-confined receive state.  `scratch` is the per-link staging buffer
+  /// regular messages reuse across frames (grows to the largest frame seen,
+  /// then allocation-free); the SFM variant ignores it and lands payloads
+  /// straight in arena blocks.
+  struct WireLink {
+    /// Set (under links_mutex_) right after Dial returns; the owner-side
+    /// handle Shutdown closes.
+    std::shared_ptr<rsf::net::Link> link;
+    /// Loop-confined copy, set by on_established — the receive path uses
+    /// this for pause/resume without touching links_mutex_.
+    std::shared_ptr<rsf::net::Link> loop_link;
+    /// True once on_closed ran; guards the add-after-close race (a dial
+    /// can fail before OnPublisher files the link).  Under links_mutex_.
+    bool removed = false;
     std::vector<uint8_t> scratch;
     typename Serializer<M>::ReceiveArena arena;
   };
@@ -252,6 +242,10 @@ class Subscription final
            options_.link.propagation_nanos > 0;
   }
 
+  /// Called on the master's notify thread.  Never blocks: the in-process
+  /// negotiation is a registry lookup, and the TCP fallback is a
+  /// nonblocking Link::Dial whose connect + handshake complete on the
+  /// reactor loop.
   void OnPublisher(const TopicEndpoint& endpoint) {
     if (shutdown_.load(std::memory_order_acquire)) return;
 
@@ -280,157 +274,113 @@ class Subscription final
       }
     }
 
-    auto conn = rsf::net::TcpConnection::Connect(endpoint.host, endpoint.port);
-    if (!conn.ok()) {
-      RSF_WARN("connect to publisher of %s failed: %s", topic_.c_str(),
-               conn.status().ToString().c_str());
-      return;
-    }
-    // Same options as the accept side (TCP_NODELAY, paired buffer sizes).
-    (void)rsf::net::ApplyTransportSocketOptions(*conn);
-    if (!Handshake(*conn)) return;
+    auto wl = std::make_shared<WireLink>();
+    std::weak_ptr<Subscription> weak = this->weak_from_this();
 
-    // Shaped links must keep a dedicated blocking reader: the shaper
-    // sleeps in the delivery path, which would stall every other link on a
-    // shared loop thread.
-    if (rsf::net::ReactorTransportEnabled() && !ShapedLink()) {
-      AttachReactorLink(*std::move(conn));
-      return;
-    }
+    rsf::net::Link::Callbacks callbacks;
+    // Captured by value: the request must be buildable even if the
+    // subscription died between dial and connect completion.
+    callbacks.make_handshake_request = [topic = topic_,
+                                        datatype = std::string(M::DataType()),
+                                        md5 = transport_md5_,
+                                        callerid = callerid_] {
+      return EncodeConnectionHeader(
+          MakeSubscriberHeader(topic, datatype, md5, callerid));
+    };
+    callbacks.on_handshake_reply = [topic = topic_](const uint8_t* data,
+                                                    uint32_t length) {
+      auto header = DecodeConnectionHeader(data, length);
+      if (!header.ok()) return false;
+      if (const auto it = header->find("error"); it != header->end()) {
+        RSF_WARN("publisher rejected subscription to %s: %s", topic.c_str(),
+                 it->second.c_str());
+        return false;
+      }
+      return true;
+    };
+    callbacks.alloc = [wl](uint32_t length) {
+      // One allocator call per frame: regular messages stage in the link's
+      // reused scratch, SFM messages land arena-direct.
+      wl->arena = {};
+      wl->arena.scratch = &wl->scratch;
+      return wl->arena.Allocate(length);
+    };
+    callbacks.on_frame = [weak, wl](uint32_t length) {
+      if (auto self = weak.lock()) self->OnWireFrame(wl, length);
+    };
+    callbacks.on_established =
+        [wl](const std::shared_ptr<rsf::net::Link>& link) {
+          wl->loop_link = link;
+        };
+    callbacks.on_closed = [weak,
+                           wl](const std::shared_ptr<rsf::net::Link>&) {
+      if (auto self = weak.lock()) self->RemoveWireLink(wl);
+    };
 
-    auto link = std::make_unique<PublisherLink>();
-    link->connection = *std::move(conn);
-    PublisherLink* raw = link.get();
-    // Thread creation stays under the lock so Shutdown() cannot clear the
-    // link between registration and the reader becoming joinable.
-    std::lock_guard<std::mutex> lock(links_mutex_);
-    if (shutdown_.load(std::memory_order_acquire)) return;
-    auto self = this->shared_from_this();
-    raw->reader = std::thread([self, raw] { self->ReadLoop(raw); });
-    links_.push_back(std::move(link));
-  }
-
-  /// Hands a handshaken connection to an event loop (round-robin across
-  /// the pool).  Called on the master's notify thread.
-  void AttachReactorLink(rsf::net::TcpConnection conn) {
-    (void)conn.SetNonBlocking(true);
-    auto link = std::make_shared<ReactorPubLink>();
-    link->connection = std::move(conn);
-    link->loop = rsf::net::Reactor::Get().NextLoop();
+    auto link =
+        rsf::net::Link::Dial(endpoint.host, endpoint.port,
+                             rsf::net::Reactor::Get().NextLoop(),
+                             rsf::net::Link::Options{}, std::move(callbacks));
     {
       std::lock_guard<std::mutex> lock(links_mutex_);
-      if (shutdown_.load(std::memory_order_acquire)) return;
-      reactor_links_.push_back(link);
-    }
-    std::weak_ptr<Subscription> weak = this->weak_from_this();
-    link->loop->RunInLoop([weak, link] {
-      auto self = weak.lock();
-      if (self == nullptr) return;
-      link->loop->Add(link->connection.fd(), rsf::net::kEventReadable,
-                      [weak, link](uint32_t) {
-                        if (auto alive = weak.lock()) {
-                          alive->OnReactorReadable(link);
-                        }
-                      });
-    });
-  }
-
-  /// Loop-thread-only: drains every complete frame the socket has, parking
-  /// mid-frame state in the link's FrameReader/arena between events.
-  void OnReactorReadable(const std::shared_ptr<ReactorPubLink>& link) {
-    while (!shutdown_.load(std::memory_order_acquire)) {
-      uint32_t length = 0;
-      auto step = link->reader.Poll(
-          link->connection,
-          [&](uint32_t len) {
-            // One allocator call per frame: regular messages stage in the
-            // link's reused scratch, SFM messages land arena-direct.
-            link->arena = {};
-            link->arena.scratch = &link->scratch;
-            return link->arena.Allocate(len);
-          },
-          &length);
-      if (!step.ok()) {  // publisher gone, reset, or malformed framing
-        RemoveReactorLink(link);
+      if (!shutdown_.load(std::memory_order_acquire)) {
+        wl->link = link;
+        // A dial that already failed ran on_closed before we got here;
+        // don't file a dead link.
+        if (!wl->removed) wire_links_.push_back(wl);
         return;
       }
-      if (*step == rsf::net::FrameReader::Step::kNeedMore) return;
-
-      auto msg = Serializer<M>::FromWire(std::move(link->arena), length);
-      if (!msg.ok()) {
-        RSF_ERROR("dropping malformed message on %s: %s", topic_.c_str(),
-                  msg.status().ToString().c_str());
-        continue;
-      }
-      received_.fetch_add(1, std::memory_order_relaxed);
-      Dispatch(*std::move(msg));
     }
+    // Shut down while dialing: tear the link back down.
+    link->CloseSync();
   }
 
-  /// Loop-thread-only (or post-RunSync teardown).
-  void RemoveReactorLink(const std::shared_ptr<ReactorPubLink>& link) {
-    {
-      std::lock_guard<std::mutex> lock(links_mutex_);
-      auto it = std::find(reactor_links_.begin(), reactor_links_.end(), link);
-      if (it == reactor_links_.end()) return;  // already removed
-      reactor_links_.erase(it);
+  /// Loop-thread-only: one complete frame arrived on a publisher link.
+  void OnWireFrame(const std::shared_ptr<WireLink>& wl, uint32_t length) {
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    auto msg = Serializer<M>::FromWire(std::move(wl->arena), length);
+    if (!msg.ok()) {
+      RSF_ERROR("dropping malformed message on %s: %s", topic_.c_str(),
+                msg.status().ToString().c_str());
+      return;
     }
-    link->loop->Remove(link->connection.fd());
-    link->connection.Close();
+    received_.fetch_add(1, std::memory_order_relaxed);
+    MessagePtr message = *std::move(msg);
+
+    // Simulated-link shaping: hold delivery for wire + propagation time,
+    // paced on the loop.  Reads pause until the frame is delivered, so at
+    // most one frame is in flight and unread bytes back up into the kernel
+    // buffer — the same flow control the blocking shaped reader exerted.
+    if (ShapedLink()) {
+      const uint64_t delay =
+          shaper_.DelayFor(length + 4, rsf::MonotonicNanos());
+      if (delay > 0 && wl->loop_link != nullptr) {
+        wl->loop_link->PauseReading();
+        std::weak_ptr<Subscription> weak = this->weak_from_this();
+        const bool armed = wl->loop_link->loop()->RunAfter(
+            delay, [weak, wl, message] {
+              if (auto self = weak.lock()) {
+                if (!self->shutdown_.load(std::memory_order_acquire)) {
+                  self->Dispatch(message);
+                }
+              }
+              wl->loop_link->ResumeReading();  // no-op unless established
+            });
+        if (armed) return;
+        // Loop is stopping: deliver inline rather than drop silently.
+        wl->loop_link->ResumeReading();
+      }
+    }
+
+    Dispatch(std::move(message));
   }
 
-  bool Handshake(rsf::net::TcpConnection& conn) {
-    const auto request = EncodeConnectionHeader(
-        MakeSubscriberHeader(topic_, M::DataType(), transport_md5_, callerid_));
-    if (!rsf::net::WriteFrame(conn, request).ok()) return false;
-
-    std::vector<uint8_t> reply;
-    uint32_t length = 0;
-    const auto status = rsf::net::ReadFrame(
-        conn,
-        [&](uint32_t len) {
-          reply.resize(len == 0 ? 1 : len);
-          return reply.data();
-        },
-        &length);
-    if (!status.ok()) return false;
-    auto header = DecodeConnectionHeader(reply.data(), length);
-    if (!header.ok()) return false;
-    if (const auto it = header->find("error"); it != header->end()) {
-      RSF_WARN("publisher rejected subscription to %s: %s", topic_.c_str(),
-               it->second.c_str());
-      return false;
-    }
-    return true;
-  }
-
-  void ReadLoop(PublisherLink* link) {
-    while (!shutdown_.load(std::memory_order_acquire)) {
-      typename Serializer<M>::ReceiveArena arena;
-      arena.scratch = &link->scratch;
-      uint32_t length = 0;
-      const auto status = rsf::net::ReadFrame(
-          link->connection,
-          [&](uint32_t len) { return arena.Allocate(len); }, &length);
-      if (!status.ok()) return;  // publisher gone or shutdown
-
-      auto msg = Serializer<M>::FromWire(std::move(arena), length);
-      if (!msg.ok()) {
-        RSF_ERROR("dropping malformed message on %s: %s", topic_.c_str(),
-                  msg.status().ToString().c_str());
-        continue;
-      }
-      received_.fetch_add(1, std::memory_order_relaxed);
-
-      // Simulated-link shaping: hold delivery for wire + propagation time.
-      if (ShapedLink()) {
-        const uint64_t delay =
-            shaper_.DelayFor(length + 4, rsf::MonotonicNanos());
-        if (delay > 0) rsf::SleepForNanos(delay);
-      }
-
-      Dispatch(*std::move(msg));
-    }
+  /// Runs on the link's loop thread (on_closed) — the link closed itself
+  /// (publisher gone, reset, malformed framing, connect failure).
+  void RemoveWireLink(const std::shared_ptr<WireLink>& wl) {
+    std::lock_guard<std::mutex> lock(links_mutex_);
+    wl->removed = true;
+    std::erase(wire_links_, wl);
   }
 
   /// In-process delivery: called by the publication's fanout, on the
@@ -451,10 +401,16 @@ class Subscription final
       return;
     }
     pending_.Push(std::move(msg));
-    auto self = this->shared_from_this();
-    queue_->Enqueue([self] {
-      if (auto pending = self->pending_.TryPop()) {
-        self->callback_(*pending);
+    // Weak capture: the subscription owns queue_, so a shared self here
+    // would cycle through any task left undrained at destruction.  A dead
+    // subscription's queued dispatches just no-op (Shutdown discards
+    // pending_ regardless).
+    std::weak_ptr<Subscription> weak = this->weak_from_this();
+    queue_->Enqueue([weak] {
+      if (auto self = weak.lock()) {
+        if (auto pending = self->pending_.TryPop()) {
+          self->callback_(*pending);
+        }
       }
     });
   }
@@ -475,8 +431,7 @@ class Subscription final
   std::atomic<uint64_t> intra_whole_copy_{0};
 
   mutable std::mutex links_mutex_;
-  std::vector<std::unique_ptr<PublisherLink>> links_;      // blocking readers
-  std::vector<std::shared_ptr<ReactorPubLink>> reactor_links_;
+  std::vector<std::shared_ptr<WireLink>> wire_links_;
   std::vector<IntraEntry> intra_links_;
 };
 

@@ -3,6 +3,8 @@
 // playback into live subscribers.
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -28,6 +30,17 @@ bool WaitFor(const std::function<bool()>& predicate,
     rsf::SleepForNanos(1'000'000);
   }
   return predicate();
+}
+
+size_t CountProcessThreads() {
+  size_t count = 0;
+  DIR* dir = ::opendir("/proc/self/task");
+  if (dir == nullptr) return 0;
+  while (dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') ++count;
+  }
+  ::closedir(dir);
+  return count;
 }
 
 class BagTest : public ::testing::Test {
@@ -236,6 +249,60 @@ TEST_F(BagTest, PlaybackFeedsLiveSubscribers) {
 
 TEST_F(BagTest, PlaybackOfMissingFileFails) {
   EXPECT_FALSE(ros::PlayBag("/nonexistent/zzz.bag").ok());
+}
+
+TEST_F(BagTest, RecordAndReplaySpawnNoTransportThreads) {
+  // Record five messages, then replay the bag into a live subscriber —
+  // with the whole round trip riding the reactor: neither the recorder's
+  // subscriber links nor replay's publications may add a single thread.
+  const std::string path = TempBag("reactor_roundtrip.bag");
+
+  // Warm the reactor pool (lazily started) before taking the baseline.
+  {
+    ros::NodeHandle warm_node("warm");
+    auto warm = warm_node.advertise<std_msgs::String>("/bag/warm", 1);
+  }
+  ros::master().Reset();
+  const size_t threads_before = CountProcessThreads();
+
+  {
+    auto writer = ros::BagWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ros::TopicRecorder recorder("/bag/reactor", &*writer);
+
+    ros::NodeHandle pub_node("pub");
+    auto pub = pub_node.advertise<std_msgs::String>("/bag/reactor", 10);
+    ASSERT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 1; }));
+    EXPECT_EQ(CountProcessThreads(), threads_before)
+        << "recorder link must ride the reactor, not a reader thread";
+
+    std_msgs::String msg;
+    for (int i = 0; i < 5; ++i) {
+      msg.data = "pass " + std::to_string(i);
+      pub.publish(msg);
+    }
+    ASSERT_TRUE(WaitFor([&] { return recorder.recorded() == 5; }));
+    recorder.Shutdown();
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  ros::master().Reset();
+
+  ros::NodeHandle sub_node("listener");
+  std::atomic<int> got{0};
+  ros::SubscribeOptions options;
+  options.inline_dispatch = true;
+  auto sub = sub_node.subscribe<std_msgs::String>(
+      "/bag/reactor", 10,
+      [&](const std_msgs::String::ConstPtr&) { got++; }, options);
+
+  const auto published = ros::PlayBag(path);
+  ASSERT_TRUE(published.ok());
+  EXPECT_EQ(*published, 5u);
+  ASSERT_TRUE(WaitFor([&] { return got.load() == 5; }));
+  // Replay publishes pre-framed buffers into reactor writer queues: no
+  // per-replay thread either.
+  EXPECT_EQ(CountProcessThreads(), threads_before);
+  std::filesystem::remove(path);
 }
 
 }  // namespace

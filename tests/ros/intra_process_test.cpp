@@ -95,6 +95,49 @@ TEST_F(IntraProcessTest, OptOutForcesTcpTransport) {
   EXPECT_EQ(pub.getStats().enqueued, 1u);
 }
 
+TEST_F(IntraProcessTest, IntraDeliveriesFlowThroughUnifiedPublisherStats) {
+  ros::NodeHandle pub_node("pub");
+  ros::NodeHandle sub_node("sub");
+
+  // One in-process subscriber and one forced onto the wire: every publish
+  // is TWO delivery attempts through the same enqueued/dropped counters.
+  std::atomic<uint64_t> got_intra{0};
+  std::atomic<uint64_t> got_tcp{0};
+  ros::SubscribeOptions intra_options;
+  intra_options.inline_dispatch = true;
+  auto intra_sub = sub_node.subscribe<SfmString>(
+      "/intra/unified", 10,
+      [&](const SfmString::ConstPtr&) { got_intra.fetch_add(1); },
+      intra_options);
+  ros::SubscribeOptions tcp_options = intra_options;
+  tcp_options.allow_intra_process = false;
+  auto tcp_sub = sub_node.subscribe<SfmString>(
+      "/intra/unified", 10,
+      [&](const SfmString::ConstPtr&) { got_tcp.fetch_add(1); }, tcp_options);
+  auto pub = pub_node.advertise<SfmString>("/intra/unified", 10);
+  ASSERT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 2; }));
+
+  constexpr uint64_t kMessages = 5;
+  for (uint64_t i = 0; i < kMessages; ++i) {
+    auto msg = SfmString::create();
+    msg->data = "both transports";
+    pub.publish(*msg);
+  }
+  ASSERT_TRUE(WaitFor([&] {
+    return got_intra.load() == kMessages && got_tcp.load() == kMessages;
+  }));
+
+  const auto stats = pub.getStats();
+  EXPECT_EQ(stats.intra_links, 1u);
+  EXPECT_EQ(stats.tcp_links, 1u);
+  EXPECT_EQ(stats.intra_delivered, kMessages);
+  // Unified accounting: intra deliveries are not a side channel — they flow
+  // through the same attempt counters as TCP frames, so the topic-level
+  // sent count (enqueued - dropped) covers both transports.
+  EXPECT_EQ(stats.enqueued, 2 * kMessages);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
 TEST_F(IntraProcessTest, RegistryDropsEntryOnPublisherShutdown) {
   const size_t before = ros::intra_registry().Size();
   {

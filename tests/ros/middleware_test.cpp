@@ -12,6 +12,7 @@
 
 #include "common/clock.h"
 #include "net/poller.h"
+#include "net/socket.h"
 #include "ros/ros.h"
 #include "sensor_msgs/Image.h"
 #include "sensor_msgs/sfm/Image.h"
@@ -448,9 +449,6 @@ TEST_F(MiddlewareTest, RegularTcpReceiveReusesScratchAcrossFrames) {
 }
 
 TEST_F(MiddlewareTest, TransportThreadCountIndependentOfLinkCount) {
-  if (!rsf::net::ReactorTransportEnabled()) {
-    GTEST_SKIP() << "legacy thread-per-connection transport selected";
-  }
   ros::NodeHandle pub_node("pub");
   auto pub = pub_node.advertise<std_msgs::String>("/manylinks", 10);
 
@@ -464,17 +462,33 @@ TEST_F(MiddlewareTest, TransportThreadCountIndependentOfLinkCount) {
   ASSERT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 1; }));
 
   const size_t threads_before = CountProcessThreads();
+  const uint64_t blocking_before = rsf::net::BlockingConnectCount();
   constexpr size_t kLinks = 16;
   std::vector<ros::Subscriber> subs;
   for (size_t i = 0; i < kLinks; ++i) {
     subs.push_back(warm_node.subscribe<std_msgs::String>(
         "/manylinks", 10, [](const std_msgs::String::ConstPtr&) {}, options));
   }
-  ASSERT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 1 + kLinks; }));
+  // Shaped links pace delivery with loop timers, not a reader thread.
+  ros::SubscribeOptions shaped = options;
+  shaped.link = rsf::net::LinkConfig{1e9, 0};  // 1 Gbit/s, negligible delay
+  constexpr size_t kShapedLinks = 4;
+  for (size_t i = 0; i < kShapedLinks; ++i) {
+    subs.push_back(warm_node.subscribe<std_msgs::String>(
+        "/manylinks", 10, [](const std_msgs::String::ConstPtr&) {}, shaped));
+  }
+  ASSERT_TRUE(WaitFor([&] {
+    return pub.getNumSubscribers() == 1 + kLinks + kShapedLinks;
+  }));
 
-  // Thread-per-connection would add kLinks reader threads here; the
-  // reactor adds none — every link rides the existing loop pool.
+  // Thread-per-connection would add one reader thread per link here (and
+  // another per shaped link); the reactor adds none — every link, shaped
+  // or plain, rides the existing loop pool.
   EXPECT_EQ(CountProcessThreads(), threads_before);
+
+  // And none of those connects blocked the master-notify thread: every
+  // dial was a nonblocking Link::Dial completed on a reactor loop.
+  EXPECT_EQ(rsf::net::BlockingConnectCount(), blocking_before);
 
   std_msgs::String msg;
   msg.data = "fanout";
