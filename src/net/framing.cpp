@@ -1,6 +1,11 @@
 #include "net/framing.h"
 
+#include <sys/socket.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/endian.h"
 
@@ -139,38 +144,113 @@ bool FrameWriter::Enqueue(std::shared_ptr<const uint8_t[]> payload,
   return evicted;
 }
 
+size_t SendBatchMaxFrames() noexcept {
+  if (const char* env = std::getenv("RSF_SEND_BATCH_MAX")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && parsed > 0) {
+      return std::max<size_t>(static_cast<size_t>(parsed), kGatherFramesMin);
+    }
+  }
+  return 64;
+}
+
+void FrameWriter::AdaptGatherBudget() noexcept {
+  // Deep queue: the socket is the bottleneck, so amortize the syscall over
+  // more frames.  Shallow queue: shrink back so the common one-or-two-frame
+  // flush never walks an oversized iovec array.
+  if (pending_.size() > gather_budget_) {
+    gather_budget_ = std::min(gather_budget_ * 2, SendBatchMaxFrames());
+  } else if (gather_budget_ > kGatherFramesMin &&
+             pending_.size() <= gather_budget_ / 4) {
+    gather_budget_ = std::max(gather_budget_ / 2, kGatherFramesMin);
+  }
+}
+
+Status FrameWriter::FlushZeroCopyPayload(TcpConnection& conn, bool* blocked) {
+  // Front frame's header already left via the copy path; send the payload
+  // remainder pinned.  Each send that leaves bytes consumes one kernel
+  // notification id and retains the payload holder until that id completes.
+  PendingFrame& front = pending_.front();
+  const size_t payload_off = front.offset - sizeof(front.header);
+  const iovec iov = {const_cast<uint8_t*>(front.payload.get()) + payload_off,
+                     front.size - payload_off};
+  auto result =
+      conn.SendSome(std::span<const iovec>(&iov, 1), MSG_ZEROCOPY);
+  if (result.error == 0 && result.bytes > 0) {
+    in_flight_.push_back({next_zerocopy_id_++, front.payload});
+  } else if (result.error == ENOBUFS) {
+    // Transient optmem pressure (the pinned-page accounting budget is
+    // full): this one send copies, the tier stays on.
+    result = conn.SendSome(std::span<const iovec>(&iov, 1), 0);
+  } else if (result.error == EINVAL || result.error == EOPNOTSUPP) {
+    // The socket/route cannot do MSG_ZEROCOPY at all: copy from now on.
+    zerocopy_active_ = false;
+    result = conn.SendSome(std::span<const iovec>(&iov, 1), 0);
+  }
+  if (result.error != 0) {
+    return UnavailableError(std::string("sendmsg: ") +
+                            std::strerror(result.error));
+  }
+  if (result.bytes == 0) {
+    *blocked = true;  // socket buffer full: resume on writability
+    return Status::Ok();
+  }
+  bytes_written_ += result.bytes;
+  front.offset += result.bytes;
+  if (front.offset == sizeof(front.header) + front.size) {
+    ++zerocopy_frames_;
+    pending_.pop_front();
+    ++frames_written_;
+  }
+  return Status::Ok();
+}
+
 Status FrameWriter::Flush(TcpConnection& conn) {
-  // Gather up to kGatherFrames queued frames (header + payload each) into
-  // one sendmsg; resume mid-frame via the front frame's offset.
-  constexpr size_t kGatherFrames = 8;
+  // Gather up to the adaptive budget of queued frames (header + payload
+  // each) into one sendmsg; resume mid-frame via the front frame's offset.
+  // Zerocopy-eligible frames contribute only their header to the gather —
+  // the header bytes live in the deque node, whose storage recycles on pop,
+  // so they must be copied — and their payload follows as a dedicated
+  // MSG_ZEROCOPY send once the header is on the wire.
+  AdaptGatherBudget();
   while (!pending_.empty()) {
-    iovec iov[kGatherFrames * 2];
-    size_t iov_count = 0;
-    const size_t frames =
-        std::min(pending_.size(), kGatherFrames);
+    if (ZeroCopyEligible(pending_.front()) &&
+        pending_.front().offset >= sizeof(PendingFrame::header)) {
+      bool blocked = false;
+      RSF_RETURN_IF_ERROR(FlushZeroCopyPayload(conn, &blocked));
+      if (blocked) return Status::Ok();
+      continue;
+    }
+    iov_.clear();
+    const size_t frames = std::min(pending_.size(), gather_budget_);
     for (size_t i = 0; i < frames; ++i) {
       PendingFrame& frame = pending_[i];
+      const bool zerocopy = ZeroCopyEligible(frame);
       size_t skip = frame.offset;  // only ever non-zero for i == 0
       if (skip < sizeof(frame.header)) {
-        iov[iov_count++] = {frame.header + skip, sizeof(frame.header) - skip};
+        iov_.push_back(
+            {frame.header + skip, sizeof(frame.header) - skip});
         skip = 0;
       } else {
         skip -= sizeof(frame.header);
       }
-      if (frame.size > skip) {
-        iov[iov_count++] = {
-            const_cast<uint8_t*>(frame.payload.get()) + skip,
-            frame.size - skip};
+      if (!zerocopy && frame.size > skip) {
+        iov_.push_back({const_cast<uint8_t*>(frame.payload.get()) + skip,
+                        frame.size - skip});
       }
+      if (zerocopy) break;  // its payload goes out pinned next iteration
     }
-    if (iov_count == 0) {  // fully written frames (size-0 payloads) linger?
+    if (iov_.empty()) {  // fully written frames (size-0 payloads) linger?
       pending_.pop_front();
       ++frames_written_;
       continue;
     }
-    auto written = conn.WriteSome(std::span<const iovec>(iov, iov_count));
+    auto written =
+        conn.WriteSome(std::span<const iovec>(iov_.data(), iov_.size()));
     if (!written.ok()) return written.status();
     if (*written == 0) return Status::Ok();  // socket full: resume later
+    bytes_written_ += *written;
     size_t remaining = *written;
     while (remaining > 0 && !pending_.empty()) {
       PendingFrame& front = pending_.front();
@@ -185,6 +265,29 @@ Status FrameWriter::Flush(TcpConnection& conn) {
     }
   }
   return Status::Ok();
+}
+
+size_t FrameWriter::CompleteZeroCopy(uint32_t lo, uint32_t hi,
+                                     bool copied) noexcept {
+  // Notification ids are sequential and complete in order, so the range
+  // [lo, hi] always covers a prefix of the in-flight queue.  The wrap-safe
+  // comparison keeps this correct past 2^32 sends.
+  size_t released = 0;
+  while (!in_flight_.empty() &&
+         static_cast<int32_t>(hi - in_flight_.front().id) >= 0) {
+    in_flight_.pop_front();
+    ++released;
+  }
+  if (copied) {
+    copied_completions_ += static_cast<uint64_t>(hi - lo) + 1;
+    if (zerocopy_copied_limit_ > 0 &&
+        copied_completions_ >= zerocopy_copied_limit_ && zerocopy_active_) {
+      // The route copies anyway (loopback always does): pinning buys
+      // nothing but completion bookkeeping, so stop paying for it.
+      zerocopy_active_ = false;
+    }
+  }
+  return released;
 }
 
 }  // namespace rsf::net

@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "common/status.h"
 #include "net/socket.h"
@@ -81,6 +82,18 @@ class FrameReader {
   size_t payload_got_ = 0;
 };
 
+/// The floor and ceiling of the adaptive per-sendmsg gather budget.  The
+/// writer starts gathering kGatherFramesMin frames per syscall and doubles
+/// toward SendBatchMaxFrames() while the queue stays deeper than the
+/// budget, halving back once it drains — small-message floods amortize the
+/// syscall without penalizing shallow queues with oversized iovec walks.
+inline constexpr size_t kGatherFramesMin = 8;
+
+/// Ceiling for the adaptive gather budget (RSF_SEND_BATCH_MAX env,
+/// default 64; values below kGatherFramesMin clamp up).  Re-read on every
+/// call so benches can sweep it between runs.
+size_t SendBatchMaxFrames() noexcept;
+
 /// Outgoing frame queue + resumable gathered writer for nonblocking
 /// connections (the reactor's send path).  Keeps the one-sendmsg-per-burst
 /// economics of WritevAll: each Flush() gathers the length prefixes and
@@ -88,6 +101,20 @@ class FrameReader {
 /// socket buffer allows, resuming mid-frame after partial writes.  Not
 /// thread-safe — confine to one loop thread (callers lock around it when a
 /// producer thread enqueues).
+///
+/// Zerocopy tier: after EnableZeroCopy(), frames whose payload is at least
+/// the threshold leave via MSG_ZEROCOPY — the kernel pins the payload
+/// pages instead of copying them, and the frame's shared payload holder is
+/// retained in an in-flight queue until the matching completion arrives on
+/// the socket error queue (the caller routes EPOLLERR to
+/// CompleteZeroCopy).  Only the payload is pinned: the 4-byte length
+/// prefix lives inside the queue node, whose storage is recycled the
+/// moment the frame pops, so headers always travel the copy path
+/// (gathered with any preceding small frames).  ENOBUFS on a pinned send
+/// is transient optmem pressure — that one send falls back to a copy and
+/// the tier stays on; EINVAL/EOPNOTSUPP and repeated
+/// SO_EE_CODE_ZEROCOPY_COPIED completions (loopback) disable the tier for
+/// the connection's lifetime.
 class FrameWriter {
  public:
   /// Queues one frame (shared payload: fan-out costs no copy).  When
@@ -105,6 +132,28 @@ class FrameWriter {
   /// the caller how many queued frames will never reach the wire.
   Status Flush(TcpConnection& conn);
 
+  /// Activates the zerocopy tier (caller has already set SO_ZEROCOPY on
+  /// the connection).  `threshold` of 0 keeps the tier off; `copied_limit`
+  /// of 0 never auto-disables.
+  void EnableZeroCopy(size_t threshold, uint64_t copied_limit) noexcept {
+    zerocopy_threshold_ = threshold;
+    zerocopy_copied_limit_ = copied_limit;
+    zerocopy_active_ = threshold > 0;
+  }
+
+  /// Releases the pinned payload holders for the completed notification-id
+  /// range [lo, hi] (TcpConnection::ZeroCopyCompletion).  Ids complete in
+  /// order, so this pops from the front of the in-flight queue.  A copied
+  /// completion counts toward the auto-disable limit: once reached the
+  /// tier turns off — the route (loopback) copies anyway, so pinning only
+  /// buys completion overhead.  Returns the number of holders released.
+  size_t CompleteZeroCopy(uint32_t lo, uint32_t hi, bool copied) noexcept;
+
+  /// Drops every pinned holder (link teardown).  Safe before completions
+  /// arrive: the kernel holds its own page references for in-flight skbs,
+  /// the holders only gate user-space reuse of the buffer.
+  void ReleaseInFlight() noexcept { in_flight_.clear(); }
+
   [[nodiscard]] bool HasPending() const noexcept { return !pending_.empty(); }
   [[nodiscard]] size_t PendingFrames() const noexcept {
     return pending_.size();
@@ -112,6 +161,28 @@ class FrameWriter {
   [[nodiscard]] uint64_t FramesWritten() const noexcept {
     return frames_written_;
   }
+  /// Total bytes the kernel has accepted (copy + zerocopy).  The link's
+  /// write-progress deadline snapshots this to tell a slow-but-moving peer
+  /// from a stalled one.
+  [[nodiscard]] uint64_t BytesWritten() const noexcept {
+    return bytes_written_;
+  }
+  [[nodiscard]] bool ZeroCopyActive() const noexcept {
+    return zerocopy_active_;
+  }
+  /// Holders pinned awaiting kernel completions (tests assert lifetime).
+  [[nodiscard]] size_t InFlightHolders() const noexcept {
+    return in_flight_.size();
+  }
+  /// Frames whose payload completed through the zerocopy tier.
+  [[nodiscard]] uint64_t ZeroCopyFrames() const noexcept {
+    return zerocopy_frames_;
+  }
+  [[nodiscard]] uint64_t CopiedCompletions() const noexcept {
+    return copied_completions_;
+  }
+  /// Current adaptive gather budget (tests observe growth/decay).
+  [[nodiscard]] size_t GatherBudget() const noexcept { return gather_budget_; }
 
  private:
   struct PendingFrame {
@@ -121,8 +192,34 @@ class FrameWriter {
     size_t offset = 0;  // bytes of (header + payload) already written
   };
 
+  /// One zerocopy send that left bytes: the sequential notification id the
+  /// kernel assigned it, plus the payload holder it pinned.  A large frame
+  /// that needed several sends appears once per send — same holder, rising
+  /// ids — and the buffer frees only when the last entry releases.
+  struct InFlightSend {
+    uint32_t id = 0;
+    std::shared_ptr<const uint8_t[]> holder;
+  };
+
+  [[nodiscard]] bool ZeroCopyEligible(const PendingFrame& frame)
+      const noexcept {
+    return zerocopy_active_ && frame.size >= zerocopy_threshold_;
+  }
+  Status FlushZeroCopyPayload(TcpConnection& conn, bool* blocked);
+  void AdaptGatherBudget() noexcept;
+
   std::deque<PendingFrame> pending_;
+  std::deque<InFlightSend> in_flight_;
+  std::vector<iovec> iov_;  // reused gather scratch (grows with the budget)
   uint64_t frames_written_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t zerocopy_frames_ = 0;
+  uint64_t copied_completions_ = 0;
+  uint64_t zerocopy_copied_limit_ = 0;
+  size_t zerocopy_threshold_ = 0;
+  size_t gather_budget_ = kGatherFramesMin;
+  uint32_t next_zerocopy_id_ = 0;
+  bool zerocopy_active_ = false;
 };
 
 }  // namespace rsf::net

@@ -3,12 +3,23 @@
 #include <sys/socket.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
 #include "common/log.h"
 
 namespace rsf::net {
+
+uint64_t WriteTimeoutNanos() noexcept {
+  uint64_t millis = 30'000;
+  if (const char* env = std::getenv("RSF_WRITE_TIMEOUT_MS")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env) millis = parsed;
+  }
+  return millis * 1'000'000ull;
+}
 
 Link::Link(EventLoop* loop, Options options, Callbacks callbacks)
     : loop_(loop),
@@ -58,6 +69,7 @@ void Link::StartServerOnLoop() {
   if (auto s = ApplyTransportSocketOptions(conn_); !s.ok()) {
     RSF_WARN("link: socket options failed: %s", s.message().c_str());
   }
+  SetupZeroCopy();
   Register();
 }
 
@@ -70,6 +82,7 @@ void Link::StartClientOnLoop(bool in_progress) {
   if (auto s = ApplyTransportSocketOptions(conn_); !s.ok()) {
     RSF_WARN("link: socket options failed: %s", s.message().c_str());
   }
+  SetupZeroCopy();
   if (in_progress) {
     Register();
     // No cancellation handle needed: the timer holds a weak_ptr and a
@@ -88,6 +101,86 @@ void Link::StartClientOnLoop(bool in_progress) {
   // handshake.
   EnterClientHandshake();
   if (state() != State::kClosed) Register();
+}
+
+void Link::SetupZeroCopy() {
+  if (options_.zerocopy_threshold == 0) return;
+  if (auto s = conn_.EnableZeroCopy(); !s.ok()) {
+    // Pre-4.14 kernel or odd socket family: keep the copy path, silently.
+    RSF_DEBUG("link: SO_ZEROCOPY unavailable (fd %d): %s", conn_.fd(),
+              s.message().c_str());
+    return;
+  }
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  writer_.EnableZeroCopy(options_.zerocopy_threshold,
+                         options_.zerocopy_copied_limit);
+}
+
+bool Link::DrainErrorQueue() {
+  // EPOLLERR stays raised while the error queue is non-empty (it is
+  // level-triggered and unmaskable), so drain to EAGAIN or we busy-loop.
+  // Entries are zerocopy completions — each releases a range of pinned
+  // payload holders.  A plain socket error (ECONNRESET) does not queue
+  // completion records; the queue reads empty and the subsequent
+  // read/write syscall surfaces the errno and closes the link.
+  for (;;) {
+    TcpConnection::ZeroCopyCompletion completion;
+    auto more = conn_.PollErrorQueue(&completion);
+    if (!more.ok()) {
+      CloseOnLoop(true);
+      return false;
+    }
+    if (!*more) return true;
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    writer_.CompleteZeroCopy(completion.lo, completion.hi, completion.copied);
+    zerocopy_frames_.store(writer_.ZeroCopyFrames(),
+                           std::memory_order_relaxed);
+    zerocopy_copied_.store(writer_.CopiedCompletions(),
+                           std::memory_order_relaxed);
+  }
+}
+
+void Link::MaybeArmWriteDeadline() {
+  if (options_.write_timeout_nanos == 0 || write_deadline_armed_) return;
+  const State s = state();
+  if (s == State::kClosed || s == State::kConnecting) return;
+  uint64_t snapshot;
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (!writer_.HasPending()) return;
+    snapshot = writer_.BytesWritten();
+  }
+  write_deadline_armed_ = true;
+  std::weak_ptr<Link> weak = shared_from_this();
+  loop_->RunAfter(options_.write_timeout_nanos, [weak, snapshot] {
+    if (auto link = weak.lock()) link->OnWriteDeadline(snapshot);
+  });
+}
+
+void Link::OnWriteDeadline(uint64_t bytes_snapshot) {
+  write_deadline_armed_ = false;
+  if (state() == State::kClosed) return;
+  bool pending;
+  uint64_t written;
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    pending = writer_.HasPending();
+    written = writer_.BytesWritten();
+  }
+  if (!pending) return;  // queue drained since arming — all good
+  if (written == bytes_snapshot) {
+    // The peer accepted nothing for a full period: it stopped reading.
+    // Close so queued frames and pinned zerocopy holders stop accruing;
+    // the owner counts the stranded frames as drops.
+    RSF_WARN("link: no write progress in %llu ms with frames queued; "
+             "closing (fd %d)",
+             static_cast<unsigned long long>(options_.write_timeout_nanos /
+                                             1'000'000ull),
+             conn_.fd());
+    CloseOnLoop(true);
+    return;
+  }
+  MaybeArmWriteDeadline();  // slow but moving: re-arm on a fresh snapshot
 }
 
 void Link::Register() {
@@ -128,6 +221,11 @@ void Link::UpdateInterest() {
 
 void Link::OnEvent(uint32_t events) {
   if (state() == State::kClosed) return;
+  if (events & kEventError) {
+    // Zerocopy completions arrive as EPOLLERR; drain before read/write so
+    // a completions-only event cannot spin the loop.
+    if (!DrainErrorQueue()) return;
+  }
   if (events & kEventWritable) {
     if (state() == State::kConnecting) {
       ResolveConnect();
@@ -306,12 +404,18 @@ void Link::FlushWriter() {
     status = writer_.Flush(conn_);
     pending = writer_.HasPending();
     sent_.store(writer_.FramesWritten(), std::memory_order_relaxed);
+    zerocopy_frames_.store(writer_.ZeroCopyFrames(),
+                           std::memory_order_relaxed);
   }
   if (!status.ok()) {
     CloseOnLoop(true);
     return;
   }
-  if (state() == State::kDraining && !pending) CloseOnLoop(true);
+  if (state() == State::kDraining && !pending) {
+    CloseOnLoop(true);
+    return;
+  }
+  if (pending) MaybeArmWriteDeadline();
 }
 
 void Link::PauseReading() {
@@ -341,6 +445,12 @@ void Link::CloseOnLoop(bool notify) {
   {
     std::lock_guard<std::mutex> lock(write_mutex_);
     stranded_.store(writer_.PendingFrames(), std::memory_order_relaxed);
+    // Completions for sends still in flight will never be read; dropping
+    // the holders now is safe because the kernel keeps its own page
+    // references for queued skbs — the holders only gate user-space
+    // buffer reuse, and the arena block frees whenever the last reference
+    // (ours or a fan-out peer's) goes.
+    writer_.ReleaseInFlight();
   }
   if (registered_) {
     loop_->Remove(conn_.fd());
@@ -367,7 +477,19 @@ Link::Stats Link::stats() const noexcept {
   s.frames_sent = sent_.load(std::memory_order_relaxed);
   s.frames_received = received_.load(std::memory_order_relaxed);
   s.frames_stranded = stranded_.load(std::memory_order_relaxed);
+  s.zerocopy_frames = zerocopy_frames_.load(std::memory_order_relaxed);
+  s.zerocopy_copied = zerocopy_copied_.load(std::memory_order_relaxed);
   return s;
+}
+
+size_t Link::PendingZeroCopyHolders() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return writer_.InFlightHolders();
+}
+
+bool Link::ZeroCopyActive() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return writer_.ZeroCopyActive();
 }
 
 }  // namespace rsf::net

@@ -301,9 +301,11 @@ void EventLoop::Run() {
       if (raw & EPOLLOUT) ready_bits |= kEventWritable;
       if (raw & (EPOLLERR | EPOLLHUP)) {
         // Deliver the error through whatever direction is armed so the next
-        // read/write syscall surfaces the errno.
-        ready_bits |= handler->interest;
-        if (ready_bits == 0) ready_bits = kEventReadable;
+        // read/write syscall surfaces the errno, and flag it explicitly for
+        // handlers that must drain the error queue (zerocopy completions).
+        ready_bits |= handler->interest & (kEventReadable | kEventWritable);
+        ready_bits |= kEventError;
+        if ((ready_bits & ~kEventError) == 0) ready_bits |= kEventReadable;
       }
       handler->callback(ready_bits);
     }

@@ -38,6 +38,13 @@ namespace rsf::net {
 /// Readiness bits passed to an fd's event callback.
 inline constexpr uint32_t kEventReadable = 1u << 0;
 inline constexpr uint32_t kEventWritable = 1u << 1;
+/// EPOLLERR/EPOLLHUP fired.  Always delivered alongside the folded
+/// read/write bits — most handlers ignore it and let the next syscall
+/// surface the errno, but zerocopy links must see it explicitly: a socket
+/// with MSG_ZEROCOPY completions pending raises EPOLLERR (level-triggered,
+/// unmaskable) until the error queue is drained, and draining it is the
+/// only way to learn which pinned buffers the kernel has released.
+inline constexpr uint32_t kEventError = 1u << 2;
 
 /// One epoll instance + one servicing thread.  Registration (`Add`,
 /// `SetInterest`, `Remove`) is loop-thread-only: call through RunInLoop /

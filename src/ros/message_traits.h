@@ -40,6 +40,13 @@ inline std::atomic<uint64_t> scratch_allocations{0};  // scratch grew (heap)
 inline std::atomic<uint64_t> scratch_reuses{0};     // frame fit in scratch
 inline std::atomic<uint64_t> deserialize_copies{0};  // generated de-serializer ran
 inline std::atomic<uint64_t> arena_direct{0};  // payload read straight into an arena
+// Send-path counters: every user-space copy a publish can make on its way
+// to the wire.  An SFM arena publish must bump NEITHER — its payload goes
+// out as an aliased shared_ptr, and (above the zerocopy threshold) even
+// the kernel crossing is a pin, not a copy (rsf::net::ZeroCopySendBytes
+// carries the proof for that last hop).
+inline std::atomic<uint64_t> wire_serialize_copies{0};  // generated serializer ran
+inline std::atomic<uint64_t> wire_snapshot_copies{0};   // SFM stack-fallback memcpy
 }  // namespace shim
 
 /// A frame destination handed to the transport's frame reader, plus the
@@ -57,6 +64,7 @@ struct Serializer {
     const size_t length = rsf::ser::ros1::SerializedLength(msg);
     auto buffer = std::shared_ptr<uint8_t[]>(new uint8_t[length]);
     rsf::ser::ros1::Serialize(msg, buffer.get());
+    shim::wire_serialize_copies.fetch_add(1, std::memory_order_relaxed);
     return SerializedMessage{std::move(buffer), length};
   }
 
@@ -131,6 +139,7 @@ struct Serializer<M> {
     // alone is a complete whole message, so snapshot it.
     auto buffer = std::shared_ptr<uint8_t[]>(new uint8_t[sizeof(M)]);
     std::memcpy(buffer.get(), &msg, sizeof(M));
+    shim::wire_snapshot_copies.fetch_add(1, std::memory_order_relaxed);
     return SerializedMessage{std::move(buffer), sizeof(M)};
   }
 

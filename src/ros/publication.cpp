@@ -91,6 +91,13 @@ void Publication::OnAcceptReady() {
     std::weak_ptr<Publication> weak = weak_from_this();
     rsf::net::Link::Options options;
     options.max_pending_frames = queue_size_;
+    // Data flows publisher→subscriber on this link, so it gets the full
+    // egress treatment: the zerocopy tier for large frames (env-tuned,
+    // resolved per link so benches can flip it between runs) and the
+    // write-progress deadline that drops a peer that stopped reading.
+    options.zerocopy_threshold = rsf::net::ZeroCopyThresholdBytes();
+    options.zerocopy_copied_limit = rsf::net::ZeroCopyCopiedLimit();
+    options.write_timeout_nanos = rsf::net::WriteTimeoutNanos();
     rsf::net::Link::Callbacks callbacks;
     callbacks.on_handshake_request =
         [weak](const uint8_t* data, uint32_t length,
@@ -187,18 +194,38 @@ rsf::Status Publication::AddIntraLink(std::shared_ptr<IntraLinkBase> link) {
         ", subscriber " + link->callerid() + " negotiated " +
         link->transport_md5());
   }
+  // Mirror the TCP pending→established split: the link joins the fanout
+  // only once the subscriber finishes filing it (ActivateIntraLink), so a
+  // publish racing the connect can never deliver into a half-registered
+  // link whose subscriber-side bookkeeping isn't ready to receive.
   std::lock_guard<std::mutex> lock(intra_mutex_);
-  intra_links_.push_back(std::move(link));
+  pending_intra_.push_back(std::move(link));
   return rsf::Status::Ok();
+}
+
+void Publication::ActivateIntraLink(const IntraLinkBase* link) {
+  std::lock_guard<std::mutex> lock(intra_mutex_);
+  auto it = std::find_if(pending_intra_.begin(), pending_intra_.end(),
+                         [link](const std::shared_ptr<IntraLinkBase>& entry) {
+                           return entry.get() == link;
+                         });
+  // Not pending: a concurrent Shutdown/Remove already culled it — a late
+  // activation must not resurrect the link into the fanout.
+  if (it == pending_intra_.end()) return;
+  intra_links_.push_back(std::move(*it));
+  pending_intra_.erase(it);
 }
 
 void Publication::RemoveIntraLink(const IntraLinkBase* link) {
   std::lock_guard<std::mutex> lock(intra_mutex_);
+  const auto matches = [link](const std::shared_ptr<IntraLinkBase>& entry) {
+    return entry.get() == link;
+  };
+  pending_intra_.erase(
+      std::remove_if(pending_intra_.begin(), pending_intra_.end(), matches),
+      pending_intra_.end());
   intra_links_.erase(
-      std::remove_if(intra_links_.begin(), intra_links_.end(),
-                     [link](const std::shared_ptr<IntraLinkBase>& entry) {
-                       return entry.get() == link;
-                     }),
+      std::remove_if(intra_links_.begin(), intra_links_.end(), matches),
       intra_links_.end());
 }
 
@@ -295,6 +322,7 @@ void Publication::Shutdown() {
   if (intra_registered_) intra_registry().Unregister(topic_, port_);
   {
     std::lock_guard<std::mutex> lock(intra_mutex_);
+    pending_intra_.clear();
     intra_links_.clear();
   }
 

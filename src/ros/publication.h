@@ -73,9 +73,19 @@ class Publication : public std::enable_shared_from_this<Publication> {
   void Publish(SerializedMessage message);
 
   /// In-process handshake: validates the subscriber's negotiated checksum
-  /// against this topic's and, on success, adds the link to the fanout —
+  /// against this topic's and, on success, registers the link as PENDING —
   /// the same contract as the TCPROS header exchange, without the sockets.
+  /// The link receives nothing until ActivateIntraLink, mirroring the TCP
+  /// pending→established split: the subscriber finishes its own
+  /// bookkeeping first, so a publish racing the connect can't deliver
+  /// into a half-registered link.
   rsf::Status AddIntraLink(std::shared_ptr<IntraLinkBase> link);
+
+  /// Moves a pending in-process link into the live fanout (called by the
+  /// subscriber once the link is filed on its side).  A link no longer
+  /// pending — culled by Shutdown or RemoveIntraLink in between — stays
+  /// out: late activation never resurrects it.
+  void ActivateIntraLink(const IntraLinkBase* link);
 
   /// Unhooks one in-process link (subscriber shutdown).  Links whose
   /// subscriber merely vanished are also culled lazily on publish.
@@ -165,6 +175,9 @@ class Publication : public std::enable_shared_from_this<Publication> {
   std::vector<std::shared_ptr<rsf::net::Link>> links_;
 
   mutable std::mutex intra_mutex_;
+  // Accepted but not yet activated links (subscriber still filing), and
+  // the live fanout.  DeliverIntra only ever touches intra_links_.
+  std::vector<std::shared_ptr<IntraLinkBase>> pending_intra_;
   std::vector<std::shared_ptr<IntraLinkBase>> intra_links_;
 };
 

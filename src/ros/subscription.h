@@ -257,12 +257,19 @@ class Subscription final
                                                 transport_md5_, callerid_);
         const auto status = publication->AddIntraLink(link);
         if (status.ok()) {
-          std::lock_guard<std::mutex> lock(links_mutex_);
-          if (shutdown_.load(std::memory_order_acquire)) {
-            publication->RemoveIntraLink(link.get());
-            return;
+          {
+            std::lock_guard<std::mutex> lock(links_mutex_);
+            if (shutdown_.load(std::memory_order_acquire)) {
+              publication->RemoveIntraLink(link.get());
+              return;
+            }
+            intra_links_.emplace_back(link, publication);
           }
-          intra_links_.emplace_back(std::move(link), publication);
+          // Filed on our side: go live.  Outside links_mutex_ — the
+          // publication takes its own lock and must never nest inside
+          // ours.  If our Shutdown raced in between, it already called
+          // RemoveIntraLink, and this activation no-ops.
+          publication->ActivateIntraLink(link.get());
         } else {
           RSF_WARN("publisher rejected in-process subscription to %s: %s",
                    topic_.c_str(), status.ToString().c_str());

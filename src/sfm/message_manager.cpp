@@ -1,6 +1,8 @@
 #include "sfm/message_manager.h"
 
+#include <bit>
 #include <cstring>
+#include <limits>
 #include <mutex>
 #include <vector>
 
@@ -22,7 +24,8 @@ std::map<std::string, size_t>& CapacityOverrides() {
 
 // ---- arena block pool ----
 //
-// Blocks are recycled by exact capacity.  Bounded so pathological capacity
+// Blocks are recycled by power-of-two size class (ArenaBlockClassSize), so
+// near-miss capacities share a bucket.  Bounded so pathological capacity
 // mixes cannot hoard memory; beyond the bound, blocks fall back to the
 // heap.
 constexpr size_t kMaxPoolBytes = 512ull * 1024 * 1024;
@@ -63,19 +66,30 @@ void PooledDeleter::operator()(uint8_t* block) const noexcept {
   delete[] block;
 }
 
+size_t ArenaBlockClassSize(size_t capacity) noexcept {
+  // Floor keeps tiny arenas from fragmenting the pool into dozens of
+  // classes; the pow2 ceiling at most doubles a request, which the
+  // kMaxPoolBytes bound already accommodates.
+  constexpr size_t kMinClass = 256;
+  if (capacity <= kMinClass) return kMinClass;
+  if (capacity > (std::numeric_limits<size_t>::max() >> 1)) return capacity;
+  return std::bit_ceil(capacity);
+}
+
 PooledBlock AcquireArenaBlock(size_t capacity) {
+  const size_t cls = ArenaBlockClassSize(capacity);
   ArenaPool& pool = Pool();
   {
     std::lock_guard<std::mutex> lock(pool.mutex);
-    const auto it = pool.free_blocks.find(capacity);
+    const auto it = pool.free_blocks.find(cls);
     if (it != pool.free_blocks.end() && !it->second.empty()) {
       uint8_t* block = it->second.back();
       it->second.pop_back();
-      pool.bytes -= capacity;
-      return PooledBlock(block, PooledDeleter{capacity});
+      pool.bytes -= cls;
+      return PooledBlock(block, PooledDeleter{cls});
     }
   }
-  return PooledBlock(new uint8_t[capacity], PooledDeleter{capacity});
+  return PooledBlock(new uint8_t[cls], PooledDeleter{cls});
 }
 
 size_t ArenaPoolBytes() {
@@ -140,8 +154,10 @@ void* MessageManager::Allocate(const char* datatype, size_t capacity,
   SFM_CHECK_MSG(skeleton_size <= capacity,
                 "arena capacity smaller than message skeleton");
   PooledBlock pooled = AcquireArenaBlock(capacity);
-  auto block =
-      std::shared_ptr<uint8_t[]>(pooled.release(), PooledDeleter{capacity});
+  // Copy the deleter: it carries the pool's size class, which may exceed
+  // the requested capacity (power-of-two rounding).
+  const PooledDeleter deleter = pooled.get_deleter();
+  auto block = std::shared_ptr<uint8_t[]>(pooled.release(), deleter);
   uint8_t* start = block.get();
   std::memset(start, 0, skeleton_size);  // before registration: no lock held
 
@@ -304,9 +320,11 @@ const uint8_t* MessageManager::AdoptReceived(const char* datatype,
                                              size_t capacity, size_t size) {
   SFM_CHECK_MSG(size <= capacity, "received message larger than its block");
   uint8_t* start = block.get();
+  // Preserve the deleter's size class (≥ capacity after pow2 rounding) so
+  // the block returns to the pool under the class it was drawn from.
+  const PooledDeleter deleter = block.get_deleter();
   Insert(start, capacity, size, MessageState::kPublished,
-         std::shared_ptr<uint8_t[]>(block.release(), PooledDeleter{capacity}),
-         datatype);
+         std::shared_ptr<uint8_t[]>(block.release(), deleter), datatype);
   received_adoptions_.fetch_add(1, std::memory_order_relaxed);
   return start;
 }

@@ -89,11 +89,21 @@ struct PooledDeleter {
 /// An owned arena block that recycles itself.
 using PooledBlock = std::unique_ptr<uint8_t[], PooledDeleter>;
 
+/// The pooled size class a requested capacity lands in: the next power of
+/// two (with a small floor).  Classing means near-miss capacities — a
+/// type whose largest-message estimate grew by a few bytes — still reuse
+/// pooled blocks instead of missing an exact-capacity lookup and paying
+/// the allocator.
+size_t ArenaBlockClassSize(size_t capacity) noexcept;
+
 /// Acquires a block of at least `capacity` bytes from the pool (or the
 /// heap).  Pooling matters for throughput: arenas are sized for the LARGEST
 /// message of a type (§4.2), typically megabytes, and allocating/releasing
 /// such blocks per message costs mmap + page-fault churn that can eat the
 /// serialization savings.  Recycled blocks keep their pages warm.
+/// The returned block is ArenaBlockClassSize(capacity) bytes; its deleter
+/// carries that class size, so callers re-wrapping the pointer must copy
+/// the deleter (never rebuild one from the requested capacity).
 PooledBlock AcquireArenaBlock(size_t capacity);
 
 /// Pool occupancy in bytes (tests / introspection).

@@ -414,6 +414,241 @@ TEST(LinkTest, TimerPacedPauseResumeDelaysDelivery) {
   link->CloseSync();
 }
 
+/// Accepts one connection, performs the server-side handshake, then reads
+/// `expect_frames` app frames, checking each payload against `expected`.
+/// Signals `done` when finished and holds the socket open until `release`.
+void RunReadingClientPeer(uint16_t port, int expect_frames,
+                          const std::vector<uint8_t>& expected,
+                          std::atomic<bool>& done,
+                          std::atomic<bool>& release) {
+  auto conn = TcpConnection::Connect("127.0.0.1", port);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(WriteFrame(*conn, Bytes("subscribe-me")).ok());
+  std::vector<uint8_t> buf;
+  uint32_t length = 0;
+  ASSERT_TRUE(ReadFrame(
+                  *conn,
+                  [&](uint32_t len) {
+                    buf.resize(len == 0 ? 1 : len);
+                    return buf.data();
+                  },
+                  &length)
+                  .ok());
+  for (int i = 0; i < expect_frames; ++i) {
+    ASSERT_TRUE(ReadFrame(
+                    *conn,
+                    [&](uint32_t len) {
+                      buf.resize(len == 0 ? 1 : len);
+                      return buf.data();
+                    },
+                    &length)
+                    .ok());
+    ASSERT_EQ(length, expected.size()) << "frame " << i;
+    buf.resize(length);
+    EXPECT_EQ(buf, expected) << "frame " << i;
+  }
+  done.store(true);
+  while (!release.load()) SleepForNanos(1'000'000);
+}
+
+std::vector<uint8_t> PatternPayload(size_t size) {
+  std::vector<uint8_t> payload(size);
+  for (size_t i = 0; i < size; ++i) {
+    payload[i] = static_cast<uint8_t>((i * 31 + 7) & 0xff);
+  }
+  return payload;
+}
+
+std::shared_ptr<uint8_t[]> SharedCopy(const std::vector<uint8_t>& bytes) {
+  auto buffer = std::shared_ptr<uint8_t[]>(new uint8_t[bytes.size()]);
+  std::memcpy(buffer.get(), bytes.data(), bytes.size());
+  return buffer;
+}
+
+Link::Callbacks AcceptingServerCallbacks(LinkHarness& harness) {
+  Link::Callbacks callbacks;
+  callbacks.on_handshake_request = [](const uint8_t*, uint32_t,
+                                      std::vector<uint8_t>* reply) {
+    *reply = Bytes("accepted");
+    return true;
+  };
+  callbacks.on_established = [&harness](const std::shared_ptr<Link>&) {
+    harness.established.fetch_add(1);
+  };
+  callbacks.on_closed = [&harness](const std::shared_ptr<Link>&) {
+    harness.closed.fetch_add(1);
+  };
+  return callbacks;
+}
+
+TEST(LinkZeroCopyTest, CompletionsReleaseHoldersInOrderAndBytesArriveIntact) {
+  // Above-threshold frames leave via MSG_ZEROCOPY: each send pins the
+  // payload holder until the kernel's completion releases it.  Loopback
+  // reports every completion as COPIED; copied_limit 0 keeps the tier on
+  // anyway so this test exercises the full completion path.  The peer
+  // byte-checks every frame — the stream must interleave copied headers
+  // and pinned payloads without corruption.
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+
+  LinkHarness harness;
+  const auto payload = PatternPayload(256 * 1024);  // > SO_SNDBUF: partial sends
+  constexpr int kFrames = 3;
+  std::atomic<bool> peer_done{false};
+  std::atomic<bool> release_peer{false};
+  std::thread client([&] {
+    RunReadingClientPeer(listener->port(), kFrames, payload, peer_done,
+                         release_peer);
+  });
+
+  auto conn = listener->Accept();
+  ASSERT_TRUE(conn.ok());
+  Link::Options options;
+  options.zerocopy_threshold = 64 * 1024;
+  options.zerocopy_copied_limit = 0;  // never auto-disable
+  auto link = Link::Accepted(*std::move(conn), &harness.loop, options,
+                             AcceptingServerCallbacks(harness));
+  ASSERT_TRUE(WaitFor([&] { return harness.established.load() == 1; }));
+  ASSERT_TRUE(link->ZeroCopyActive());
+
+  const uint64_t zc_sends_before = ZeroCopySendCount();
+  auto buffer = SharedCopy(payload);
+  std::weak_ptr<uint8_t[]> weak = buffer;
+  for (int i = 0; i < kFrames; ++i) {
+    EXPECT_FALSE(
+        link->EnqueueFrame(buffer, static_cast<uint32_t>(payload.size())));
+  }
+  buffer.reset();
+  harness.loop.RunInLoop([link] { link->FlushOnLoop(); });
+
+  ASSERT_TRUE(WaitFor([&] { return peer_done.load(); }));
+  // Completions drain on EPOLLERR; once all are in, every pinned holder is
+  // released and the payload (whose only other refs were the queue's) dies.
+  ASSERT_TRUE(WaitFor([&] { return link->PendingZeroCopyHolders() == 0; }));
+  ASSERT_TRUE(WaitFor([&] { return weak.expired(); }));
+
+  const auto stats = link->stats();
+  // +1: the handshake reply frame flows through the same writer.
+  EXPECT_EQ(stats.frames_sent, static_cast<uint64_t>(kFrames) + 1);
+  EXPECT_EQ(stats.zerocopy_frames, static_cast<uint64_t>(kFrames));
+  EXPECT_GT(stats.zerocopy_copied, 0u);  // loopback always reports copied
+  EXPECT_GT(ZeroCopySendCount(), zc_sends_before);
+  EXPECT_TRUE(link->ZeroCopyActive());  // limit 0: copied never disables
+
+  release_peer.store(true);
+  client.join();
+  link->CloseSync();
+}
+
+TEST(LinkZeroCopyTest, CopiedCompletionsAutoDisableTheTier) {
+  // Loopback can never do true zerocopy — the kernel copies and flags the
+  // completion SO_EE_CODE_ZEROCOPY_COPIED.  After copied_limit such
+  // completions the link must stop paying for pinning and revert to the
+  // plain copy path, with frames still arriving intact throughout.
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+
+  LinkHarness harness;
+  const auto payload = PatternPayload(96 * 1024);
+  constexpr int kFrames = 6;
+  std::atomic<bool> peer_done{false};
+  std::atomic<bool> release_peer{false};
+  std::thread client([&] {
+    RunReadingClientPeer(listener->port(), kFrames, payload, peer_done,
+                         release_peer);
+  });
+
+  auto conn = listener->Accept();
+  ASSERT_TRUE(conn.ok());
+  Link::Options options;
+  options.zerocopy_threshold = 64 * 1024;
+  options.zerocopy_copied_limit = 1;  // first copied completion disables
+  auto link = Link::Accepted(*std::move(conn), &harness.loop, options,
+                             AcceptingServerCallbacks(harness));
+  ASSERT_TRUE(WaitFor([&] { return harness.established.load() == 1; }));
+
+  for (int i = 0; i < kFrames; ++i) {
+    auto buffer = SharedCopy(payload);
+    EXPECT_FALSE(link->EnqueueFrame(std::move(buffer),
+                                    static_cast<uint32_t>(payload.size())));
+    harness.loop.RunInLoop([link] { link->FlushOnLoop(); });
+    // One frame at a time so completions (and the disable) land between
+    // sends rather than after the whole burst.  +1: the handshake reply
+    // frame flows through the same writer.
+    ASSERT_TRUE(WaitFor([&] {
+      return link->stats().frames_sent == static_cast<uint64_t>(i + 2);
+    }));
+  }
+
+  ASSERT_TRUE(WaitFor([&] { return peer_done.load(); }));
+  ASSERT_TRUE(WaitFor([&] { return !link->ZeroCopyActive(); }));
+  const auto stats = link->stats();
+  EXPECT_EQ(stats.frames_sent, static_cast<uint64_t>(kFrames) + 1);
+  EXPECT_GT(stats.zerocopy_copied, 0u);
+  // At least the first frame went out pinned; after the disable the rest
+  // travelled the copy path, so not every frame is a zerocopy frame.
+  EXPECT_GE(stats.zerocopy_frames, 1u);
+  EXPECT_LT(stats.zerocopy_frames, static_cast<uint64_t>(kFrames));
+  ASSERT_TRUE(WaitFor([&] { return link->PendingZeroCopyHolders() == 0; }));
+
+  release_peer.store(true);
+  client.join();
+  link->CloseSync();
+}
+
+TEST(LinkWriteTimeoutTest, StalledPeerClosesLinkAndStrandsFrames) {
+  // A peer that handshakes and then never reads again: the socket buffers
+  // fill, the writer stops making progress, and the write-progress
+  // deadline must close the link (on_closed fires, queued frames counted
+  // as stranded) instead of pinning queue memory forever.
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+
+  LinkHarness harness;
+  std::atomic<bool> release_peer{false};
+  std::thread client([&] {
+    auto conn = TcpConnection::Connect("127.0.0.1", listener->port());
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(WriteFrame(*conn, Bytes("subscribe-me")).ok());
+    std::vector<uint8_t> reply;
+    uint32_t length = 0;
+    ASSERT_TRUE(ReadFrame(
+                    *conn,
+                    [&](uint32_t len) {
+                      reply.resize(len == 0 ? 1 : len);
+                      return reply.data();
+                    },
+                    &length)
+                    .ok());
+    // ... and never read another byte.
+    while (!release_peer.load()) SleepForNanos(1'000'000);
+  });
+
+  auto conn = listener->Accept();
+  ASSERT_TRUE(conn.ok());
+  Link::Options options;
+  options.write_timeout_nanos = 150'000'000;  // 150 ms
+  auto link = Link::Accepted(*std::move(conn), &harness.loop, options,
+                             AcceptingServerCallbacks(harness));
+  ASSERT_TRUE(WaitFor([&] { return harness.established.load() == 1; }));
+
+  // Enough bytes to overrun both kernel buffers (256 KiB each way), so
+  // frames stay queued in the writer with no forward progress.
+  const auto payload = PatternPayload(128 * 1024);
+  for (int i = 0; i < 16; ++i) {
+    link->EnqueueFrame(SharedCopy(payload),
+                       static_cast<uint32_t>(payload.size()));
+  }
+  harness.loop.RunInLoop([link] { link->FlushOnLoop(); });
+
+  ASSERT_TRUE(WaitFor([&] { return harness.closed.load() == 1; }));
+  EXPECT_EQ(link->state(), Link::State::kClosed);
+  EXPECT_GT(link->stats().frames_stranded, 0u);
+
+  release_peer.store(true);
+  client.join();
+}
+
 TEST(LoopTimerTest, RunAfterFiresOnLoopThreadInDeadlineOrder) {
   EventLoop loop;
   loop.Start();

@@ -419,6 +419,63 @@ TEST(FrameWriter, DropOldestEvictsQueuedNotInFlight) {
   drainer.join();
 }
 
+TEST(FrameWriter, AdaptiveGatherBudgetGrowsWithDepthAndDecaysWhenShallow) {
+  auto [client, server] = MakePair();
+  ASSERT_TRUE(client.SetNonBlocking(true).ok());
+  FrameWriter writer;
+  EXPECT_EQ(writer.GatherBudget(), kGatherFramesMin);
+
+  const auto enqueue_burst = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      auto payload = std::shared_ptr<uint8_t[]>(new uint8_t[8]);
+      std::memset(payload.get(), i, 8);
+      writer.Enqueue(std::move(payload), 8);
+    }
+  };
+  std::thread drainer([srv = &server] {
+    // Keep the peer's receive buffer from filling: drain and discard.
+    uint8_t sink[4096];
+    for (;;) {
+      auto n = srv->ReadSome(sink);
+      if (!n.ok()) return;
+      if (*n == 0) SleepForNanos(100'000);
+    }
+  });
+  ASSERT_TRUE(server.SetNonBlocking(true).ok());
+
+  // Each deep flush doubles the budget (one adaptation per Flush call):
+  // 8 → 16 → 32 → 64 (the RSF_SEND_BATCH_MAX default), and the syscall
+  // count per 100-frame burst drops as the gather window widens.
+  size_t expected_budget = kGatherFramesMin;
+  uint64_t syscalls_first_burst = 0;
+  uint64_t syscalls_last_burst = 0;
+  for (int round = 0; round < 4; ++round) {
+    enqueue_burst(100);
+    const uint64_t before = WriteSyscallCount();
+    while (writer.HasPending()) {
+      ASSERT_TRUE(writer.Flush(client).ok());
+      if (writer.HasPending()) SleepForNanos(100'000);
+    }
+    const uint64_t used = WriteSyscallCount() - before;
+    if (round == 0) syscalls_first_burst = used;
+    syscalls_last_burst = used;
+    expected_budget = std::min<size_t>(expected_budget * 2, 64);
+    EXPECT_EQ(writer.GatherBudget(), expected_budget) << "round " << round;
+  }
+  EXPECT_LT(syscalls_last_burst, syscalls_first_burst);
+
+  // Shallow flushes walk the budget back down to the floor.
+  for (int i = 0; i < 8 && writer.GatherBudget() > kGatherFramesMin; ++i) {
+    enqueue_burst(1);
+    ASSERT_TRUE(writer.Flush(client).ok());
+  }
+  EXPECT_EQ(writer.GatherBudget(), kGatherFramesMin);
+
+  client.Close();
+  server.ShutdownBoth();
+  drainer.join();
+}
+
 // ---- stress (runs under the CI ThreadSanitizer preset) ----
 
 TEST(PollerStress, MixedConnectDisconnectUnderLoad) {

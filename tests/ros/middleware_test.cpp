@@ -412,6 +412,51 @@ TEST_F(MiddlewareTest, SfmTcpReceiveIsArenaDirect) {
   EXPECT_EQ(ros::shim::deserialize_copies.load() - copies_before, 0u);
 }
 
+TEST_F(MiddlewareTest, SfmTcpPublishAboveThresholdIsCopyFreeEgress) {
+  ros::NodeHandle pub_node("pub");
+  ros::NodeHandle sub_node("sub");
+  using Image = sensor_msgs::sfm::Image;
+
+  std::atomic<int> got{0};
+  ros::SubscribeOptions options;
+  options.inline_dispatch = true;
+  options.allow_intra_process = false;  // force TCP
+  auto sub = sub_node.subscribe<Image>(
+      "/zc_egress", 10, [&](const Image::ConstPtr&) { got++; }, options);
+  auto pub = pub_node.advertise<Image>("/zc_egress", 10);
+  ASSERT_TRUE(WaitFor([&] { return pub.getNumSubscribers() == 1; }));
+
+  const uint64_t serialize_before = ros::shim::wire_serialize_copies.load();
+  const uint64_t snapshot_before = ros::shim::wire_snapshot_copies.load();
+  const uint64_t zc_bytes_before = rsf::net::ZeroCopySendBytes();
+  const uint64_t zc_sends_before = rsf::net::ZeroCopySendCount();
+
+  // Twice the default MSG_ZEROCOPY threshold (64 KiB), so the frame payload
+  // is eligible for the pinned send tier.
+  constexpr size_t kPayload = 128 * 1024;
+  constexpr int kMessages = 4;
+  for (int i = 0; i < kMessages; ++i) {
+    auto img = sfm::make_message<Image>();
+    img->encoding = "mono8";
+    img->data.resize(kPayload);
+    img->data[0] = static_cast<uint8_t>(i);
+    pub.publish(*img);
+  }
+  ASSERT_TRUE(WaitFor([&] { return got.load() == kMessages; }));
+
+  // Copy-free egress, end to end: the generated serializer never ran, the
+  // stack-snapshot fallback never ran (the arena's aliased buffer pointer
+  // IS the wire payload), and at least the first above-threshold frame
+  // crossed into the kernel as pinned pages rather than a copy.  (Loopback
+  // completions report "copied", which may auto-park the tier mid-test —
+  // that changes only the kernel crossing, never these user-space counts.)
+  EXPECT_EQ(ros::shim::wire_serialize_copies.load() - serialize_before, 0u);
+  EXPECT_EQ(ros::shim::wire_snapshot_copies.load() - snapshot_before, 0u);
+  EXPECT_GE(rsf::net::ZeroCopySendBytes() - zc_bytes_before,
+            static_cast<uint64_t>(kPayload));
+  EXPECT_GT(rsf::net::ZeroCopySendCount(), zc_sends_before);
+}
+
 TEST_F(MiddlewareTest, RegularTcpReceiveReusesScratchAcrossFrames) {
   ros::NodeHandle pub_node("pub");
   ros::NodeHandle sub_node("sub");

@@ -148,6 +148,44 @@ TEST(ArenaPool, DistinctCapacitiesDoNotMix) {
   sfm::TrimArenaPool();
 }
 
+TEST(ArenaPool, SizeClassesRoundUpToPowersOfTwo) {
+  // Floor: tiny requests share the smallest class.
+  EXPECT_EQ(sfm::ArenaBlockClassSize(0), 256u);
+  EXPECT_EQ(sfm::ArenaBlockClassSize(1), 256u);
+  EXPECT_EQ(sfm::ArenaBlockClassSize(256), 256u);
+  // Exact powers of two map to themselves.
+  EXPECT_EQ(sfm::ArenaBlockClassSize(4096), 4096u);
+  EXPECT_EQ(sfm::ArenaBlockClassSize(1u << 20), 1u << 20);
+  // Anything else rounds up to the next power of two.
+  EXPECT_EQ(sfm::ArenaBlockClassSize(257), 512u);
+  EXPECT_EQ(sfm::ArenaBlockClassSize(4097), 8192u);
+  EXPECT_EQ(sfm::ArenaBlockClassSize((1u << 20) + 1), 2u << 20);
+}
+
+TEST(ArenaPool, NearMissCapacitiesReusePooledBlocks) {
+  sfm::TrimArenaPool();
+  uint8_t* first = nullptr;
+  {
+    auto block = sfm::AcquireArenaBlock(4000);  // class 4096
+    first = block.get();
+  }
+  EXPECT_EQ(sfm::ArenaPoolBytes(), 4096u);
+  {
+    // A slightly different request in the same class reuses the block —
+    // the whole point of classing: a type whose largest-message estimate
+    // drifted by a few bytes keeps hitting the warm pool.
+    auto block = sfm::AcquireArenaBlock(4090);
+    EXPECT_EQ(block.get(), first);
+    EXPECT_EQ(sfm::ArenaPoolBytes(), 0u);
+  }
+  {
+    // Crossing the class boundary allocates fresh (4097 → class 8192).
+    auto block = sfm::AcquireArenaBlock(4097);
+    EXPECT_EQ(sfm::ArenaPoolBytes(), 4096u) << "4096-class block left pooled";
+  }
+  sfm::TrimArenaPool();
+}
+
 TEST(ArenaPool, MessagesRoundTripThroughPool) {
   sfm::TrimArenaPool();
   const uint8_t* recycled = nullptr;
