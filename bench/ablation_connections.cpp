@@ -1,27 +1,38 @@
 // Ablation: connection scaling on the reactor transport (src/net/poller.h,
-// src/net/link.h).  One publisher fans a message out to N TCP subscriber
-// links (in-process transport disabled, so every delivery crosses a real
-// loopback socket) for N in {1, 8, 64, 256}; each configuration records
-// the process thread count at steady state and the p50/p99
-// publish-to-last-delivery latency.
+// src/net/link.h), per io backend (src/net/io_backend.h).  One publisher
+// fans a message out to N TCP subscriber links (in-process transport
+// disabled, so every delivery crosses a real loopback socket) for N in
+// {1, 64, 256, 1024}; each configuration records the process thread count
+// at steady state, the p50/p99 publish-to-last-delivery latency, and —
+// from the backend syscall shim counters — transport syscalls per
+// delivered message.
 //
-// The claim under test: transport threads stay O(cores) no matter how many
-// links exist, without regressing latency at small link counts.  The
-// thread-per-connection transport this used to ablate against was removed
-// in PR 4 (it paid one sender on the publisher plus one reader on the
-// subscriber PER LINK); its historical rows are preserved in
+// The claims under test: transport threads stay O(cores) no matter how
+// many links exist, and the uring backend's batched submission cuts
+// syscalls per delivery by >=4x at 256 links without regressing p50 at a
+// single link.  The thread-per-connection transport this used to ablate
+// against was removed in PR 4; its historical rows are preserved in
 // EXPERIMENTS.md.
+//
+// The Reactor binds its io backend once per process, so each backend runs
+// in a re-exec'd child (/proc/self/exe with RSF_IO_BACKEND set); the
+// parent collects rows over a pipe.  Uring rows are skipped with a printed
+// reason when the host refuses io_uring_setup.
 //
 // Prints a table and writes BENCH_connections.json.
 #include <dirent.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "net/io_backend.h"
 #include "net/poller.h"
 #include "ros/ros.h"
 #include "std_msgs/String.h"
@@ -40,7 +51,7 @@ size_t CountProcessThreads() {
 }
 
 bool WaitFor(const std::function<bool()>& predicate,
-             uint64_t timeout_nanos = 20'000'000'000ull) {
+             uint64_t timeout_nanos = 60'000'000'000ull) {
   const uint64_t deadline = rsf::MonotonicNanos() + timeout_nanos;
   while (rsf::MonotonicNanos() < deadline) {
     if (predicate()) return true;
@@ -58,27 +69,30 @@ double Percentile(std::vector<double> values, double fraction) {
 }
 
 struct Row {
-  const char* mode;
-  size_t links;
-  size_t threads_total;
-  double p50_us;
-  double p99_us;
+  std::string backend;
+  size_t links = 0;
+  size_t threads_total = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double syscalls_per_delivery = 0.0;
 };
 
 struct Config {
   size_t payload_bytes = 4096;
   int iterations = 200;
   int warmup = 10;
+  size_t only_links = 0;  // 0 = all cells
 };
 
 /// One configuration: N wire subscribers on one topic, `iterations`
 /// stop-and-wait fan-outs.  Latency per iteration = publish() to the LAST
-/// subscriber's callback.
-Row RunConfig(const char* mode, size_t links, const Config& config) {
+/// subscriber's callback; syscalls differenced across the measured
+/// iterations via the backend shim counters.
+Row RunConfig(const std::string& backend, size_t links, const Config& config) {
   ros::NodeHandle pub_node("bench_pub");
   ros::NodeHandle sub_node("bench_sub");
   const std::string topic =
-      "/conn_scaling_" + std::string(mode) + "_" + std::to_string(links);
+      "/conn_scaling_" + backend + "_" + std::to_string(links);
   auto pub = pub_node.advertise<std_msgs::String>(topic, 10);
 
   std::atomic<uint64_t> delivered{0};
@@ -96,8 +110,8 @@ Row RunConfig(const char* mode, size_t links, const Config& config) {
         options));
   }
   if (!WaitFor([&] { return pub.getNumSubscribers() == links; })) {
-    std::fprintf(stderr, "FATAL: %s/%zu links never all connected\n", mode,
-                 links);
+    std::fprintf(stderr, "FATAL: %s/%zu links never all connected\n",
+                 backend.c_str(), links);
     std::exit(1);
   }
 
@@ -108,6 +122,7 @@ Row RunConfig(const char* mode, size_t links, const Config& config) {
   latencies_us.reserve(config.iterations);
   uint64_t expected = 0;
   size_t threads_at_steady_state = 0;
+  rsf::net::IoSyscallCounters counters_before{};
   for (int i = -config.warmup; i < config.iterations; ++i) {
     expected += links;
     const rsf::Stopwatch watch;
@@ -116,21 +131,98 @@ Row RunConfig(const char* mode, size_t links, const Config& config) {
           return delivered.load(std::memory_order_relaxed) >= expected;
         })) {
       std::fprintf(stderr, "FATAL: %s/%zu links stalled at iteration %d\n",
-                   mode, links, i);
+                   backend.c_str(), links, i);
       std::exit(1);
     }
-    if (i == 0) threads_at_steady_state = CountProcessThreads();
+    if (i == 0) {
+      threads_at_steady_state = CountProcessThreads();
+      counters_before = rsf::net::GlobalIoCounters();
+    }
     if (i >= 0) latencies_us.push_back(watch.ElapsedNanos() * 1e-3);
   }
+  const rsf::net::IoSyscallCounters counters_after =
+      rsf::net::GlobalIoCounters();
 
-  return {mode, links, threads_at_steady_state,
-          Percentile(latencies_us, 0.50), Percentile(latencies_us, 0.99)};
+  const double deliveries =
+      static_cast<double>(links) * static_cast<double>(config.iterations);
+  const double syscalls = static_cast<double>(
+      counters_after.TotalSyscalls() - counters_before.TotalSyscalls());
+  return {backend,
+          links,
+          threads_at_steady_state,
+          Percentile(latencies_us, 0.50),
+          Percentile(latencies_us, 0.99),
+          deliveries > 0.0 ? syscalls / deliveries : 0.0};
+}
+
+constexpr const char* kChildFlag = "--backend-child";
+
+/// Child mode: run every link count on the backend the parent selected via
+/// RSF_IO_BACKEND, print machine-readable ROW lines on stdout.
+int RunChild(const std::string& backend, const std::vector<size_t>& link_counts,
+             const Config& config) {
+  for (const size_t links : link_counts) {
+    if (config.only_links != 0 && links != config.only_links) continue;
+    const Row row = RunConfig(backend, links, config);
+    std::printf("ROW %s %zu %zu %.1f %.1f %.4f\n", row.backend.c_str(),
+                row.links, row.threads_total, row.p50_us, row.p99_us,
+                row.syscalls_per_delivery);
+    std::fflush(stdout);
+    ros::master().Reset();
+  }
+  return 0;
+}
+
+/// Parent side: re-exec ourselves with RSF_IO_BACKEND=<backend> and collect
+/// the child's ROW lines.  Returns false if the child failed.
+bool RunBackend(const char* self_exe, const std::string& backend,
+                const Config& config, std::vector<Row>* rows) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return false;
+  const pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    ::close(pipe_fds[0]);
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[1]);
+    ::setenv("RSF_IO_BACKEND", backend.c_str(), 1);
+    const std::string iters = std::to_string(config.iterations);
+    const std::string bytes = std::to_string(config.payload_bytes);
+    ::execl(self_exe, self_exe, kChildFlag, backend.c_str(), "--iters",
+            iters.c_str(), "--bytes", bytes.c_str(), (char*)nullptr);
+    std::perror("execl");
+    _exit(127);
+  }
+  ::close(pipe_fds[1]);
+  FILE* stream = ::fdopen(pipe_fds[0], "r");
+  char line[256];
+  while (stream != nullptr && std::fgets(line, sizeof(line), stream)) {
+    Row row;
+    char name[32] = {0};
+    if (std::sscanf(line, "ROW %31s %zu %zu %lf %lf %lf", name, &row.links,
+                    &row.threads_total, &row.p50_us, &row.p99_us,
+                    &row.syscalls_per_delivery) == 6) {
+      row.backend = name;
+      rows->push_back(row);
+      std::printf("  %-8s %-8zu %14zu %12.1f %12.1f %18.2f\n",
+                  row.backend.c_str(), row.links, row.threads_total,
+                  row.p50_us, row.p99_us, row.syscalls_per_delivery);
+      std::fflush(stdout);
+    } else {
+      std::fputs(line, stderr);  // forward child diagnostics
+    }
+  }
+  if (stream != nullptr) std::fclose(stream);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Config config;
+  std::string child_backend;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--full") {
@@ -139,26 +231,39 @@ int main(int argc, char** argv) {
       config.iterations = std::atoi(argv[++i]);
     } else if (arg == "--bytes" && i + 1 < argc) {
       config.payload_bytes = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (arg == "--links" && i + 1 < argc) {
+      config.only_links = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (arg == kChildFlag && i + 1 < argc) {
+      child_backend = argv[++i];
     }
   }
   config.iterations = std::max(config.iterations, 1);
   config.payload_bytes = std::max(config.payload_bytes, size_t{1});
 
-  const std::vector<size_t> link_counts = {1, 8, 64, 256};
+  const std::vector<size_t> link_counts = {1, 64, 256, 1024};
+  if (!child_backend.empty()) {
+    return RunChild(child_backend, link_counts, config);
+  }
+
   std::printf(
-      "=== Ablation: connection scaling, %zu-byte payload, %d iterations "
-      "===\n\n",
+      "=== Ablation: connection scaling x io backend, %zu-byte payload, "
+      "%d iterations ===\n\n",
       config.payload_bytes, config.iterations);
-  std::printf("  %-10s %-8s %14s %12s %12s\n", "mode", "links",
-              "threads total", "p50 (us)", "p99 (us)");
+  std::printf("  %-8s %-8s %14s %12s %12s %18s\n", "backend", "links",
+              "threads total", "p50 (us)", "p99 (us)", "syscalls/delivery");
 
   std::vector<Row> rows;
-  for (const size_t links : link_counts) {
-    rows.push_back(RunConfig("reactor", links, config));
-    const Row& row = rows.back();
-    std::printf("  %-10s %-8zu %14zu %12.1f %12.1f\n", row.mode, row.links,
-                row.threads_total, row.p50_us, row.p99_us);
-    ros::master().Reset();
+  for (const char* backend : {"epoll", "uring"}) {
+    if (std::strcmp(backend, "uring") == 0 && !rsf::net::UringAvailable()) {
+      std::printf(
+          "  uring    --       io_uring unavailable on this host "
+          "(setup probe failed); rows skipped\n");
+      continue;
+    }
+    if (!RunBackend("/proc/self/exe", backend, config, &rows)) {
+      std::fprintf(stderr, "FATAL: %s child run failed\n", backend);
+      return 1;
+    }
   }
 
   FILE* json = std::fopen("BENCH_connections.json", "w");
@@ -172,11 +277,13 @@ int main(int argc, char** argv) {
                  config.payload_bytes, config.iterations);
     for (size_t i = 0; i < rows.size(); ++i) {
       std::fprintf(json,
-                   "    {\"mode\": \"%s\", \"links\": %zu, "
-                   "\"threads_total\": %zu, \"p50_us\": %.1f, "
-                   "\"p99_us\": %.1f}%s\n",
-                   rows[i].mode, rows[i].links, rows[i].threads_total,
-                   rows[i].p50_us, rows[i].p99_us,
+                   "    {\"mode\": \"reactor\", \"backend\": \"%s\", "
+                   "\"links\": %zu, \"threads_total\": %zu, "
+                   "\"p50_us\": %.1f, \"p99_us\": %.1f, "
+                   "\"syscalls_per_delivery\": %.2f}%s\n",
+                   rows[i].backend.c_str(), rows[i].links,
+                   rows[i].threads_total, rows[i].p50_us, rows[i].p99_us,
+                   rows[i].syscalls_per_delivery,
                    i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");

@@ -1,0 +1,97 @@
+#include "net/epoll_backend.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace rsf::net {
+namespace {
+
+constexpr int kMaxEvents = 64;
+
+}  // namespace
+
+std::unique_ptr<EpollBackend> EpollBackend::Create() {
+  const int fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (fd < 0) {
+    RSF_ERROR("epoll_create1 failed: %s", std::strerror(errno));
+    return nullptr;
+  }
+  return std::unique_ptr<EpollBackend>(new EpollBackend(fd));
+}
+
+EpollBackend::~EpollBackend() { ::close(epoll_fd_); }
+
+uint32_t EpollBackend::ToEpollMask(uint32_t interest) noexcept {
+  uint32_t mask = 0;
+  if (interest & kEventReadable) mask |= EPOLLIN | EPOLLRDHUP;
+  if (interest & kEventWritable) mask |= EPOLLOUT;
+  return mask;
+}
+
+bool EpollBackend::Add(int fd, uint32_t interest) {
+  epoll_event event{};
+  event.events = ToEpollMask(interest);
+  event.data.fd = fd;
+  epoll_ctls_.fetch_add(1, std::memory_order_relaxed);
+  backend_counters::AddEpollCtls(1);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    RSF_WARN("epoll_ctl(ADD, %d) failed: %s", fd, std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+void EpollBackend::Mod(int fd, uint32_t interest) {
+  epoll_event event{};
+  event.events = ToEpollMask(interest);
+  event.data.fd = fd;
+  epoll_ctls_.fetch_add(1, std::memory_order_relaxed);
+  backend_counters::AddEpollCtls(1);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
+    RSF_WARN("epoll_ctl(MOD, %d) failed: %s", fd, std::strerror(errno));
+  }
+}
+
+void EpollBackend::Del(int fd) {
+  // The fd may already be closed (peer teardown); EBADF/ENOENT are fine.
+  epoll_ctls_.fetch_add(1, std::memory_order_relaxed);
+  backend_counters::AddEpollCtls(1);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+bool EpollBackend::Wait(std::vector<ReadyEvent>* ready) {
+  epoll_event events[kMaxEvents];
+  int n;
+  do {
+    epoll_waits_.fetch_add(1, std::memory_order_relaxed);
+    backend_counters::AddEpollWaits(1);
+    n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    RSF_ERROR("epoll_wait failed: %s", std::strerror(errno));
+    return false;
+  }
+  for (int i = 0; i < n; ++i) {
+    const uint32_t raw = events[i].events;
+    uint32_t bits = 0;
+    if (raw & (EPOLLIN | EPOLLRDHUP | EPOLLPRI)) bits |= kEventReadable;
+    if (raw & EPOLLOUT) bits |= kEventWritable;
+    if (raw & (EPOLLERR | EPOLLHUP)) bits |= kEventError;
+    ready->push_back({events[i].data.fd, bits});
+  }
+  return true;
+}
+
+IoBackendCounters EpollBackend::counters() const noexcept {
+  IoBackendCounters out;
+  out.epoll_waits = epoll_waits_.load(std::memory_order_relaxed);
+  out.epoll_ctls = epoll_ctls_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace rsf::net

@@ -1,0 +1,40 @@
+// The portable readiness backend: the epoll code EventLoop was built on,
+// extracted verbatim behind the IoBackend seam.  One epoll instance, one
+// epoll_wait per loop turn; no submission tier (links issue their own
+// recv/sendmsg syscalls when readiness fires).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/io_backend.h"
+
+namespace rsf::net {
+
+class EpollBackend final : public IoBackend {
+ public:
+  /// nullptr if epoll_create1 fails (which SFM_CHECKs in practice — the
+  /// factory treats a null backend as fatal).
+  static std::unique_ptr<EpollBackend> Create();
+  ~EpollBackend() override;
+
+  [[nodiscard]] const char* name() const noexcept override { return "epoll"; }
+
+  bool Add(int fd, uint32_t interest) override;
+  void Mod(int fd, uint32_t interest) override;
+  void Del(int fd) override;
+  bool Wait(std::vector<ReadyEvent>* ready) override;
+  [[nodiscard]] IoBackendCounters counters() const noexcept override;
+
+ private:
+  explicit EpollBackend(int epoll_fd) : epoll_fd_(epoll_fd) {}
+  static uint32_t ToEpollMask(uint32_t interest) noexcept;
+
+  int epoll_fd_ = -1;
+  std::atomic<uint64_t> epoll_waits_{0};
+  std::atomic<uint64_t> epoll_ctls_{0};
+};
+
+}  // namespace rsf::net

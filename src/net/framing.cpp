@@ -126,11 +126,14 @@ Result<FrameReader::Step> FrameReader::Poll(TcpConnection& conn,
 bool FrameWriter::Enqueue(std::shared_ptr<const uint8_t[]> payload,
                           uint32_t size, size_t max_pending) {
   bool evicted = false;
-  if (max_pending > 0 && pending_.size() >= max_pending) {
-    // Drop-oldest, but never the frame already partially on the wire.
-    const size_t victim = (!pending_.empty() && pending_.front().offset > 0)
-                              ? 1
-                              : 0;
+  if (max_pending > 0 && staged_.size() + pending_.size() >= max_pending) {
+    // Drop-oldest, but never a frame already (partially) on the wire:
+    // staged frames are submitted and untouchable, and in readiness mode
+    // (staged_ always empty) the front frame may be mid-write.
+    const size_t victim =
+        (staged_.empty() && !pending_.empty() && pending_.front().offset > 0)
+            ? 1
+            : 0;
     if (victim < pending_.size()) {
       pending_.erase(pending_.begin() + static_cast<long>(victim));
       evicted = true;
@@ -265,6 +268,126 @@ Status FrameWriter::Flush(TcpConnection& conn) {
     }
   }
   return Status::Ok();
+}
+
+std::span<uint8_t> FrameReader::NextWindow() noexcept {
+  if (state_ == State::kHeader) {
+    return {header_ + header_got_, sizeof(header_) - header_got_};
+  }
+  return {payload_ + payload_got_, payload_len_ - payload_got_};
+}
+
+Result<FrameReader::Step> FrameReader::Commit(size_t n,
+                                              const FrameAllocator& alloc,
+                                              uint32_t* length) {
+  if (state_ == State::kHeader) {
+    header_got_ += n;
+    if (header_got_ < sizeof(header_)) return Step::kNeedMore;
+    const uint32_t len = LoadLE<uint32_t>(header_);
+    if (len > kMaxFramePayload) {
+      return OutOfRangeError("frame payload too large: " +
+                             std::to_string(len));
+    }
+    payload_len_ = len;
+    payload_got_ = 0;
+    payload_ = alloc(len);
+    if (payload_ == nullptr && len > 0) {
+      return ResourceExhaustedError("frame allocator returned null");
+    }
+    if (len == 0) {
+      Reset();
+      *length = 0;
+      return Step::kFrame;
+    }
+    state_ = State::kPayload;
+    return Step::kNeedMore;
+  }
+  payload_got_ += n;
+  if (payload_got_ < payload_len_) return Step::kNeedMore;
+  const uint32_t len = payload_len_;
+  Reset();
+  *length = len;
+  return Step::kFrame;
+}
+
+FrameWriter::StagedSend FrameWriter::StageSubmission() {
+  if (staged_.empty()) {
+    AdaptGatherBudget();
+    // Move frames out of the queue for the flight: deque erasure
+    // (eviction) invalidates references, and the kernel will be reading
+    // these header bytes asynchronously.
+    while (!pending_.empty() && staged_.size() < gather_budget_) {
+      const bool zerocopy = ZeroCopyEligible(pending_.front());
+      staged_.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+      // A zerocopy frame closes the batch: its header joins the gather,
+      // its payload goes out alone as SEND_ZC once the header is on the
+      // wire.
+      if (zerocopy) break;
+    }
+  }
+  StagedSend out;
+  if (staged_.empty()) return out;
+  PendingFrame& front = staged_.front();
+  if (ZeroCopyEligible(front) && !force_copy_front_ &&
+      front.offset >= sizeof(front.header)) {
+    const size_t payload_off = front.offset - sizeof(front.header);
+    out.zc_data = front.payload.get() + payload_off;
+    out.zc_len = front.size - payload_off;
+    out.zc_holder = front.payload;
+    return out;
+  }
+  iov_.clear();
+  for (size_t i = 0; i < staged_.size(); ++i) {
+    PendingFrame& frame = staged_[i];
+    const bool zerocopy =
+        ZeroCopyEligible(frame) && !(i == 0 && force_copy_front_);
+    size_t skip = frame.offset;  // only ever non-zero for i == 0
+    if (skip < sizeof(frame.header)) {
+      iov_.push_back({frame.header + skip, sizeof(frame.header) - skip});
+      skip = 0;
+    } else {
+      skip -= sizeof(frame.header);
+    }
+    if (!zerocopy && frame.size > skip) {
+      iov_.push_back({const_cast<uint8_t*>(frame.payload.get()) + skip,
+                      frame.size - skip});
+    }
+    if (zerocopy) break;  // its payload goes out pinned next submission
+  }
+  out.iov = std::span<const iovec>(iov_.data(), iov_.size());
+  return out;
+}
+
+void FrameWriter::CommitStaged(size_t bytes, bool zerocopy) noexcept {
+  bytes_written_ += bytes;
+  size_t remaining = bytes;
+  while (remaining > 0 && !staged_.empty()) {
+    PendingFrame& front = staged_.front();
+    const size_t wire = sizeof(front.header) + front.size;
+    const size_t take = std::min(remaining, wire - front.offset);
+    front.offset += take;
+    remaining -= take;
+    if (front.offset == wire) {
+      if (zerocopy) ++zerocopy_frames_;
+      staged_.pop_front();
+      force_copy_front_ = false;  // consumed with the frame it degraded
+      ++frames_written_;
+    }
+  }
+}
+
+void FrameWriter::NoteZeroCopyReleased(bool copied) noexcept {
+  if (zc_outstanding_ > 0) --zc_outstanding_;
+  if (copied) {
+    ++copied_completions_;
+    if (zerocopy_copied_limit_ > 0 &&
+        copied_completions_ >= zerocopy_copied_limit_ && zerocopy_active_) {
+      // Same verdict as the errqueue path: the route copies anyway, so
+      // stop paying notification bookkeeping for it.
+      zerocopy_active_ = false;
+    }
+  }
 }
 
 size_t FrameWriter::CompleteZeroCopy(uint32_t lo, uint32_t hi,

@@ -64,6 +64,17 @@ class FrameReader {
   Result<Step> Poll(TcpConnection& conn, const FrameAllocator& alloc,
                     uint32_t* length);
 
+  /// Completion-mode interface (submission backends, net/io_backend.h):
+  /// instead of the reader issuing recv syscalls, the caller stages a recv
+  /// SQE aimed at NextWindow() — the exact remaining header or payload
+  /// span, so payload bytes still land straight in the allocator's arena
+  /// (the one-copy receive) — and feeds the completed byte count to
+  /// Commit().  The allocator runs inside Commit when the header
+  /// completes, exactly as Poll invokes it.  `n` must not exceed the
+  /// window (the kernel bounds recv by the SQE length).
+  [[nodiscard]] std::span<uint8_t> NextWindow() noexcept;
+  Result<Step> Commit(size_t n, const FrameAllocator& alloc, uint32_t* length);
+
   /// Abandons any partial frame (link teardown reuse).
   void Reset() noexcept;
 
@@ -132,6 +143,49 @@ class FrameWriter {
   /// the caller how many queued frames will never reach the wire.
   Status Flush(TcpConnection& conn);
 
+  // ---- completion-mode interface (submission backends) ----
+  // The writer stages a batch of frames out of the queue, the link
+  // submits it as one SQE (SENDMSG for the gathered copy path, SEND_ZC
+  // for a pinned payload), and the completed byte count comes back
+  // through CommitStaged.  Staged frames live in their own deque so their
+  // header bytes and iovec array stay at stable addresses while the
+  // kernel reads them — Enqueue/eviction never touches them.
+
+  /// One staged submission: either a gathered iovec batch (headers +
+  /// copy-path payloads) or a single pinned payload for SEND_ZC.
+  struct StagedSend {
+    std::span<const iovec> iov;         // empty when zc_data is set
+    const uint8_t* zc_data = nullptr;   // pinned payload remainder
+    size_t zc_len = 0;
+    std::shared_ptr<const uint8_t[]> zc_holder;  // keep alive until NOTIF
+    [[nodiscard]] bool empty() const noexcept {
+      return iov.empty() && zc_data == nullptr;
+    }
+  };
+
+  /// Stages the next submission.  Pulls up to the adaptive gather budget
+  /// of frames from the queue (stopping after the first zerocopy-eligible
+  /// frame, whose payload must travel alone), or resumes the batch already
+  /// staged.  The returned spans stay valid until CommitStaged.  Empty
+  /// when nothing is queued.
+  StagedSend StageSubmission();
+
+  /// Accounts `bytes` of completed staged send; completed frames pop.
+  /// `zerocopy` marks a SEND_ZC data completion (counts ZeroCopyFrames).
+  void CommitStaged(size_t bytes, bool zerocopy) noexcept;
+
+  /// Degrades the staged front frame to the copy path for its next
+  /// submission (SEND_ZC came back ENOBUFS — transient pinned-page
+  /// pressure; the tier stays on for later frames).
+  void ForceCopyStagedFront() noexcept { force_copy_front_ = true; }
+
+  /// Tracks SEND_ZC submissions awaiting their notification CQE.  The
+  /// holders themselves are captured in the backend's completion entry;
+  /// these counters keep InFlightHolders() meaningful for tests and feed
+  /// the copied-completion auto-disable shared with the errqueue path.
+  void NoteZeroCopySubmitted() noexcept { ++zc_outstanding_; }
+  void NoteZeroCopyReleased(bool copied) noexcept;
+
   /// Activates the zerocopy tier (caller has already set SO_ZEROCOPY on
   /// the connection).  `threshold` of 0 keeps the tier off; `copied_limit`
   /// of 0 never auto-disables.
@@ -152,11 +206,16 @@ class FrameWriter {
   /// Drops every pinned holder (link teardown).  Safe before completions
   /// arrive: the kernel holds its own page references for in-flight skbs,
   /// the holders only gate user-space reuse of the buffer.
-  void ReleaseInFlight() noexcept { in_flight_.clear(); }
+  void ReleaseInFlight() noexcept {
+    in_flight_.clear();
+    zc_outstanding_ = 0;
+  }
 
-  [[nodiscard]] bool HasPending() const noexcept { return !pending_.empty(); }
+  [[nodiscard]] bool HasPending() const noexcept {
+    return !pending_.empty() || !staged_.empty();
+  }
   [[nodiscard]] size_t PendingFrames() const noexcept {
-    return pending_.size();
+    return pending_.size() + staged_.size();
   }
   [[nodiscard]] uint64_t FramesWritten() const noexcept {
     return frames_written_;
@@ -171,8 +230,10 @@ class FrameWriter {
     return zerocopy_active_;
   }
   /// Holders pinned awaiting kernel completions (tests assert lifetime).
+  /// Covers both tiers: errqueue-tracked MSG_ZEROCOPY sends and SEND_ZC
+  /// submissions awaiting notification.
   [[nodiscard]] size_t InFlightHolders() const noexcept {
-    return in_flight_.size();
+    return in_flight_.size() + zc_outstanding_;
   }
   /// Frames whose payload completed through the zerocopy tier.
   [[nodiscard]] uint64_t ZeroCopyFrames() const noexcept {
@@ -209,7 +270,10 @@ class FrameWriter {
   void AdaptGatherBudget() noexcept;
 
   std::deque<PendingFrame> pending_;
+  std::deque<PendingFrame> staged_;  // completion-mode: frames in flight
   std::deque<InFlightSend> in_flight_;
+  size_t zc_outstanding_ = 0;    // SEND_ZC notifications pending
+  bool force_copy_front_ = false;
   std::vector<iovec> iov_;  // reused gather scratch (grows with the budget)
   uint64_t frames_written_ = 0;
   uint64_t bytes_written_ = 0;

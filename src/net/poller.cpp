@@ -1,6 +1,5 @@
 #include "net/poller.h"
 
-#include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/timerfd.h>
 #include <unistd.h>
@@ -17,8 +16,6 @@
 namespace rsf::net {
 namespace {
 
-constexpr int kMaxEvents = 64;
-
 size_t ReactorPoolSize() {
   if (const char* env = std::getenv("RSF_REACTOR_THREADS")) {
     const long parsed = std::strtol(env, nullptr, 10);
@@ -28,7 +25,7 @@ size_t ReactorPoolSize() {
     }
     RSF_WARN("reactor: ignoring invalid RSF_REACTOR_THREADS=%s", env);
   }
-  // A loop thread is mostly epoll_wait + memcpy; a quarter of the cores
+  // A loop thread is mostly waiting + memcpy; a quarter of the cores
   // saturates typical pub/sub fanouts without starving application
   // callbacks, floored at 2 so one stalled callback can't idle the whole
   // transport and capped at 8 — past that, links per loop is already low
@@ -54,26 +51,25 @@ void WarnIfLegacyTransportRequested() {
 
 }  // namespace
 
-EventLoop::EventLoop() {
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  SFM_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+EventLoop::EventLoop() : EventLoop(ResolveIoBackendKind()) {}
+
+EventLoop::EventLoop(IoBackendKind kind) {
+  backend_ = MakeIoBackend(kind);
   wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   SFM_CHECK_MSG(wake_fd_ >= 0, "eventfd failed");
   timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
   SFM_CHECK_MSG(timer_fd_ >= 0, "timerfd_create failed");
-  for (const int fd : {wake_fd_, timer_fd_}) {
-    epoll_event event{};
-    event.events = EPOLLIN;
-    event.data.fd = fd;
-    SFM_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) == 0);
-  }
+  // Registered directly with the backend, not through Add: the wake and
+  // timer fds are loop plumbing, dispatched by fd compare in Run, and
+  // must not count toward NumHandlers.
+  SFM_CHECK(backend_->Add(wake_fd_, kEventReadable));
+  SFM_CHECK(backend_->Add(timer_fd_, kEventReadable));
 }
 
 EventLoop::~EventLoop() {
   Stop();
   ::close(timer_fd_);
   ::close(wake_fd_);
-  ::close(epoll_fd_);
 }
 
 void EventLoop::Start() {
@@ -213,24 +209,11 @@ void EventLoop::FireDueTimers() {
   for (auto& task : due) task();
 }
 
-uint32_t EventLoop::ToEpollMask(uint32_t interest) noexcept {
-  uint32_t mask = 0;
-  if (interest & kEventReadable) mask |= EPOLLIN | EPOLLRDHUP;
-  if (interest & kEventWritable) mask |= EPOLLOUT;
-  return mask;
-}
-
 void EventLoop::Add(int fd, uint32_t interest, EventCallback callback) {
   auto handler = std::make_shared<Handler>();
   handler->interest = interest;
   handler->callback = std::move(callback);
-  epoll_event event{};
-  event.events = ToEpollMask(interest);
-  event.data.fd = fd;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
-    RSF_WARN("epoll_ctl(ADD, %d) failed: %s", fd, std::strerror(errno));
-    return;
-  }
+  if (!backend_->Add(fd, interest)) return;
   handlers_[fd] = std::move(handler);
 }
 
@@ -238,21 +221,14 @@ void EventLoop::SetInterest(int fd, uint32_t interest) {
   auto it = handlers_.find(fd);
   if (it == handlers_.end()) return;
   if (it->second->interest == interest) return;
-  epoll_event event{};
-  event.events = ToEpollMask(interest);
-  event.data.fd = fd;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
-    RSF_WARN("epoll_ctl(MOD, %d) failed: %s", fd, std::strerror(errno));
-    return;
-  }
+  backend_->Mod(fd, interest);
   it->second->interest = interest;
 }
 
 void EventLoop::Remove(int fd) {
   auto it = handlers_.find(fd);
   if (it == handlers_.end()) return;
-  // The fd may already be closed (peer teardown); EBADF/ENOENT are fine.
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  backend_->Del(fd);
   handlers_.erase(it);
 }
 
@@ -267,17 +243,16 @@ size_t EventLoop::NumTimers() const {
 }
 
 void EventLoop::Run() {
-  epoll_event events[kMaxEvents];
+  std::vector<ReadyEvent> events;
   std::vector<Task> ready;
   while (!stop_.load(std::memory_order_acquire)) {
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      RSF_ERROR("epoll_wait failed: %s", std::strerror(errno));
-      break;
-    }
-    for (int i = 0; i < n; ++i) {
-      const int fd = events[i].data.fd;
+    events.clear();
+    // One backend turn: under uring this is where every staged SQE (all
+    // links' sends and recvs, poll re-arms) hits the kernel in a single
+    // enter, and where completion callbacks run.
+    if (!backend_->Wait(&events)) break;
+    for (const ReadyEvent& event : events) {
+      const int fd = event.fd;
       if (fd == wake_fd_) {
         uint64_t drained;
         while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
@@ -295,11 +270,8 @@ void EventLoop::Run() {
       auto it = handlers_.find(fd);
       if (it == handlers_.end()) continue;
       auto handler = it->second;  // keeps the callback alive across Remove
-      const uint32_t raw = events[i].events;
-      uint32_t ready_bits = 0;
-      if (raw & (EPOLLIN | EPOLLRDHUP | EPOLLPRI)) ready_bits |= kEventReadable;
-      if (raw & EPOLLOUT) ready_bits |= kEventWritable;
-      if (raw & (EPOLLERR | EPOLLHUP)) {
+      uint32_t ready_bits = event.events & (kEventReadable | kEventWritable);
+      if (event.events & kEventError) {
         // Deliver the error through whatever direction is armed so the next
         // read/write syscall surfaces the errno, and flag it explicitly for
         // handlers that must drain the error queue (zerocopy completions).
@@ -307,7 +279,7 @@ void EventLoop::Run() {
         ready_bits |= kEventError;
         if ((ready_bits & ~kEventError) == 0) ready_bits |= kEventReadable;
       }
-      handler->callback(ready_bits);
+      if (ready_bits != 0) handler->callback(ready_bits);
     }
     ready.clear();
     {
@@ -346,8 +318,20 @@ Reactor& Reactor::Get() {
 }
 
 EventLoop* Reactor::NextLoop() {
-  const size_t index = next_.fetch_add(1, std::memory_order_relaxed);
-  return loops_[index % loops_.size()].get();
+  // Least-loaded by live-link count; the rotating start index breaks ties
+  // so an idle pool still spreads assignments.
+  const size_t start = next_.fetch_add(1, std::memory_order_relaxed);
+  EventLoop* best = nullptr;
+  size_t best_load = SIZE_MAX;
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    EventLoop* loop = loops_[(start + i) % loops_.size()].get();
+    const size_t load = loop->LiveLinks();
+    if (load < best_load) {
+      best = loop;
+      best_load = load;
+    }
+  }
+  return best;
 }
 
 }  // namespace rsf::net

@@ -1,15 +1,20 @@
-// The event-driven I/O core: an epoll-based reactor that carries every
-// transport link in the process.
+// The event-driven I/O core: a reactor that carries every transport link
+// in the process, built on a pluggable I/O backend (net/io_backend.h).
 //
-// One `EventLoop` owns one epoll instance and one thread; every descriptor
-// registered with it is serviced by that thread alone, so per-connection
-// state machines (net/link.h, net/framing.h) never need their own
-// synchronization.  A small fixed pool of loops (`Reactor`, sized from the
-// host's core count) carries every TCP publication and subscription link in
-// the process — total transport threads stay constant no matter how many
+// One `EventLoop` owns one IoBackend instance and one thread; every
+// descriptor registered with it is serviced by that thread alone, so
+// per-connection state machines (net/link.h, net/framing.h) never need
+// their own synchronization.  The backend is epoll by default; with
+// RSF_IO_BACKEND=uring (or auto, on capable hosts) it is an io_uring
+// ring, where one io_uring_enter per loop turn submits every link's
+// staged send/recv SQEs and reaps every completion — the syscall-
+// batching optimization this layer exists to enable (DESIGN.md §10).
+// A small fixed pool of loops (`Reactor`, sized from the host's core
+// count) carries every TCP publication and subscription link in the
+// process — total transport threads stay constant no matter how many
 // links exist, which is what lets node/topic counts scale past the point
-// where one thread per link exhausts the scheduler (HPRM/DORA make the same
-// argument; see DESIGN.md §8).
+// where one thread per link exhausts the scheduler (HPRM/DORA make the
+// same argument; see DESIGN.md §8).
 //
 // Cross-thread arming goes through an eventfd wakeup: `Post` enqueues a
 // task and kicks the eventfd, `RunInLoop` runs inline when already on the
@@ -18,7 +23,8 @@
 // guarantee no callback touches freed state.  `RunAfter` schedules delayed
 // tasks on a per-loop timerfd — the facility that lets SimLink-shaped
 // deliveries pace themselves on the loop instead of sleeping a dedicated
-// reader thread.
+// reader thread.  Both descriptors are registered with the backend like
+// any other fd, so timers and wakeups need no backend-specific plumbing.
 #pragma once
 
 #include <atomic>
@@ -32,21 +38,11 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/io_backend.h"
 
 namespace rsf::net {
 
-/// Readiness bits passed to an fd's event callback.
-inline constexpr uint32_t kEventReadable = 1u << 0;
-inline constexpr uint32_t kEventWritable = 1u << 1;
-/// EPOLLERR/EPOLLHUP fired.  Always delivered alongside the folded
-/// read/write bits — most handlers ignore it and let the next syscall
-/// surface the errno, but zerocopy links must see it explicitly: a socket
-/// with MSG_ZEROCOPY completions pending raises EPOLLERR (level-triggered,
-/// unmaskable) until the error queue is drained, and draining it is the
-/// only way to learn which pinned buffers the kernel has released.
-inline constexpr uint32_t kEventError = 1u << 2;
-
-/// One epoll instance + one servicing thread.  Registration (`Add`,
+/// One I/O backend instance + one servicing thread.  Registration (`Add`,
 /// `SetInterest`, `Remove`) is loop-thread-only: call through RunInLoop /
 /// Post from other threads.  Callbacks run on the loop thread.
 class EventLoop {
@@ -54,7 +50,11 @@ class EventLoop {
   using EventCallback = std::function<void(uint32_t events)>;
   using Task = std::function<void()>;
 
+  /// Builds on the process-selected backend (RSF_IO_BACKEND).
   EventLoop();
+  /// Builds on a specific backend kind (tests, the bench).  A uring
+  /// request still falls back to epoll when the host can't run it.
+  explicit EventLoop(IoBackendKind kind);
   ~EventLoop();
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
@@ -102,8 +102,30 @@ class EventLoop {
   /// Loop-thread-only.
   void SetInterest(int fd, uint32_t interest);
   /// Unregisters `fd`; no-op if unknown (removal paths may race benignly).
+  /// Cancels any submissions targeting the fd — call BEFORE closing it.
   /// Safe to call from inside the fd's own callback.  Loop-thread-only.
   void Remove(int fd);
+
+  /// The backend carrying this loop's I/O.  Links use it directly for the
+  /// submission tier (SubmitRecv/SubmitSendMsg/SubmitSendZc); completion
+  /// callbacks run on the loop thread, inside the Wait that reaped them.
+  [[nodiscard]] IoBackend* io_backend() noexcept { return backend_.get(); }
+  [[nodiscard]] const char* backend_name() const noexcept {
+    return backend_->name();
+  }
+
+  /// Live-link accounting for least-loaded loop assignment
+  /// (Reactor::NextLoop).  Incremented when a Link binds to this loop,
+  /// decremented exactly once when it closes.  Any thread.
+  void NoteLinkBound() noexcept {
+    live_links_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void NoteLinkClosed() noexcept {
+    live_links_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] size_t LiveLinks() const noexcept {
+    return live_links_.load(std::memory_order_relaxed);
+  }
 
   /// Registered descriptor count (tests; loop-confined — read via RunSync).
   [[nodiscard]] size_t NumHandlers() const;
@@ -122,9 +144,8 @@ class EventLoop {
   void AddTimerOnLoop(uint64_t deadline_nanos, Task task);
   void ArmTimerFd(uint64_t now_nanos);
   void FireDueTimers();
-  static uint32_t ToEpollMask(uint32_t interest) noexcept;
 
-  int epoll_fd_ = -1;
+  std::unique_ptr<IoBackend> backend_;
   int wake_fd_ = -1;
   int timer_fd_ = -1;
   std::atomic<bool> running_{false};
@@ -143,10 +164,12 @@ class EventLoop {
   std::mutex tasks_mutex_;
   std::vector<Task> tasks_;
   bool accepting_ = false;  // guarded by tasks_mutex_
+
+  std::atomic<size_t> live_links_{0};
 };
 
-/// The process-wide loop pool.  Lazily started on first use; loops are
-/// handed out round-robin so links spread across the pool.
+/// The process-wide loop pool.  Lazily started on first use; each link
+/// binds to the least-loaded loop at assignment time.
 class Reactor {
  public:
   /// Pool size: RSF_REACTOR_THREADS env override (1-64), else sized from
@@ -154,6 +177,12 @@ class Reactor {
   /// is logged once at startup.
   static Reactor& Get();
 
+  /// The loop carrying the fewest live links right now (ties broken
+  /// round-robin, so idle pools still rotate).  Blind round-robin strands
+  /// hot topics on one loop at small pool sizes — a subscription fan-in
+  /// that lands N links on loop 0 while loop 1 idles; counting live links
+  /// (incremented at Link construction, decremented on close) spreads by
+  /// actual occupancy instead.
   EventLoop* NextLoop();
   [[nodiscard]] size_t NumLoops() const noexcept { return loops_.size(); }
 

@@ -24,6 +24,7 @@ Status ErrnoStatus(const char* what) {
 }
 
 std::atomic<uint64_t> g_write_syscalls{0};
+std::atomic<uint64_t> g_recv_syscalls{0};
 std::atomic<uint64_t> g_blocking_connects{0};
 std::atomic<uint64_t> g_zerocopy_sends{0};
 std::atomic<uint64_t> g_zerocopy_bytes{0};
@@ -32,6 +33,15 @@ std::atomic<uint64_t> g_zerocopy_bytes{0};
 
 uint64_t WriteSyscallCount() noexcept {
   return g_write_syscalls.load(std::memory_order_relaxed);
+}
+
+uint64_t RecvSyscallCount() noexcept {
+  return g_recv_syscalls.load(std::memory_order_relaxed);
+}
+
+void NoteZeroCopySend(uint64_t bytes) noexcept {
+  g_zerocopy_sends.fetch_add(1, std::memory_order_relaxed);
+  g_zerocopy_bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 uint64_t BlockingConnectCount() noexcept {
@@ -191,6 +201,7 @@ Status TcpConnection::WritevAll(std::span<const iovec> iov) {
 Status TcpConnection::ReadExact(std::span<uint8_t> data) {
   size_t got = 0;
   while (got < data.size()) {
+    g_recv_syscalls.fetch_add(1, std::memory_order_relaxed);
     const ssize_t n = ::recv(fd_.fd(), data.data() + got, data.size() - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -205,6 +216,7 @@ Status TcpConnection::ReadExact(std::span<uint8_t> data) {
 Result<size_t> TcpConnection::ReadSome(std::span<uint8_t> data) {
   if (data.empty()) return size_t{0};  // recv(…, 0) would mimic EOF
   for (;;) {
+    g_recv_syscalls.fetch_add(1, std::memory_order_relaxed);
     const ssize_t n = ::recv(fd_.fd(), data.data(), data.size(), 0);
     if (n > 0) return static_cast<size_t>(n);
     if (n == 0) return UnavailableError("connection closed");
@@ -347,7 +359,9 @@ Result<TcpListener> TcpListener::Listen(uint16_t port) {
   if (::bind(fd.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     return ErrnoStatus("bind");
   }
-  if (::listen(fd.fd(), 64) != 0) return ErrnoStatus("listen");
+  // 1024: the connection-scaling bench dials 1024 subscribers at once;
+  // the kernel clamps to net.core.somaxconn anyway.
+  if (::listen(fd.fd(), 1024) != 0) return ErrnoStatus("listen");
 
   socklen_t len = sizeof(addr);
   if (::getsockname(fd.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {

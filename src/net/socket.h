@@ -190,6 +190,12 @@ Status ApplyTransportSocketOptions(TcpConnection& conn);
 /// syscalls-per-message budget (one `sendmsg` per frame) without strace.
 uint64_t WriteSyscallCount() noexcept;
 
+/// Process-wide count of read-side socket syscalls (`recv`) issued by
+/// TcpConnection.  Together with WriteSyscallCount and the backend
+/// counters (net/io_backend.h) this is the syscalls-per-delivery shim the
+/// batching tests and the connection bench difference.
+uint64_t RecvSyscallCount() noexcept;
+
 /// Process-wide count of blocking TcpConnection::Connect calls.  A test
 /// shim: middleware tests assert the subscriber dial path (which runs on
 /// the master-notify thread) never issues a blocking connect.
@@ -201,6 +207,11 @@ uint64_t BlockingConnectCount() noexcept;
 /// single payload copy (bytes flow through here, not through memcpy).
 uint64_t ZeroCopySendCount() noexcept;
 uint64_t ZeroCopySendBytes() noexcept;
+
+/// Feeds the zerocopy-send counters for sends that bypass TcpConnection —
+/// the uring backend's IORING_OP_SEND_ZC completions — so the copy-budget
+/// shims stay meaningful under either backend.
+void NoteZeroCopySend(uint64_t bytes) noexcept;
 
 /// The frame size at or above which FrameWriter sends payloads with
 /// MSG_ZEROCOPY (RSF_ZEROCOPY_THRESHOLD env, default 64 KiB; 0 disables

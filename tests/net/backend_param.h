@@ -1,0 +1,57 @@
+// Backend parameterization for the net-layer tests: every reactor/link
+// suite runs once per IoBackendKind, so the io_uring submission paths get
+// the same coverage as epoll.  Uring cases skip — with a logged reason,
+// never a silent pass — on hosts where the setup probe fails (seccomp,
+// pre-5.1 kernel).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "net/io_backend.h"
+#include "net/poller.h"
+
+namespace rsf::net {
+
+/// Skip-only base: suites that build their own loops (LinkHarness) derive
+/// from this and read GetParam() themselves.
+class BackendSkipTest : public ::testing::TestWithParam<IoBackendKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == IoBackendKind::kUring && !UringAvailable()) {
+      GTEST_SKIP() << "io_uring unavailable on this host (io_uring_setup "
+                      "probe failed — seccomp or pre-5.1 kernel); uring "
+                      "backend cases skipped";
+    }
+  }
+};
+
+/// Skip + a ready-made loop on the parameterized backend.
+class BackendParamTest : public BackendSkipTest {
+ protected:
+  void SetUp() override {
+    BackendSkipTest::SetUp();
+    if (IsSkipped()) return;
+    loop_ = std::make_unique<EventLoop>(GetParam());
+  }
+  void TearDown() override {
+    if (loop_ != nullptr) loop_->Stop();
+  }
+
+  std::unique_ptr<EventLoop> loop_;
+};
+
+inline std::string BackendParamName(
+    const ::testing::TestParamInfo<IoBackendKind>& info) {
+  return IoBackendKindName(info.param);
+}
+
+#define RSF_INSTANTIATE_BACKEND_SUITE(suite)                             \
+  INSTANTIATE_TEST_SUITE_P(Backends, suite,                              \
+                           ::testing::Values(IoBackendKind::kEpoll,      \
+                                             IoBackendKind::kUring),     \
+                           BackendParamName)
+
+}  // namespace rsf::net

@@ -3,7 +3,10 @@
 // connect success / refusal / timeout, handshakes split across partial
 // reads, close-during-handshake, server-role accept and reject (the
 // Draining flush), and timer-paced pause/resume delivery.  The CI
-// ThreadSanitizer job runs this whole binary.
+// ThreadSanitizer job runs this whole binary.  Every suite is
+// parameterized over both I/O backends (backend_param.h): under uring the
+// same tests exercise the completion-mode recv/send drivers and the
+// SEND_ZC zerocopy tier instead of readiness + errqueue.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -13,6 +16,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "backend_param.h"
 #include "net/framing.h"
 #include "net/link.h"
 #include "net/poller.h"
@@ -20,6 +24,18 @@
 
 namespace rsf::net {
 namespace {
+
+class LinkTest : public BackendSkipTest {};
+RSF_INSTANTIATE_BACKEND_SUITE(LinkTest);
+
+class LinkZeroCopyTest : public BackendSkipTest {};
+RSF_INSTANTIATE_BACKEND_SUITE(LinkZeroCopyTest);
+
+class LinkWriteTimeoutTest : public BackendSkipTest {};
+RSF_INSTANTIATE_BACKEND_SUITE(LinkWriteTimeoutTest);
+
+class LoopTimerTest : public BackendParamTest {};
+RSF_INSTANTIATE_BACKEND_SUITE(LoopTimerTest);
 
 // Spins until `predicate` holds or ~5 s pass (link transitions happen on
 // the loop thread; tests observe them from the main thread).
@@ -48,7 +64,7 @@ struct LinkHarness {
   std::vector<uint8_t> last_payload;  // guarded by mutex
   std::vector<uint8_t> receive_buf;   // loop-confined
 
-  LinkHarness() { loop.Start(); }
+  explicit LinkHarness(IoBackendKind kind) : loop(kind) { loop.Start(); }
   ~LinkHarness() { loop.Stop(); }
 
   /// Client-role callbacks: sends `request`, accepts any non-empty reply,
@@ -104,11 +120,11 @@ void RunServerPeer(
   if (body) body(*conn);
 }
 
-TEST(LinkTest, DialSucceedsHandshakesAndReceivesFrames) {
+TEST_P(LinkTest, DialSucceedsHandshakesAndReceivesFrames) {
   auto listener = TcpListener::Listen(0);
   ASSERT_TRUE(listener.ok());
 
-  LinkHarness harness;
+  LinkHarness harness(GetParam());
   std::vector<uint8_t> seen_request;
   std::thread server([&] {
     RunServerPeer(*listener, &seen_request, Bytes("welcome"),
@@ -137,7 +153,7 @@ TEST(LinkTest, DialSucceedsHandshakesAndReceivesFrames) {
   EXPECT_EQ(link->state(), Link::State::kClosed);
 }
 
-TEST(LinkTest, DialRefusedReportsClosedNeverEstablished) {
+TEST_P(LinkTest, DialRefusedReportsClosedNeverEstablished) {
   // Grab an ephemeral port, then close the listener so the dial is refused.
   uint16_t dead_port = 0;
   {
@@ -147,7 +163,7 @@ TEST(LinkTest, DialRefusedReportsClosedNeverEstablished) {
     listener->Close();
   }
 
-  LinkHarness harness;
+  LinkHarness harness(GetParam());
   auto link = Link::Dial("127.0.0.1", dead_port, &harness.loop,
                          Link::Options{},
                          harness.ClientCallbacks(Bytes("hello")));
@@ -156,12 +172,12 @@ TEST(LinkTest, DialRefusedReportsClosedNeverEstablished) {
   EXPECT_EQ(link->state(), Link::State::kClosed);
 }
 
-TEST(LinkTest, DialToBlackholePeerTimesOut) {
+TEST_P(LinkTest, DialToBlackholePeerTimesOut) {
   // RFC 5737 TEST-NET-1 is guaranteed unrouted: the connect either hangs
   // until the link's own timer fires (the case under test) or fails fast
   // with EHOSTUNREACH/ENETUNREACH in constrained sandboxes — both must
   // surface as on_closed with no establish.
-  LinkHarness harness;
+  LinkHarness harness(GetParam());
   Link::Options options;
   options.connect_timeout_nanos = 200'000'000;  // 200 ms
   auto link = Link::Dial("192.0.2.1", 9, &harness.loop, options,
@@ -171,11 +187,11 @@ TEST(LinkTest, DialToBlackholePeerTimesOut) {
   EXPECT_EQ(link->state(), Link::State::kClosed);
 }
 
-TEST(LinkTest, HandshakeReplySplitAcrossPartialReadsStillEstablishes) {
+TEST_P(LinkTest, HandshakeReplySplitAcrossPartialReadsStillEstablishes) {
   auto listener = TcpListener::Listen(0);
   ASSERT_TRUE(listener.ok());
 
-  LinkHarness harness;
+  LinkHarness harness(GetParam());
   std::thread server([&] {
     auto conn = listener->Accept();
     ASSERT_TRUE(conn.ok());
@@ -212,11 +228,11 @@ TEST(LinkTest, HandshakeReplySplitAcrossPartialReadsStillEstablishes) {
   EXPECT_EQ(link->stats().frames_received, 1u);
 }
 
-TEST(LinkTest, PeerCloseDuringHandshakeClosesLink) {
+TEST_P(LinkTest, PeerCloseDuringHandshakeClosesLink) {
   auto listener = TcpListener::Listen(0);
   ASSERT_TRUE(listener.ok());
 
-  LinkHarness harness;
+  LinkHarness harness(GetParam());
   std::thread server([&] {
     auto conn = listener->Accept();
     ASSERT_TRUE(conn.ok());
@@ -243,11 +259,11 @@ TEST(LinkTest, PeerCloseDuringHandshakeClosesLink) {
   EXPECT_EQ(link->state(), Link::State::kClosed);
 }
 
-TEST(LinkTest, ServerRoleAcceptsHandshakeAndSendsFrames) {
+TEST_P(LinkTest, ServerRoleAcceptsHandshakeAndSendsFrames) {
   auto listener = TcpListener::Listen(0);
   ASSERT_TRUE(listener.ok());
 
-  LinkHarness harness;
+  LinkHarness harness(GetParam());
   std::shared_ptr<Link> server_link;
   std::mutex link_mutex;
 
@@ -316,11 +332,11 @@ TEST(LinkTest, ServerRoleAcceptsHandshakeAndSendsFrames) {
   link->CloseSync();
 }
 
-TEST(LinkTest, ServerRoleRejectionFlushesErrorReplyThenCloses) {
+TEST_P(LinkTest, ServerRoleRejectionFlushesErrorReplyThenCloses) {
   auto listener = TcpListener::Listen(0);
   ASSERT_TRUE(listener.ok());
 
-  LinkHarness harness;
+  LinkHarness harness(GetParam());
   std::thread client_thread([&] {
     auto conn = TcpConnection::Connect("127.0.0.1", listener->port());
     ASSERT_TRUE(conn.ok());
@@ -361,14 +377,14 @@ TEST(LinkTest, ServerRoleRejectionFlushesErrorReplyThenCloses) {
   EXPECT_EQ(link->state(), Link::State::kClosed);
 }
 
-TEST(LinkTest, TimerPacedPauseResumeDelaysDelivery) {
+TEST_P(LinkTest, TimerPacedPauseResumeDelaysDelivery) {
   // The shaped-delivery pattern, driven directly: every frame pauses the
   // link and resumes it 20 ms later via the loop timer, so three frames
   // sent back-to-back must take >= 2 pacing gaps to deliver.
   auto listener = TcpListener::Listen(0);
   ASSERT_TRUE(listener.ok());
 
-  LinkHarness harness;
+  LinkHarness harness(GetParam());
   std::shared_ptr<Link> client_link;
   std::mutex link_mutex;
   constexpr uint64_t kGapNanos = 20'000'000;
@@ -481,7 +497,7 @@ Link::Callbacks AcceptingServerCallbacks(LinkHarness& harness) {
   return callbacks;
 }
 
-TEST(LinkZeroCopyTest, CompletionsReleaseHoldersInOrderAndBytesArriveIntact) {
+TEST_P(LinkZeroCopyTest, CompletionsReleaseHoldersInOrderAndBytesArriveIntact) {
   // Above-threshold frames leave via MSG_ZEROCOPY: each send pins the
   // payload holder until the kernel's completion releases it.  Loopback
   // reports every completion as COPIED; copied_limit 0 keeps the tier on
@@ -491,7 +507,7 @@ TEST(LinkZeroCopyTest, CompletionsReleaseHoldersInOrderAndBytesArriveIntact) {
   auto listener = TcpListener::Listen(0);
   ASSERT_TRUE(listener.ok());
 
-  LinkHarness harness;
+  LinkHarness harness(GetParam());
   const auto payload = PatternPayload(256 * 1024);  // > SO_SNDBUF: partial sends
   constexpr int kFrames = 3;
   std::atomic<bool> peer_done{false};
@@ -540,7 +556,7 @@ TEST(LinkZeroCopyTest, CompletionsReleaseHoldersInOrderAndBytesArriveIntact) {
   link->CloseSync();
 }
 
-TEST(LinkZeroCopyTest, CopiedCompletionsAutoDisableTheTier) {
+TEST_P(LinkZeroCopyTest, CopiedCompletionsAutoDisableTheTier) {
   // Loopback can never do true zerocopy — the kernel copies and flags the
   // completion SO_EE_CODE_ZEROCOPY_COPIED.  After copied_limit such
   // completions the link must stop paying for pinning and revert to the
@@ -548,7 +564,7 @@ TEST(LinkZeroCopyTest, CopiedCompletionsAutoDisableTheTier) {
   auto listener = TcpListener::Listen(0);
   ASSERT_TRUE(listener.ok());
 
-  LinkHarness harness;
+  LinkHarness harness(GetParam());
   const auto payload = PatternPayload(96 * 1024);
   constexpr int kFrames = 6;
   std::atomic<bool> peer_done{false};
@@ -596,7 +612,7 @@ TEST(LinkZeroCopyTest, CopiedCompletionsAutoDisableTheTier) {
   link->CloseSync();
 }
 
-TEST(LinkWriteTimeoutTest, StalledPeerClosesLinkAndStrandsFrames) {
+TEST_P(LinkWriteTimeoutTest, StalledPeerClosesLinkAndStrandsFrames) {
   // A peer that handshakes and then never reads again: the socket buffers
   // fill, the writer stops making progress, and the write-progress
   // deadline must close the link (on_closed fires, queued frames counted
@@ -604,7 +620,7 @@ TEST(LinkWriteTimeoutTest, StalledPeerClosesLinkAndStrandsFrames) {
   auto listener = TcpListener::Listen(0);
   ASSERT_TRUE(listener.ok());
 
-  LinkHarness harness;
+  LinkHarness harness(GetParam());
   std::atomic<bool> release_peer{false};
   std::thread client([&] {
     auto conn = TcpConnection::Connect("127.0.0.1", listener->port());
@@ -649,8 +665,8 @@ TEST(LinkWriteTimeoutTest, StalledPeerClosesLinkAndStrandsFrames) {
   client.join();
 }
 
-TEST(LoopTimerTest, RunAfterFiresOnLoopThreadInDeadlineOrder) {
-  EventLoop loop;
+TEST_P(LoopTimerTest, RunAfterFiresOnLoopThreadInDeadlineOrder) {
+  EventLoop& loop = *loop_;
   loop.Start();
 
   std::mutex mutex;
@@ -685,8 +701,8 @@ TEST(LoopTimerTest, RunAfterFiresOnLoopThreadInDeadlineOrder) {
   loop.Stop();
 }
 
-TEST(LoopTimerTest, ZeroDelayFiresPromptly) {
-  EventLoop loop;
+TEST_P(LoopTimerTest, ZeroDelayFiresPromptly) {
+  EventLoop& loop = *loop_;
   loop.Start();
   std::atomic<bool> fired{false};
   ASSERT_TRUE(loop.RunAfter(0, [&] { fired.store(true); }));
@@ -694,15 +710,15 @@ TEST(LoopTimerTest, ZeroDelayFiresPromptly) {
   loop.Stop();
 }
 
-TEST(LoopTimerTest, RunAfterRefusedAfterStop) {
-  EventLoop loop;
+TEST_P(LoopTimerTest, RunAfterRefusedAfterStop) {
+  EventLoop& loop = *loop_;
   loop.Start();
   loop.Stop();
   EXPECT_FALSE(loop.RunAfter(1'000, [] {}));
 }
 
-TEST(LoopTimerTest, TimerReschedulingItselfDoesNotRefireInSameDrain) {
-  EventLoop loop;
+TEST_P(LoopTimerTest, TimerReschedulingItselfDoesNotRefireInSameDrain) {
+  EventLoop& loop = *loop_;
   loop.Start();
   std::atomic<int> fired{0};
   std::function<void()> chain = [&] {

@@ -1,9 +1,11 @@
-// Tests for the epoll reactor (net/poller.h) and the resumable framing
-// state machines it drives (FrameReader/FrameWriter): task posting and the
+// Tests for the reactor (net/poller.h) and the resumable framing state
+// machines it drives (FrameReader/FrameWriter): task posting and the
 // RunSync teardown handshake, readiness dispatch, frames split across
 // arbitrary readiness events, mid-frame peer close, short-write resume,
 // drop-oldest eviction, and a mixed connect/disconnect stress that the CI
-// ThreadSanitizer job runs.
+// ThreadSanitizer job runs.  The loop suites are parameterized over both
+// I/O backends (backend_param.h); the FrameReader/FrameWriter suites drive
+// sockets directly and stay backend-free.
 #include <gtest/gtest.h>
 
 #include <dirent.h>
@@ -15,12 +17,19 @@
 
 #include "common/clock.h"
 #include "common/endian.h"
+#include "backend_param.h"
 #include "net/framing.h"
 #include "net/poller.h"
 #include "net/socket.h"
 
 namespace rsf::net {
 namespace {
+
+class EventLoopBackends : public BackendParamTest {};
+RSF_INSTANTIATE_BACKEND_SUITE(EventLoopBackends);
+
+class PollerStress : public BackendParamTest {};
+RSF_INSTANTIATE_BACKEND_SUITE(PollerStress);
 
 std::pair<TcpConnection, TcpConnection> MakePair() {
   auto listener = TcpListener::Listen(0);
@@ -59,8 +68,8 @@ bool WaitFor(Predicate predicate) {
   return predicate();
 }
 
-TEST(EventLoop, PostRunsTaskOnLoopThread) {
-  EventLoop loop;
+TEST_P(EventLoopBackends, PostRunsTaskOnLoopThread) {
+  EventLoop& loop = *loop_;
   loop.Start();
   std::atomic<bool> ran{false};
   std::thread::id loop_thread;
@@ -73,8 +82,8 @@ TEST(EventLoop, PostRunsTaskOnLoopThread) {
   loop.Stop();
 }
 
-TEST(EventLoop, RunSyncBlocksUntilExecuted) {
-  EventLoop loop;
+TEST_P(EventLoopBackends, RunSyncBlocksUntilExecuted) {
+  EventLoop& loop = *loop_;
   loop.Start();
   int value = 0;
   loop.RunSync([&] { value = 42; });
@@ -85,8 +94,8 @@ TEST(EventLoop, RunSyncBlocksUntilExecuted) {
   EXPECT_EQ(value, 43);
 }
 
-TEST(EventLoop, StopRunsEveryAcceptedTask) {
-  EventLoop loop;
+TEST_P(EventLoopBackends, StopRunsEveryAcceptedTask) {
+  EventLoop& loop = *loop_;
   loop.Start();
   std::atomic<int> ran{0};
   for (int i = 0; i < 100; ++i) {
@@ -97,8 +106,8 @@ TEST(EventLoop, StopRunsEveryAcceptedTask) {
   EXPECT_EQ(ran.load(), accepted);
 }
 
-TEST(EventLoop, ReadableEventDispatches) {
-  EventLoop loop;
+TEST_P(EventLoopBackends, ReadableEventDispatches) {
+  EventLoop& loop = *loop_;
   loop.Start();
   auto [client, server] = MakePair();
   ASSERT_TRUE(server.SetNonBlocking(true).ok());
@@ -118,8 +127,8 @@ TEST(EventLoop, ReadableEventDispatches) {
   loop.Stop();
 }
 
-TEST(EventLoop, RemoveInsideOwnCallbackIsSafe) {
-  EventLoop loop;
+TEST_P(EventLoopBackends, RemoveInsideOwnCallbackIsSafe) {
+  EventLoop& loop = *loop_;
   loop.Start();
   auto [client, server] = MakePair();
   ASSERT_TRUE(server.SetNonBlocking(true).ok());
@@ -139,9 +148,9 @@ TEST(EventLoop, RemoveInsideOwnCallbackIsSafe) {
   loop.Stop();
 }
 
-TEST(EventLoop, ManyFdsOneThread) {
+TEST_P(EventLoopBackends, ManyFdsOneThread) {
   // The reactor promise: adding links adds NO threads.
-  EventLoop loop;
+  EventLoop& loop = *loop_;
   loop.Start();
   const size_t before = CountProcessThreads();
   std::vector<std::pair<TcpConnection, TcpConnection>> pairs;
@@ -478,8 +487,8 @@ TEST(FrameWriter, AdaptiveGatherBudgetGrowsWithDepthAndDecaysWhenShallow) {
 
 // ---- stress (runs under the CI ThreadSanitizer preset) ----
 
-TEST(PollerStress, MixedConnectDisconnectUnderLoad) {
-  EventLoop loop;
+TEST_P(PollerStress, MixedConnectDisconnectUnderLoad) {
+  EventLoop& loop = *loop_;
   loop.Start();
   auto listener = TcpListener::Listen(0);
   ASSERT_TRUE(listener.ok());
