@@ -31,6 +31,7 @@
 
 #include "bench/bench_util.h"
 #include "net/sim_link.h"
+#include "sfm/shm_pool.h"
 #include "net/socket.h"
 #include "std_msgs/String.h"
 
@@ -45,6 +46,7 @@ struct EgressRow {
   double mean_ms;
   uint64_t zc_sends; // MSG_ZEROCOPY sendmsg calls during the run
   uint64_t zc_bytes; // payload bytes pinned instead of copied
+  uint64_t shm_deliveries = 0;  // deliveries that rode a shm descriptor
 };
 
 struct BatchRow {
@@ -95,6 +97,39 @@ EgressRow RunEgressCell(const Tier& tier, const char* shaping,
           transport.mean_ms(),
           rsf::net::ZeroCopySendCount() - zc_sends_before,
           rsf::net::ZeroCopySendBytes() - zc_bytes_before};
+}
+
+/// One shm-tier cell (loopback only: shared memory is same-host by
+/// definition).  The payload crosses as a 48-byte descriptor, so the zc
+/// egress counters stay flat and the latency decouples from payload size.
+EgressRow RunShmCell(const char* size_label, size_t payload_bytes,
+                     const bench::Options& options) {
+  ::setenv("RSF_ZEROCOPY_THRESHOLD", "65536", 1);
+  ::setenv("RSF_ZEROCOPY_COPIED_LIMIT", "8", 1);
+  ::setenv("RSF_TRANSPORT_SHM", "1", 1);
+  sfm::shm::ResetPoolForTest();
+
+  const uint32_t side = SideFor(payload_bytes);
+  const uint64_t shm_before =
+      ros::shim::shm_zero_copy_deliveries.load(std::memory_order_relaxed);
+  rsf::LatencyRecorder transport;
+  bench::RunPubSub<sensor_msgs::sfm::Image>(
+      side, side, options, rsf::net::LinkConfig::Loopback(),
+      bench::Transport::kTcp, &transport);
+  const uint64_t deliveries =
+      ros::shim::shm_zero_copy_deliveries.load(std::memory_order_relaxed) -
+      shm_before;
+  ::unsetenv("RSF_TRANSPORT_SHM");
+  sfm::shm::ResetPoolForTest();
+  return {"shm",
+          "loopback",
+          size_label,
+          static_cast<size_t>(side) * side * 3,
+          transport.Percentile(0.5),
+          transport.mean_ms(),
+          0,
+          0,
+          deliveries};
 }
 
 BatchRow RunBatchCell(size_t batch_max, size_t messages) {
@@ -185,6 +220,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::printf(
+      "\n=== Shm tier rows (same-host only; the payload crosses as a "
+      "48-byte descriptor) ===\n\n");
+  std::printf("  %-9s %-10s %-7s %12s %12s %14s\n", "tier", "shaping",
+              "size", "p50 (ms)", "mean (ms)", "shm deliveries");
+  for (const auto& size : sizes) {
+    egress.push_back(RunShmCell(size.label, size.bytes, options));
+    const EgressRow& row = egress.back();
+    std::printf("  %-9s %-10s %-7s %12.3f %12.3f %14llu\n", row.tier,
+                row.shaping, row.size_label, row.p50_ms, row.mean_ms,
+                static_cast<unsigned long long>(row.shm_deliveries));
+  }
+
   const size_t burst = options.full ? 4096 : 1024;
   std::printf(
       "\n=== Ablation: send batching, 1KB frames, %zu-message burst ===\n\n",
@@ -219,11 +267,12 @@ int main(int argc, char** argv) {
                    "    {\"tier\": \"%s\", \"shaping\": \"%s\", "
                    "\"size\": \"%s\", \"payload_bytes\": %zu, "
                    "\"p50_ms\": %.3f, \"mean_ms\": %.3f, "
-                   "\"zerocopy_sends\": %llu, \"zerocopy_bytes\": %llu}%s\n",
+                   "\"zerocopy_sends\": %llu, \"zerocopy_bytes\": %llu, \"shm_deliveries\": %llu}%s\n",
                    row.tier, row.shaping, row.size_label, row.payload_bytes,
                    row.p50_ms, row.mean_ms,
                    static_cast<unsigned long long>(row.zc_sends),
                    static_cast<unsigned long long>(row.zc_bytes),
+                   static_cast<unsigned long long>(row.shm_deliveries),
                    i + 1 < egress.size() ? "," : "");
     }
     std::fprintf(json, "  ],\n  \"batching\": [\n");

@@ -1,0 +1,299 @@
+// Shared-memory transport tier bench (DESIGN.md §12): TRUE cross-process
+// publish-to-callback latency, shm descriptors vs inline loopback TCP, with
+// the in-process intra zero-copy tier as the floor reference.
+//
+// Topology: this process publishes sensor_msgs/sfm/Image; a fork+exec'd
+// copy of this binary subscribes (its own master registry is seeded with
+// the parent's listener endpoint).  The stamp is written immediately before
+// publish, so the recorded number is the transport alone: descriptor
+// encode, socket hop, map + fence + adopt on the shm tier; serialize-free
+// but full-payload write/read/copy on the TCP tier.
+//
+// Expected shape: shm latency is near-flat in payload size (a 48-byte
+// descriptor crosses the socket regardless of the image), while loopback
+// TCP grows with the payload; at 4MB the shm row should sit well under
+// 0.5 ms and within ~5x of the in-process zero-copy floor.
+//
+// Prints a table and writes BENCH_shm.json.
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sfm/shm_pool.h"
+
+namespace {
+
+using Image = sensor_msgs::sfm::Image;
+
+constexpr const char* kChildFlag = "--shm-sub-child";
+constexpr const char* kTopic = "/shm_bench";
+
+struct SizeSpec {
+  const char* label;
+  uint32_t width;
+  uint32_t height;
+};
+// The acceptance sweep: threshold edge, the paper's 200KB point, mid, and
+// the "flat in size" witnesses at 4MB / 6MB.
+inline constexpr SizeSpec kSizes[] = {
+    {"64KB", 148, 148},    {"200KB", 256, 256},   {"512KB", 418, 418},
+    {"4MB", 1183, 1183},   {"6MB", 1920, 1080},
+};
+
+struct Row {
+  std::string transport;
+  std::string size_label;
+  size_t payload_bytes = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t samples = 0;
+  uint64_t shm_zero_copy = 0;  // deliveries that rode a descriptor
+};
+
+/// Child mode: subscribe through the wire to the parent's publisher,
+/// record stamp-to-callback latency for `iterations` messages, print one
+/// machine-readable ROW line, exit.  RSF_TRANSPORT_SHM is inherited from
+/// the parent and decides the tier.
+int RunSubChild(uint16_t parent_port, int iterations) {
+  const auto status = ros::master().RegisterPublisher(
+      kTopic, Image::DataType(), ros::TransportChecksum<Image>(),
+      ros::TopicEndpoint{"127.0.0.1", parent_port, "parent"});
+  if (!status.ok()) return 2;
+
+  static std::mutex mutex;
+  static rsf::LatencyRecorder recorder;
+  static std::atomic<uint64_t> got{0};
+
+  ros::NodeHandle node("shm_bench_sub");
+  ros::SubscribeOptions options;
+  options.inline_dispatch = true;
+  options.allow_intra_process = false;
+  auto sub = node.subscribe<Image>(
+      kTopic, 32,
+      std::function<void(const Image::ConstPtr&)>(
+          [](const Image::ConstPtr& msg) {
+            const uint64_t nanos = rsf::ElapsedSince(msg->header.stamp);
+            // Touch the payload the way a consumer would.
+            const volatile uint8_t probe = msg->data[msg->data.size() - 1];
+            (void)probe;
+            std::lock_guard<std::mutex> lock(mutex);
+            recorder.AddNanos(nanos);
+            got.fetch_add(1, std::memory_order_relaxed);
+          }),
+      options);
+
+  const uint64_t deadline = rsf::MonotonicNanos() + 60'000'000'000ull;
+  while (got.load() < static_cast<uint64_t>(iterations) &&
+         rsf::MonotonicNanos() < deadline) {
+    rsf::SleepForNanos(1'000'000);
+  }
+
+  std::lock_guard<std::mutex> lock(mutex);
+  std::printf("ROW %llu %.6f %.6f %.6f %llu\n",
+              static_cast<unsigned long long>(recorder.count()),
+              recorder.mean_ms(), recorder.Percentile(0.5),
+              recorder.Percentile(0.99),
+              static_cast<unsigned long long>(sub.shmZeroCopyCount()));
+  std::fflush(stdout);
+  return recorder.count() > 0 ? 0 : 3;
+}
+
+/// Parent side of one cross-process cell: fork+exec the subscriber child
+/// with RSF_TRANSPORT_SHM already set to `shm_env`, stream stamped images
+/// at it until it has its samples, and collect its ROW.
+bool RunCrossProcessCell(const char* self_exe, const char* transport,
+                         const char* shm_env, const SizeSpec& size,
+                         const bench::Options& options, Row* out) {
+  ::setenv("RSF_TRANSPORT_SHM", shm_env, 1);
+  ros::master().Reset();
+  sfm::shm::ResetPoolForTest();  // fresh pool + negotiation flag per cell
+
+  ros::NodeHandle node("shm_bench_pub");
+  auto pub = node.advertise<Image>(kTopic, 32);
+  const auto endpoints = ros::master().PublishersOf(kTopic);
+  if (endpoints.size() != 1) return false;
+
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) return false;
+  const pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    ::close(fds[0]);
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[1]);
+    const std::string port = std::to_string(endpoints[0].port);
+    const std::string iters = std::to_string(options.iterations);
+    ::execl(self_exe, self_exe, kChildFlag, port.c_str(), iters.c_str(),
+            (char*)nullptr);
+    std::perror("execl");
+    _exit(127);
+  }
+  ::close(fds[1]);
+
+  // Publish paced messages until the child has its samples and exits; the
+  // +25% margin absorbs warmup and any drop-oldest evictions.
+  bench::WaitFor([&] { return pub.getNumSubscribers() == 1; });
+  rsf::Rate rate(options.hz);
+  const int max_publishes = options.iterations + options.iterations / 4 + 64;
+  int child_status = 0;
+  bool child_done = false;
+  for (int i = 0; i < max_publishes && !child_done; ++i) {
+    auto msg = rsf::slam::NewMessage<Image>();
+    bench::FillImage(*msg, size.width, size.height,
+                     static_cast<uint32_t>(i));
+    msg->header.stamp = rsf::Time::Now();  // transport-only stamp
+    pub.publish(*msg);
+    rate.Sleep();
+    child_done = ::waitpid(pid, &child_status, WNOHANG) == pid;
+  }
+
+  FILE* stream = ::fdopen(fds[0], "r");
+  char line[256];
+  bool parsed = false;
+  while (stream != nullptr && std::fgets(line, sizeof(line), stream)) {
+    unsigned long long samples = 0;
+    unsigned long long zero_copy = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p99 = 0;
+    if (std::sscanf(line, "ROW %llu %lf %lf %lf %llu", &samples, &mean, &p50,
+                    &p99, &zero_copy) == 5) {
+      *out = {transport, size.label,
+              static_cast<size_t>(size.width) * size.height * 3,
+              mean,      p50,
+              p99,       samples,
+              zero_copy};
+      parsed = true;
+    } else {
+      std::fputs(line, stderr);  // forward child diagnostics
+    }
+  }
+  if (stream != nullptr) std::fclose(stream);
+  if (!child_done) ::waitpid(pid, &child_status, 0);
+
+  // The child unlinks nothing (it only attaches); drop our own segments so
+  // the next cell starts clean and /dev/shm ends empty.
+  sfm::shm::ResetPoolForTest();
+  return parsed && WIFEXITED(child_status) && WEXITSTATUS(child_status) == 0;
+}
+
+/// In-process zero-copy floor for the same payload (publish-to-callback).
+Row RunIntraReference(const SizeSpec& size, const bench::Options& options) {
+  ::setenv("RSF_TRANSPORT_SHM", "0", 1);
+  rsf::LatencyRecorder transport;
+  bench::RunPubSub<Image>(size.width, size.height, options, {},
+                          bench::Transport::kIntraZeroCopy, &transport);
+  return {"intra-zero-copy",
+          size.label,
+          static_cast<size_t>(size.width) * size.height * 3,
+          transport.mean_ms(),
+          transport.Percentile(0.5),
+          transport.Percentile(0.99),
+          transport.count(),
+          0};
+}
+
+void PrintRow(const Row& row) {
+  std::printf("  %-16s %-7s %12zu %10.3f %10.3f %10.3f %8llu %10llu\n",
+              row.transport.c_str(), row.size_label.c_str(),
+              row.payload_bytes, row.mean_ms, row.p50_ms, row.p99_ms,
+              static_cast<unsigned long long>(row.samples),
+              static_cast<unsigned long long>(row.shm_zero_copy));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 4 && std::strcmp(argv[1], kChildFlag) == 0) {
+    return RunSubChild(static_cast<uint16_t>(std::atoi(argv[2])),
+                       std::atoi(argv[3]));
+  }
+
+  bench::Options options = bench::Options::Parse(argc, argv);
+  if (!options.full) {
+    options.iterations = 120;
+    options.hz = 200.0;
+  }
+  rsf::SetLogLevel(rsf::LogLevel::kError);
+
+  char self_exe[4096] = {0};
+  if (::readlink("/proc/self/exe", self_exe, sizeof(self_exe) - 1) <= 0) {
+    std::fprintf(stderr, "cannot resolve /proc/self/exe\n");
+    return 1;
+  }
+
+  std::printf(
+      "=== Shm tier: cross-process publish-to-callback latency, "
+      "%d samples per cell ===\n"
+      "    (subscriber is a separate exec'd process; 'shm' crosses a "
+      "48-byte descriptor, 'tcp' the full payload)\n\n",
+      options.iterations);
+  std::printf("  %-16s %-7s %12s %10s %10s %10s %8s %10s\n", "transport",
+              "size", "bytes", "mean (ms)", "p50 (ms)", "p99 (ms)", "n",
+              "shm deliv");
+
+  std::vector<Row> rows;
+  bool ok = true;
+  for (const auto& size : kSizes) {
+    Row shm_row;
+    Row tcp_row;
+    if (!RunCrossProcessCell(self_exe, "shm", "1", size, options, &shm_row) ||
+        !RunCrossProcessCell(self_exe, "tcp", "0", size, options, &tcp_row)) {
+      std::fprintf(stderr, "cell %s failed\n", size.label);
+      ok = false;
+      continue;
+    }
+    const Row intra_row = RunIntraReference(size, options);
+    rows.push_back(shm_row);
+    rows.push_back(tcp_row);
+    rows.push_back(intra_row);
+    PrintRow(shm_row);
+    PrintRow(tcp_row);
+    PrintRow(intra_row);
+    if (shm_row.mean_ms > 0) {
+      std::printf(
+          "  => tcp/shm mean ratio %.2fx, shm over intra floor %.2fx\n\n",
+          tcp_row.mean_ms / shm_row.mean_ms,
+          intra_row.mean_ms > 0 ? shm_row.mean_ms / intra_row.mean_ms : 0.0);
+    }
+  }
+  ::unsetenv("RSF_TRANSPORT_SHM");
+
+  FILE* json = std::fopen("BENCH_shm.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n  \"bench\": \"bench_shm\",\n"
+        "  \"unit\": \"cross-process publish-to-callback latency, "
+        "milliseconds (stamp written immediately before publish)\",\n"
+        "  \"topology\": \"publisher in this process, subscriber fork+exec'd; "
+        "intra-zero-copy rows are the in-process floor for comparison\",\n"
+        "  \"iterations\": %d,\n  \"results\": [\n",
+        options.iterations);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::fprintf(json,
+                   "    {\"transport\": \"%s\", \"size\": \"%s\", "
+                   "\"payload_bytes\": %zu, \"mean_ms\": %.6f, "
+                   "\"p50_ms\": %.6f, \"p99_ms\": %.6f, \"samples\": %llu, "
+                   "\"shm_zero_copy_deliveries\": %llu}%s\n",
+                   row.transport.c_str(), row.size_label.c_str(),
+                   row.payload_bytes, row.mean_ms, row.p50_ms, row.p99_ms,
+                   static_cast<unsigned long long>(row.samples),
+                   static_cast<unsigned long long>(row.shm_zero_copy),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_shm.json\n");
+  }
+  return ok ? 0 : 1;
+}

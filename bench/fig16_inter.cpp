@@ -9,25 +9,36 @@
 //
 // Expected shape (§5.2): ROS-SF cuts the ping-pong latency at every size,
 // by roughly 70% at 6MB.
+#include <cstdlib>
+
 #include "bench/bench_util.h"
+#include "sfm/shm_pool.h"
 
 namespace {
 
+/// `same_host_shm` swaps the simulated 10 GbE hops for unshaped loopback
+/// with the shared-memory tier negotiated (RSF_TRANSPORT_SHM=1, set by the
+/// caller): the extra row fig16 gains in this repo.  Shared memory cannot
+/// model a remote machine, so this row answers a different question — what
+/// the two hops cost when "machine B" is another process on the same host.
 template <typename ImageT>
 rsf::LatencyRecorder RunPingPong(uint32_t width, uint32_t height,
-                                 const bench::Options& options) {
+                                 const bench::Options& options,
+                                 bool same_host_shm = false) {
   ros::master().Reset();
   ros::NodeHandle pub_node("pub");
   ros::NodeHandle trans_node("trans");
   ros::NodeHandle sub_node("sub");
 
-  const auto ten_gige = rsf::net::LinkConfig::TenGigE();
+  const auto hop_link = same_host_shm ? rsf::net::LinkConfig::Loopback()
+                                      : rsf::net::LinkConfig::TenGigE();
 
   // trans (machine B): re-publishes each image with the original stamp.
   ros::Publisher trans_pub = trans_node.advertise<ImageT>("/pong", 10);
   ros::SubscribeOptions hop_a_to_b;
   hop_a_to_b.inline_dispatch = true;
-  hop_a_to_b.link = ten_gige;
+  hop_a_to_b.link = hop_link;
+  hop_a_to_b.allow_intra_process = !same_host_shm;  // unshaped: force wire
   auto trans_sub = trans_node.subscribe<ImageT>(
       "/ping", 10,
       [&](const std::shared_ptr<const ImageT>& in) {
@@ -50,7 +61,8 @@ rsf::LatencyRecorder RunPingPong(uint32_t width, uint32_t height,
   rsf::LatencyRecorder recorder;
   ros::SubscribeOptions hop_b_to_a;
   hop_b_to_a.inline_dispatch = true;
-  hop_b_to_a.link = ten_gige;
+  hop_b_to_a.link = hop_link;
+  hop_b_to_a.allow_intra_process = !same_host_shm;
   auto sub = sub_node.subscribe<ImageT>(
       "/pong", 10,
       [&](const std::shared_ptr<const ImageT>& msg) {
@@ -109,10 +121,18 @@ int main(int argc, char** argv) {
                                                      options);
     const auto rossf = RunPingPong<sensor_msgs::sfm::Image>(
         size.width, size.height, options);
+    ::setenv("RSF_TRANSPORT_SHM", "1", 1);
+    sfm::shm::ResetPoolForTest();
+    const auto rossf_shm = RunPingPong<sensor_msgs::sfm::Image>(
+        size.width, size.height, options, /*same_host_shm=*/true);
+    ::unsetenv("RSF_TRANSPORT_SHM");
+    sfm::shm::ResetPoolForTest();
     bench::PrintRow("ROS", size.label, ros);
     bench::PrintRow("ROS-SF", size.label, rossf);
+    bench::PrintRow("SF/shm", size.label, rossf_shm);
     bench::PrintReduction(ros.mean_ms(), rossf.mean_ms());
-    std::printf("  (one-way latency ~ ping-pong / 2)\n\n");
+    std::printf("  (one-way latency ~ ping-pong / 2; the SF/shm row is "
+                "same-host, no 10 GbE model)\n\n");
   }
   return 0;
 }

@@ -42,10 +42,12 @@ Status ReadFrame(TcpConnection& conn, const FrameAllocator& alloc,
                  uint32_t* length) {
   uint8_t header[4];
   RSF_RETURN_IF_ERROR(conn.ReadExact(header));
-  const uint32_t len = LoadLE<uint32_t>(header);
-  if (len > kMaxFramePayload) {
-    return OutOfRangeError("frame payload too large: " + std::to_string(len));
+  const uint32_t raw = LoadLE<uint32_t>(header);
+  if (FrameTag(raw) != kFrameTagData) {
+    return OutOfRangeError("unexpected frame tag on blocking read: " +
+                           std::to_string(FrameTag(raw)));
   }
+  const uint32_t len = FrameLength(raw);
   uint8_t* dst = alloc(len);
   if (dst == nullptr && len > 0) {
     return ResourceExhaustedError("frame allocator returned null");
@@ -61,6 +63,7 @@ void FrameReader::Reset() noexcept {
   state_ = State::kHeader;
   header_got_ = 0;
   payload_ = nullptr;
+  raw_len_ = 0;
   payload_len_ = 0;
   payload_got_ = 0;
 }
@@ -84,20 +87,21 @@ Result<FrameReader::Step> FrameReader::Poll(TcpConnection& conn,
       header_got_ += *n;
       if (header_got_ < 4) continue;
 
-      const uint32_t len = LoadLE<uint32_t>(header_);
-      if (len > kMaxFramePayload) {
-        return OutOfRangeError("frame payload too large: " +
-                               std::to_string(len));
+      const uint32_t raw = LoadLE<uint32_t>(header_);
+      if (FrameTag(raw) > kFrameTagMax) {
+        return OutOfRangeError("unknown frame tag (corrupted length?): " +
+                               std::to_string(raw));
       }
-      payload_len_ = len;
+      raw_len_ = raw;
+      payload_len_ = FrameLength(raw);
       payload_got_ = 0;
-      payload_ = alloc(len);
-      if (payload_ == nullptr && len > 0) {
+      payload_ = alloc(raw);
+      if (payload_ == nullptr && payload_len_ > 0) {
         return ResourceExhaustedError("frame allocator returned null");
       }
-      if (len == 0) {
+      if (payload_len_ == 0) {
+        *length = raw;
         Reset();
-        *length = 0;
         return Step::kFrame;
       }
       state_ = State::kPayload;
@@ -115,9 +119,9 @@ Result<FrameReader::Step> FrameReader::Poll(TcpConnection& conn,
     if (*n == 0) return Step::kNeedMore;
     payload_got_ += *n;
     if (payload_got_ == payload_len_) {
-      const uint32_t len = payload_len_;
+      const uint32_t raw = raw_len_;
       Reset();
-      *length = len;
+      *length = raw;
       return Step::kFrame;
     }
   }
@@ -140,9 +144,11 @@ bool FrameWriter::Enqueue(std::shared_ptr<const uint8_t[]> payload,
     }
   }
   PendingFrame frame;
+  // The raw value (tag | length) goes on the wire; the writer's own
+  // byte accounting uses the masked payload length.
   StoreLE<uint32_t>(frame.header, size);
   frame.payload = std::move(payload);
-  frame.size = size;
+  frame.size = FrameLength(size);
   pending_.push_back(std::move(frame));
   return evicted;
 }
@@ -283,20 +289,21 @@ Result<FrameReader::Step> FrameReader::Commit(size_t n,
   if (state_ == State::kHeader) {
     header_got_ += n;
     if (header_got_ < sizeof(header_)) return Step::kNeedMore;
-    const uint32_t len = LoadLE<uint32_t>(header_);
-    if (len > kMaxFramePayload) {
-      return OutOfRangeError("frame payload too large: " +
-                             std::to_string(len));
+    const uint32_t raw = LoadLE<uint32_t>(header_);
+    if (FrameTag(raw) > kFrameTagMax) {
+      return OutOfRangeError("unknown frame tag (corrupted length?): " +
+                             std::to_string(raw));
     }
-    payload_len_ = len;
+    raw_len_ = raw;
+    payload_len_ = FrameLength(raw);
     payload_got_ = 0;
-    payload_ = alloc(len);
-    if (payload_ == nullptr && len > 0) {
+    payload_ = alloc(raw);
+    if (payload_ == nullptr && payload_len_ > 0) {
       return ResourceExhaustedError("frame allocator returned null");
     }
-    if (len == 0) {
+    if (payload_len_ == 0) {
+      *length = raw;
       Reset();
-      *length = 0;
       return Step::kFrame;
     }
     state_ = State::kPayload;
@@ -304,9 +311,9 @@ Result<FrameReader::Step> FrameReader::Commit(size_t n,
   }
   payload_got_ += n;
   if (payload_got_ < payload_len_) return Step::kNeedMore;
-  const uint32_t len = payload_len_;
+  const uint32_t raw = raw_len_;
   Reset();
-  *length = len;
+  *length = raw;
   return Step::kFrame;
 }
 

@@ -20,8 +20,35 @@
 
 namespace rsf::net {
 
+/// The wire length prefix carries a frame *tag* in its top 4 bits (shm
+/// descriptor/control frames share the data links, see kFrameTag*), so the
+/// payload length proper lives in the low 28 bits.  Tag 0 is ordinary data
+/// — the only tag that existed before the shm tier — so a plain peer's
+/// frames parse exactly as before.
+inline constexpr uint32_t kFrameLengthMask = (1u << 28) - 1u;
+
 /// Maximum accepted frame payload (guards against corrupted lengths).
-inline constexpr uint32_t kMaxFramePayload = 256u * 1024u * 1024u;
+inline constexpr uint32_t kMaxFramePayload = kFrameLengthMask;
+
+inline constexpr unsigned kFrameTagShift = 28;
+inline constexpr uint32_t kFrameTagData = 0;            // message payload
+inline constexpr uint32_t kFrameTagShmDescriptor = 1;   // pub→sub block ref
+inline constexpr uint32_t kFrameTagShmControl = 2;      // sub→pub ack/nack
+inline constexpr uint32_t kFrameTagMax = kFrameTagShmControl;
+
+/// Splits/builds a raw length-prefix value.  The frame reader hands the RAW
+/// value to the allocator and on_frame callbacks (so receivers can route on
+/// the tag); tag-0 frames have raw == length, which keeps every pre-shm
+/// caller byte-for-byte unaffected.
+constexpr uint32_t FrameTag(uint32_t raw) noexcept {
+  return raw >> kFrameTagShift;
+}
+constexpr uint32_t FrameLength(uint32_t raw) noexcept {
+  return raw & kFrameLengthMask;
+}
+constexpr uint32_t TaggedLength(uint32_t tag, uint32_t length) noexcept {
+  return (tag << kFrameTagShift) | length;
+}
 
 /// Writes one frame: 4-byte LE length then the payload, gathered into a
 /// single writev-style syscall (TcpConnection::WritevAll).
@@ -33,12 +60,14 @@ Status WriteFrame(TcpConnection& conn, std::span<const uint8_t> payload);
 Status WriteFrameScattered(TcpConnection& conn, std::span<const uint8_t> head,
                            std::span<const uint8_t> body);
 
-/// Allocator: given the payload length, returns the destination buffer.
-/// Returning nullptr aborts the read with kResourceExhausted.
+/// Allocator: given the raw length-prefix value (FrameLength() of it is the
+/// payload byte count; FrameTag() the frame tag), returns the destination
+/// buffer.  Returning nullptr aborts the read with kResourceExhausted.
 using FrameAllocator = std::function<uint8_t*(uint32_t length)>;
 
 /// Reads one frame into memory provided by `alloc`; on success stores the
-/// payload length in `*length`.
+/// payload length in `*length`.  The blocking path predates frame tags and
+/// carries only data frames (bag files, tests): a tagged frame is rejected.
 Status ReadFrame(TcpConnection& conn, const FrameAllocator& alloc,
                  uint32_t* length);
 
@@ -61,6 +90,9 @@ class FrameReader {
   /// callers loop Poll() until kNeedMore to drain multi-frame bursts.
   /// A peer close at a frame boundary is kUnavailable ("connection
   /// closed"); mid-frame it is kUnavailable with a truncation message.
+  /// `*length` receives the RAW prefix value — mask with FrameLength()
+  /// where a byte count is needed; a raw tag above kFrameTagMax is
+  /// rejected as kOutOfRange (corrupted stream).
   Result<Step> Poll(TcpConnection& conn, const FrameAllocator& alloc,
                     uint32_t* length);
 
@@ -89,7 +121,8 @@ class FrameReader {
   uint8_t header_[4] = {};
   size_t header_got_ = 0;
   uint8_t* payload_ = nullptr;
-  uint32_t payload_len_ = 0;
+  uint32_t raw_len_ = 0;      // tag | length as it appeared on the wire
+  uint32_t payload_len_ = 0;  // FrameLength(raw_len_)
   size_t payload_got_ = 0;
 };
 
@@ -128,12 +161,15 @@ size_t SendBatchMaxFrames() noexcept;
 /// the connection's lifetime.
 class FrameWriter {
  public:
-  /// Queues one frame (shared payload: fan-out costs no copy).  When
-  /// `max_pending` > 0 and the queue is at capacity, the oldest frame whose
-  /// bytes have not begun to leave is evicted first (drop-oldest, matching
-  /// the publisher queue policy); returns true when that happened.  The
-  /// frame whose write is in progress is never evicted — a partial frame on
-  /// the wire must complete or the stream desynchronizes.
+  /// Queues one frame (shared payload: fan-out costs no copy).  `size` is
+  /// the raw prefix value — TaggedLength(tag, bytes), or just the byte
+  /// count for ordinary data frames; the payload byte count on the wire is
+  /// FrameLength(size).  When `max_pending` > 0 and the queue is at
+  /// capacity, the oldest frame whose bytes have not begun to leave is
+  /// evicted first (drop-oldest, matching the publisher queue policy);
+  /// returns true when that happened.  The frame whose write is in progress
+  /// is never evicted — a partial frame on the wire must complete or the
+  /// stream desynchronizes.
   bool Enqueue(std::shared_ptr<const uint8_t[]> payload, uint32_t size,
                size_t max_pending = 0);
 

@@ -23,6 +23,7 @@
 #include "serialization/field_model.h"
 #include "serialization/ros1.h"
 #include "sfm/sfm.h"
+#include "sfm/shm_pool.h"
 #include "ros/serialized_message.h"
 
 namespace ros {
@@ -47,6 +48,17 @@ inline std::atomic<uint64_t> arena_direct{0};  // payload read straight into an 
 // carries the proof for that last hop).
 inline std::atomic<uint64_t> wire_serialize_copies{0};  // generated serializer ran
 inline std::atomic<uint64_t> wire_snapshot_copies{0};   // SFM stack-fallback memcpy
+// Shm-tier counters (DESIGN.md §12): deliveries that crossed processes as a
+// 48-byte descriptor into a shared block (zero payload copies end to end),
+// vs deliveries on shm-negotiated links that went inline anyway — below the
+// size threshold, heap-backed payload, or a per-link fallback.
+inline std::atomic<uint64_t> shm_zero_copy_deliveries{0};
+inline std::atomic<uint64_t> shm_fallback_deliveries{0};
+/// Shm blocks force-reclaimed from dead (SIGKILLed) subscribers — reads the
+/// pool's own ledger so the count survives pool-internal sweeps too.
+inline uint64_t shm_blocks_reclaimed() {
+  return ::sfm::shm::GetPoolStats().blocks_reclaimed;
+}
 }  // namespace shim
 
 /// A frame destination handed to the transport's frame reader, plus the

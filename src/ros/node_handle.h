@@ -140,6 +140,11 @@ class Subscriber {
   [[nodiscard]] uint64_t intraWholeCopyCount() const {
     return impl_ ? impl_->IntraWholeCopyCount() : 0;
   }
+  /// Cross-process deliveries that arrived through the shm tier (mapped
+  /// and read in place, zero payload copies).
+  [[nodiscard]] uint64_t shmZeroCopyCount() const {
+    return impl_ ? impl_->ShmZeroCopyCount() : 0;
+  }
   [[nodiscard]] size_t getNumPublishers() const {
     return impl_ ? impl_->NumPublishers() : 0;
   }

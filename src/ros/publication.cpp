@@ -1,9 +1,13 @@
 #include "ros/publication.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/log.h"
+#include "net/framing.h"
 #include "ros/connection_header.h"
+#include "ros/message_traits.h"
+#include "sfm/shm_pool.h"
 
 namespace ros {
 
@@ -58,7 +62,8 @@ Publication::~Publication() { Shutdown(); }
 /// Decides a subscriber's fate from its connection-header bytes and
 /// produces the reply frame.
 bool Publication::EvaluateHandshake(const uint8_t* request, uint32_t length,
-                                    std::vector<uint8_t>* reply_frame) {
+                                    std::vector<uint8_t>* reply_frame,
+                                    ShmLinkState* shm) {
   auto header = DecodeConnectionHeader(request, length);
   rsf::Status valid = header.ok()
                           ? ValidateSubscriberHeader(*header, topic_,
@@ -68,6 +73,38 @@ bool Publication::EvaluateHandshake(const uint8_t* request, uint32_t length,
   ConnectionHeader reply;
   if (valid.ok()) {
     reply = {{"type", datatype_}, {"md5sum", md5sum_}, {"callerid", callerid_}};
+    // Shm-tier negotiation: granted only when the subscriber asked, the
+    // tier is enabled here too, and a peer refcount column is free.  Every
+    // refusal stays on plain TCP — by replying without the shm fields.
+    const auto want = header->find("shm");
+    const auto pid_field = header->find("shm_pid");
+    if (shm != nullptr && want != header->end() && want->second == "1" &&
+        pid_field != header->end()) {
+      if (!sfm::shm::Enabled()) {
+        RSF_INFO("subscriber asked for shm on %s but the tier is disabled "
+                 "here; staying on TCP",
+                 topic_.c_str());
+      } else {
+        const pid_t peer_pid =
+            static_cast<pid_t>(std::strtol(pid_field->second.c_str(),
+                                           nullptr, 10));
+        const int slot = sfm::shm::AcquirePeerSlot(peer_pid);
+        if (slot < 0) {
+          RSF_WARN("no free shm peer slot for subscriber on %s "
+                   "(all %zu busy); falling back to TCP",
+                   topic_.c_str(), sfm::shm::kMaxPeers);
+        } else {
+          std::lock_guard<std::mutex> lock(shm->mutex);
+          shm->negotiated = true;
+          shm->slot = slot;
+          shm->peer_pid = peer_pid;
+          sfm::shm::NotePeerNegotiated();
+          reply["shm"] = "1";
+          reply["shm_ns"] = sfm::shm::Namespace();
+          reply["shm_slot"] = std::to_string(slot);
+        }
+      }
+    }
   } else {
     reply = {{"error", valid.ToString()}};
     RSF_WARN("rejecting subscriber on %s: %s", topic_.c_str(),
@@ -98,13 +135,15 @@ void Publication::OnAcceptReady() {
     options.zerocopy_threshold = rsf::net::ZeroCopyThresholdBytes();
     options.zerocopy_copied_limit = rsf::net::ZeroCopyCopiedLimit();
     options.write_timeout_nanos = rsf::net::WriteTimeoutNanos();
+    auto shm_state = std::make_shared<ShmLinkState>();
     rsf::net::Link::Callbacks callbacks;
     callbacks.on_handshake_request =
-        [weak](const uint8_t* data, uint32_t length,
-               std::vector<uint8_t>* reply) {
+        [weak, shm_state](const uint8_t* data, uint32_t length,
+                          std::vector<uint8_t>* reply) {
           auto self = weak.lock();
           return self != nullptr &&
-                 self->EvaluateHandshake(data, length, reply);
+                 self->EvaluateHandshake(data, length, reply,
+                                         shm_state.get());
         };
     callbacks.on_established =
         [weak](const std::shared_ptr<rsf::net::Link>& link) {
@@ -113,11 +152,27 @@ void Publication::OnAcceptReady() {
     callbacks.on_closed = [weak](const std::shared_ptr<rsf::net::Link>& link) {
       if (auto self = weak.lock()) self->OnLinkClosed(link);
     };
-    // No on_frame: subscribers never speak after the handshake, so the
-    // link drains-and-discards, watching only for EOF.
+    // The only thing a subscriber ever sends after the handshake is a
+    // small tagged shm control frame (ack / disable); anything else —
+    // including any data-tagged frame — is a protocol violation and closes
+    // the link by way of a null allocation.
+    callbacks.alloc = [shm_state](uint32_t raw) -> uint8_t* {
+      if (rsf::net::FrameTag(raw) != rsf::net::kFrameTagShmControl) {
+        return nullptr;
+      }
+      const uint32_t length = rsf::net::FrameLength(raw);
+      if (length == 0 || length > kShmMaxControlFrame) return nullptr;
+      shm_state->control_buf.resize(length);
+      return shm_state->control_buf.data();
+    };
+    callbacks.on_frame = [weak, shm_state](uint32_t raw) {
+      if (auto self = weak.lock()) self->OnShmControlFrame(shm_state, raw);
+    };
     auto link = rsf::net::Link::Accepted(std::move(conn), loop_, options,
                                          std::move(callbacks));
+    shm_state->link = link;
     std::lock_guard<std::mutex> lock(links_mutex_);
+    shm_states_.emplace(link.get(), std::move(shm_state));
     pending_links_.push_back(std::move(link));
   }
 }
@@ -134,14 +189,83 @@ void Publication::OnLinkEstablished(
 }
 
 void Publication::OnLinkClosed(const std::shared_ptr<rsf::net::Link>& link) {
+  std::shared_ptr<ShmLinkState> shm;
   {
     std::lock_guard<std::mutex> lock(links_mutex_);
     std::erase(pending_links_, link);
     std::erase(links_, link);
+    const auto it = shm_states_.find(link.get());
+    if (it != shm_states_.end()) {
+      shm = std::move(it->second);
+      shm_states_.erase(it);
+    }
   }
+  if (shm != nullptr) ReleaseShmLink(shm);
   // Frames still queued behind the broken connection are lost.
   dropped_.fetch_add(link->stats().frames_stranded,
                      std::memory_order_relaxed);
+}
+
+void Publication::ReleaseShmLink(const std::shared_ptr<ShmLinkState>& shm) {
+  int slot = -1;
+  pid_t peer_pid = 0;
+  {
+    std::lock_guard<std::mutex> lock(shm->mutex);
+    if (!shm->negotiated) return;
+    shm->negotiated = false;
+    slot = shm->slot;
+    peer_pid = shm->peer_pid;
+    // Dropping the ledger releases the pinned payload holders; blocks the
+    // (possibly dead) peer never acked retire, and either its in-mapping
+    // RefTokens drain them or the pid liveness sweep reclaims them.
+    shm->ledger.clear();
+  }
+  sfm::shm::ReleasePeerSlot(slot, peer_pid);
+}
+
+void Publication::OnShmControlFrame(const std::shared_ptr<ShmLinkState>& shm,
+                                    uint32_t raw) {
+  ShmControlKind kind;
+  uint64_t seq = 0;
+  if (!DecodeShmControl(shm->control_buf.data(),
+                        rsf::net::FrameLength(raw), &kind, &seq)) {
+    RSF_WARN("malformed shm control frame on %s; ignoring", topic_.c_str());
+    return;
+  }
+  std::vector<SerializedMessage> retransmit;
+  {
+    std::lock_guard<std::mutex> lock(shm->mutex);
+    if (kind == ShmControlKind::kAck) {
+      // Cumulative: every pin at or below the acked seq is consumed.
+      while (!shm->ledger.empty() && shm->ledger.front().seq <= seq) {
+        shm->ledger.pop_front();
+      }
+      return;
+    }
+    // Disable: the subscriber's side of the tier broke (attach failure,
+    // out-of-range descriptor).  Everything unacked goes out inline, in
+    // order, and the link stays inline for good.
+    shm->inline_only = true;
+    retransmit.reserve(shm->ledger.size());
+    for (auto& pinned : shm->ledger) {
+      retransmit.push_back(std::move(pinned.message));
+    }
+    shm->ledger.clear();
+  }
+  RSF_WARN("subscriber on %s left the shm tier; retransmitting %zu pinned "
+           "messages inline",
+           topic_.c_str(), retransmit.size());
+  auto link = shm->link.lock();
+  if (link == nullptr) return;
+  for (const auto& message : retransmit) {
+    // Not re-counted as enqueued (the descriptor delivery already was);
+    // an eviction here is a real loss, though.
+    if (link->EnqueueFrame(message.data,
+                           static_cast<uint32_t>(message.size))) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  link->FlushOnLoop();  // on_frame runs on the loop thread
 }
 
 void Publication::Publish(SerializedMessage message) {
@@ -149,16 +273,77 @@ void Publication::Publish(SerializedMessage message) {
   // buffer: one shared_ptr copy per link), then kick the loop once to
   // flush them all.
   std::vector<std::shared_ptr<rsf::net::Link>> snapshot;
+  std::vector<std::shared_ptr<ShmLinkState>> shm_snapshot;
   {
     std::lock_guard<std::mutex> lock(links_mutex_);
     snapshot = links_;
+    shm_snapshot.reserve(snapshot.size());
+    for (const auto& link : snapshot) {
+      const auto it = shm_states_.find(link.get());
+      shm_snapshot.push_back(it != shm_states_.end() ? it->second : nullptr);
+    }
   }
   if (snapshot.empty()) return;
-  for (const auto& link : snapshot) {
+
+  // One descriptor for the whole fan-out: PreparePublish resolves the
+  // payload to its shm block (nullopt when it is heap-backed — tier off,
+  // below threshold, or a snapshot copy) and stamps it with this publish's
+  // sequence number.
+  std::shared_ptr<const uint8_t[]> descriptor_frame;
+  uint32_t descriptor_raw = 0;
+  uint64_t seq = 0;
+  if (sfm::shm::PeersEverNegotiated()) {
+    seq = shm_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (auto descriptor =
+            sfm::shm::PreparePublish(message.data.get(), message.size, seq)) {
+      descriptor_frame = EncodeShmDescriptorFrame(*descriptor);
+      descriptor_raw = rsf::net::TaggedLength(
+          rsf::net::kFrameTagShmDescriptor, kShmDescriptorSize);
+    }
+  }
+  // Pin bound: generous enough that a subscriber acking every message
+  // never hits it; a stalled one loses its oldest pins (drop-oldest — the
+  // generation fence turns their stale descriptors into clean drops).
+  const size_t max_pins = std::max<size_t>(2 * queue_size_, 64);
+
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    const auto& link = snapshot[i];
+    const auto& shm = shm_snapshot[i];
     enqueued_.fetch_add(1, std::memory_order_relaxed);
+
+    bool negotiated = false;
+    bool via_shm = false;
+    if (descriptor_frame != nullptr && shm != nullptr) {
+      std::lock_guard<std::mutex> lock(shm->mutex);
+      negotiated = shm->negotiated;
+      if (negotiated && !shm->inline_only) {
+        shm->ledger.push_back({seq, message});
+        while (shm->ledger.size() > max_pins) shm->ledger.pop_front();
+        via_shm = true;
+      }
+    } else if (shm != nullptr) {
+      std::lock_guard<std::mutex> lock(shm->mutex);
+      negotiated = shm->negotiated;
+    }
+
+    if (via_shm) {
+      if (link->EnqueueFrame(descriptor_frame, descriptor_raw)) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        shm_descriptors_.fetch_add(1, std::memory_order_relaxed);
+        shim::shm_zero_copy_deliveries.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      }
+      continue;
+    }
     if (link->EnqueueFrame(message.data,
                            static_cast<uint32_t>(message.size))) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
+    } else if (negotiated) {
+      // The link speaks shm but this payload went inline: below the
+      // threshold, heap-backed, or the link fell back.
+      shm_inline_.fetch_add(1, std::memory_order_relaxed);
+      shim::shm_fallback_deliveries.fetch_add(1, std::memory_order_relaxed);
     }
   }
   // Coalesced wake-up: back-to-back publishes share one loop task.  The
@@ -302,9 +487,17 @@ PublicationStats Publication::Stats() const {
   stats.intra_delivered = intra_delivered_.load(std::memory_order_relaxed);
   stats.intra_zero_copy = intra_zero_copy_.load(std::memory_order_relaxed);
   stats.intra_whole_copy = intra_whole_copy_.load(std::memory_order_relaxed);
+  stats.shm_descriptors = shm_descriptors_.load(std::memory_order_relaxed);
+  stats.shm_inline = shm_inline_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(links_mutex_);
     stats.tcp_links = links_.size();
+    for (const auto& link : links_) {
+      const auto it = shm_states_.find(link.get());
+      if (it == shm_states_.end()) continue;
+      std::lock_guard<std::mutex> shm_lock(it->second->mutex);
+      if (it->second->negotiated) ++stats.shm_links;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(intra_mutex_);
@@ -334,11 +527,14 @@ void Publication::Shutdown() {
       loop_->Remove(listener_.fd());
       std::vector<std::shared_ptr<rsf::net::Link>> pending;
       std::vector<std::shared_ptr<rsf::net::Link>> established;
+      std::map<const rsf::net::Link*, std::shared_ptr<ShmLinkState>> shm;
       {
         std::lock_guard<std::mutex> lock(links_mutex_);
         pending.swap(pending_links_);
         established.swap(links_);
+        shm.swap(shm_states_);
       }
+      for (const auto& [key, state] : shm) ReleaseShmLink(state);
       for (const auto& link : pending) link->CloseNow();
       for (const auto& link : established) {
         link->CloseNow();

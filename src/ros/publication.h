@@ -22,6 +22,7 @@
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,6 +34,7 @@
 #include "net/socket.h"
 #include "ros/intra_process.h"
 #include "ros/serialized_message.h"
+#include "ros/shm_transport.h"
 
 namespace ros {
 
@@ -48,7 +50,11 @@ struct PublicationStats {
   uint64_t intra_delivered = 0;   // in-process deliveries (all tiers)
   uint64_t intra_zero_copy = 0;   // ... of which aliased the publisher's message
   uint64_t intra_whole_copy = 0;  // ... of which handed out a clone
+  uint64_t shm_descriptors = 0;   // wire deliveries sent as shm descriptors
+  uint64_t shm_inline = 0;        // wire deliveries on negotiated links that
+                                  // went inline (fallback / below threshold)
   size_t tcp_links = 0;           // live (established) TCP subscriber links
+  size_t shm_links = 0;           // ... of which negotiated the shm tier
   size_t intra_links = 0;         // live in-process subscriber links
 };
 
@@ -139,14 +145,22 @@ class Publication : public std::enable_shared_from_this<Publication> {
   void Start();
 
   /// Validates a request header, builds the reply frame, returns whether
-  /// the subscriber is accepted.  The Link handshake callback.
+  /// the subscriber is accepted.  The Link handshake callback.  When the
+  /// request asks for the shm tier and this process can grant it (tier
+  /// enabled, a peer slot free), the reply carries the segment namespace
+  /// and the subscriber's slot, and `shm` flips to negotiated.
   bool EvaluateHandshake(const uint8_t* request, uint32_t length,
-                         std::vector<uint8_t>* reply_frame);
+                         std::vector<uint8_t>* reply_frame, ShmLinkState* shm);
 
   // Loop-thread-only.
   void OnAcceptReady();
   void OnLinkEstablished(const std::shared_ptr<rsf::net::Link>& link);
   void OnLinkClosed(const std::shared_ptr<rsf::net::Link>& link);
+  /// A control frame (ack / disable) arrived on a subscriber link.
+  void OnShmControlFrame(const std::shared_ptr<ShmLinkState>& shm,
+                         uint32_t raw);
+  /// Returns the link's peer slot and drops its pin ledger.
+  void ReleaseShmLink(const std::shared_ptr<ShmLinkState>& shm);
 
   const std::string topic_;
   const std::string datatype_;
@@ -163,6 +177,9 @@ class Publication : public std::enable_shared_from_this<Publication> {
   std::atomic<uint64_t> intra_delivered_{0};
   std::atomic<uint64_t> intra_zero_copy_{0};
   std::atomic<uint64_t> intra_whole_copy_{0};
+  std::atomic<uint64_t> shm_descriptors_{0};
+  std::atomic<uint64_t> shm_inline_{0};
+  std::atomic<uint64_t> shm_seq_{0};  // publish sequence for the pin ledger
 
   // The loop carrying this publication's listener and every link.
   rsf::net::EventLoop* loop_ = nullptr;
@@ -173,6 +190,9 @@ class Publication : public std::enable_shared_from_this<Publication> {
   // to links_ in OnLinkEstablished; OnLinkClosed erases from both.
   std::vector<std::shared_ptr<rsf::net::Link>> pending_links_;
   std::vector<std::shared_ptr<rsf::net::Link>> links_;
+  // Per-link shm state, filed alongside the link in OnAcceptReady (loop
+  // thread, before any frame can arrive) and erased with it.
+  std::map<const rsf::net::Link*, std::shared_ptr<ShmLinkState>> shm_states_;
 
   mutable std::mutex intra_mutex_;
   // Accepted but not yet activated links (subscriber still filing), and

@@ -1,0 +1,151 @@
+#include "ros/shm_transport.h"
+
+#include <cstring>
+
+namespace ros {
+namespace {
+
+void StoreLE32(uint8_t* out, uint32_t value) {
+  out[0] = static_cast<uint8_t>(value);
+  out[1] = static_cast<uint8_t>(value >> 8);
+  out[2] = static_cast<uint8_t>(value >> 16);
+  out[3] = static_cast<uint8_t>(value >> 24);
+}
+
+void StoreLE64(uint8_t* out, uint64_t value) {
+  StoreLE32(out, static_cast<uint32_t>(value));
+  StoreLE32(out + 4, static_cast<uint32_t>(value >> 32));
+}
+
+uint32_t LoadLE32(const uint8_t* in) {
+  return static_cast<uint32_t>(in[0]) | (static_cast<uint32_t>(in[1]) << 8) |
+         (static_cast<uint32_t>(in[2]) << 16) |
+         (static_cast<uint32_t>(in[3]) << 24);
+}
+
+uint64_t LoadLE64(const uint8_t* in) {
+  return static_cast<uint64_t>(LoadLE32(in)) |
+         (static_cast<uint64_t>(LoadLE32(in + 4)) << 32);
+}
+
+}  // namespace
+
+std::shared_ptr<const uint8_t[]> EncodeShmDescriptorFrame(
+    const sfm::shm::Descriptor& descriptor) {
+  auto frame = std::shared_ptr<uint8_t[]>(new uint8_t[kShmDescriptorSize]);
+  uint8_t* out = frame.get();
+  StoreLE32(out + 0, kShmDescriptorMagic);
+  StoreLE32(out + 4, descriptor.block_index);
+  StoreLE64(out + 8, descriptor.pool_id);
+  StoreLE32(out + 16, descriptor.gen);
+  StoreLE32(out + 20, 0);  // reserved
+  StoreLE64(out + 24, descriptor.offset);
+  StoreLE64(out + 32, descriptor.length);
+  StoreLE64(out + 40, descriptor.seq);
+  return frame;
+}
+
+bool DecodeShmDescriptor(const uint8_t* data, size_t size,
+                         sfm::shm::Descriptor* out) {
+  if (size != kShmDescriptorSize) return false;
+  if (LoadLE32(data) != kShmDescriptorMagic) return false;
+  out->block_index = LoadLE32(data + 4);
+  out->pool_id = LoadLE64(data + 8);
+  out->gen = LoadLE32(data + 16);
+  out->offset = LoadLE64(data + 24);
+  out->length = LoadLE64(data + 32);
+  out->seq = LoadLE64(data + 40);
+  return true;
+}
+
+std::shared_ptr<const uint8_t[]> EncodeShmControlFrame(ShmControlKind kind,
+                                                       uint64_t seq) {
+  auto frame = std::shared_ptr<uint8_t[]>(new uint8_t[kShmControlSize]);
+  uint8_t* out = frame.get();
+  StoreLE32(out + 0, kShmControlMagic);
+  out[4] = static_cast<uint8_t>(kind);
+  out[5] = out[6] = out[7] = 0;
+  StoreLE64(out + 8, seq);
+  return frame;
+}
+
+bool DecodeShmControl(const uint8_t* data, size_t size, ShmControlKind* kind,
+                      uint64_t* seq) {
+  if (size != kShmControlSize) return false;
+  if (LoadLE32(data) != kShmControlMagic) return false;
+  if (data[4] > static_cast<uint8_t>(ShmControlKind::kDisable)) return false;
+  *kind = static_cast<ShmControlKind>(data[4]);
+  *seq = LoadLE64(data + 8);
+  return true;
+}
+
+rsf::Result<std::shared_ptr<uint8_t[]>> ShmMapDescriptor(
+    ShmSubState& state, const sfm::shm::Descriptor& descriptor,
+    size_t min_length) {
+  if (state.slot < 0 ||
+      static_cast<size_t>(state.slot) >= sfm::shm::kMaxPeers) {
+    return rsf::FailedPreconditionError("shm peer slot never negotiated");
+  }
+
+  std::shared_ptr<sfm::shm::SegmentView> view;
+  const auto it = state.segments.find(descriptor.pool_id);
+  if (it != state.segments.end()) {
+    view = it->second;
+  } else {
+    auto attached = sfm::shm::AttachSegment(state.ns, descriptor.pool_id);
+    if (!attached.ok()) return attached.status();
+    view = *std::move(attached);
+    state.segments.emplace(descriptor.pool_id, view);
+  }
+
+  // Geometry checks: a descriptor must point exactly at a block start, fit
+  // inside its block, and satisfy the caller's type.  Anything else means a
+  // corrupted or hostile descriptor — leave the tier, never read through it.
+  const sfm::shm::SegmentHeader& header = view->header();
+  if (descriptor.block_index >= header.block_count) {
+    return rsf::OutOfRangeError("shm descriptor block index out of range");
+  }
+  if (descriptor.offset !=
+      header.data_offset +
+          static_cast<uint64_t>(descriptor.block_index) *
+              header.block_class) {
+    return rsf::OutOfRangeError("shm descriptor offset is not a block start");
+  }
+  if (descriptor.length == 0 || descriptor.length > header.block_class ||
+      descriptor.offset + descriptor.length > view->bytes()) {
+    return rsf::OutOfRangeError("shm descriptor length out of range");
+  }
+  if (descriptor.length < min_length) {
+    return rsf::OutOfRangeError("shm payload smaller than the skeleton");
+  }
+
+  // The fence protocol, reader side: take our peer reference FIRST, then
+  // re-check the generation.  A recycle that raced us either sees our
+  // reference on its recheck and aborts, or bumped the generation before
+  // our check — in which case we back out here (seq_cst on both sides
+  // forbids the both-miss outcome).
+  sfm::shm::BlockCtl* ctl = view->ctl(descriptor.block_index);
+  ctl->refs[state.slot].fetch_add(1, std::memory_order_seq_cst);
+  if (ctl->gen.load(std::memory_order_seq_cst) != descriptor.gen) {
+    ctl->refs[state.slot].fetch_sub(1, std::memory_order_seq_cst);
+    return rsf::UnavailableError(
+        "shm block recycled before read (publisher evicted its pin)");
+  }
+  // The acquire edge that orders the publisher's payload writes (all before
+  // its stamp store) before our reads through the aliased buffer.  `>=`
+  // rather than `==`: republishing the same message re-stamps the block
+  // with a later seq without changing the bytes.
+  if (ctl->stamp.load(std::memory_order_acquire) < descriptor.seq) {
+    ctl->refs[state.slot].fetch_sub(1, std::memory_order_seq_cst);
+    return rsf::UnavailableError("shm block stamp behind its descriptor");
+  }
+
+  auto token = std::make_shared<sfm::shm::RefToken>(view, ctl, state.slot);
+  // Aliased: the buffer points into the mapped block, ownership is the
+  // token — its destructor drops the peer reference, and its SegmentView
+  // keeps the mapping alive for as long as any message does.
+  return std::shared_ptr<uint8_t[]>(std::move(token),
+                                    view->block(descriptor.block_index));
+}
+
+}  // namespace ros

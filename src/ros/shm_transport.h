@@ -1,0 +1,126 @@
+// Wire protocol of the shared-memory transport tier (DESIGN.md §12).
+//
+// The tier reuses the existing reactor Link; only the frames change.  The
+// 4-byte length prefix carries a 4-bit tag (net/framing.h), giving three
+// frame kinds on a negotiated link:
+//
+//   tag 0 (data)        the classic inline payload — also the fallback
+//   tag 1 (descriptor)  publisher → subscriber: a 48-byte pointer into a
+//                       shared segment instead of the payload bytes
+//   tag 2 (control)     subscriber → publisher: cumulative ack of consumed
+//                       descriptors, or "disable" (fall back to inline)
+//
+// Descriptor payload (48 bytes, little-endian):
+//   u32 magic 'RSFD' | u32 block_index | u64 pool_id | u32 gen |
+//   u32 reserved | u64 offset | u64 length | u64 seq
+//
+// Control payload (16 bytes, little-endian):
+//   u32 magic 'RSFA' | u8 kind (0 = ack, 1 = disable) | u8[3] pad | u64 seq
+//
+// Lifetime: the publisher PINS the published message (its SerializedMessage
+// holder) in a per-link ledger until the subscriber's cumulative ack covers
+// its seq.  A pinned holder keeps PooledDeleter from running, the block
+// from retiring, and its generation from moving — so a descriptor the
+// subscriber reads in order always passes the generation fence.  Only
+// ledger-evicted descriptors (drop-oldest under backpressure) can lose the
+// race, and those fail the fence cleanly: drop-oldest semantics, never a
+// torn read.  On "disable" the publisher retransmits every unacked pin
+// inline and stops sending descriptors on that link.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/link.h"
+#include "ros/serialized_message.h"
+#include "sfm/shm_pool.h"
+
+namespace ros {
+
+inline constexpr uint32_t kShmDescriptorMagic = 0x44465352u;  // "RSFD" LE
+inline constexpr uint32_t kShmControlMagic = 0x41465352u;     // "RSFA" LE
+inline constexpr uint32_t kShmDescriptorSize = 48;
+inline constexpr uint32_t kShmControlSize = 16;
+/// Upper bound a link's allocator accepts for tagged shm frames; anything
+/// larger is a corrupted prefix and closes the link.
+inline constexpr uint32_t kShmMaxControlFrame = 64;
+
+enum class ShmControlKind : uint8_t { kAck = 0, kDisable = 1 };
+
+/// Builds the descriptor frame payload (a fresh 48-byte buffer, shareable
+/// across every link the publish fans out to).
+std::shared_ptr<const uint8_t[]> EncodeShmDescriptorFrame(
+    const sfm::shm::Descriptor& descriptor);
+
+/// Parses and structurally validates a descriptor payload (size + magic;
+/// geometry is checked against the mapped segment later).
+bool DecodeShmDescriptor(const uint8_t* data, size_t size,
+                         sfm::shm::Descriptor* out);
+
+std::shared_ptr<const uint8_t[]> EncodeShmControlFrame(ShmControlKind kind,
+                                                       uint64_t seq);
+
+bool DecodeShmControl(const uint8_t* data, size_t size, ShmControlKind* kind,
+                      uint64_t* seq);
+
+/// Publisher-side per-link shm state.  Created per accepted link before the
+/// handshake runs; `negotiated` flips inside the handshake callback (loop
+/// thread), after which Publish() threads read it under `mutex`.
+struct ShmLinkState {
+  struct Pinned {
+    uint64_t seq = 0;
+    SerializedMessage message;  // the holder that keeps the block live
+  };
+
+  std::mutex mutex;
+  bool negotiated = false;
+  /// Subscriber asked for inline delivery (attach failed, fence broke):
+  /// never send descriptors again on this link.
+  bool inline_only = false;
+  int slot = -1;        // peer refcount column in every segment
+  pid_t peer_pid = 0;   // liveness-sweep identity for the slot
+  std::deque<Pinned> ledger;
+  std::weak_ptr<rsf::net::Link> link;  // for ack-driven retransmits
+  std::vector<uint8_t> control_buf;    // staging for inbound control frames
+};
+
+/// Subscriber-side per-link shm state (owned by the WireLink, loop-thread
+/// confined after the handshake).
+struct ShmSubState {
+  bool negotiated = false;
+  /// A validation/attach failure broke the tier for this link; descriptors
+  /// already in flight are ignored (the publisher retransmits them inline
+  /// after our disable control frame).
+  bool broken = false;
+  int slot = -1;
+  std::string ns;  // publisher's segment namespace from the handshake
+  std::unordered_map<uint64_t, std::shared_ptr<sfm::shm::SegmentView>>
+      segments;
+  std::vector<uint8_t> ctrl_buf;  // staging for inbound descriptor frames
+};
+
+/// Resolves a validated descriptor to an aliased buffer over the mapped
+/// block, holding a cross-process reference (RefToken) as its control
+/// block: attaches the segment on first use, bounds-checks the descriptor
+/// against the segment geometry, takes the peer reference, and verifies the
+/// generation fence and publish stamp.  `min_length` is the smallest
+/// payload the caller's type can accept (its skeleton size).
+///
+/// Error codes carry the fallback decision: kUnavailable means only THIS
+/// message is gone (generation fence — the publisher evicted its pin;
+/// drop-oldest semantics, ack and move on), every other code means the
+/// descriptor or segment cannot be trusted and the link must leave the
+/// tier (send disable, set `broken`).
+rsf::Result<std::shared_ptr<uint8_t[]>> ShmMapDescriptor(
+    ShmSubState& state, const sfm::shm::Descriptor& descriptor,
+    size_t min_length);
+
+}  // namespace ros

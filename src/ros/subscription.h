@@ -24,7 +24,10 @@
 // replaced.
 #pragma once
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -45,6 +48,7 @@
 #include "ros/master.h"
 #include "ros/message_traits.h"
 #include "ros/publication.h"
+#include "ros/shm_transport.h"
 
 namespace ros {
 
@@ -59,6 +63,10 @@ struct SubscribeOptions {
   /// Allow the in-process transport when the publisher is co-located.
   /// Disable to force TCPROS (benchmark baselines, wire-level tests).
   bool allow_intra_process = true;
+  /// Allow the shared-memory tier for same-host SFM publishers (negotiated
+  /// in the handshake; requires RSF_TRANSPORT_SHM=1 on both sides).
+  /// Disable to pin this subscription to inline TCP frames.
+  bool allow_shm = true;
 };
 
 /// Type-erased base so NodeHandle / Subscriber handles can own any
@@ -75,6 +83,9 @@ class SubscriptionBase {
   [[nodiscard]] virtual uint64_t IntraZeroCopyCount() const = 0;
   /// In-process deliveries received on the whole-copy tier (cloned message).
   [[nodiscard]] virtual uint64_t IntraWholeCopyCount() const = 0;
+  /// Cross-process deliveries received through the shm tier (descriptor
+  /// mapped and read in place — zero payload copies).
+  [[nodiscard]] virtual uint64_t ShmZeroCopyCount() const = 0;
 };
 
 template <Message M>
@@ -149,6 +160,9 @@ class Subscription final
   [[nodiscard]] uint64_t IntraWholeCopyCount() const override {
     return intra_whole_copy_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] uint64_t ShmZeroCopyCount() const override {
+    return shm_zero_copy_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] size_t NumPublishers() const override {
     std::lock_guard<std::mutex> lock(links_mutex_);
     size_t alive = 0;
@@ -179,6 +193,13 @@ class Subscription final
     bool removed = false;
     std::vector<uint8_t> scratch;
     typename Serializer<M>::ReceiveArena arena;
+    /// Shm-tier receive state (loop-confined after the handshake): the
+    /// negotiated peer slot, the publisher's segment namespace, and this
+    /// link's own mappings.  Mappings are per-link on purpose — two
+    /// subscriptions in one process then register adopted arenas at
+    /// distinct addresses, so the manager's address-keyed index never
+    /// collides.
+    ShmSubState shm;
   };
 
   /// The subscriber end of one in-process link.  Holds the subscription
@@ -284,18 +305,30 @@ class Subscription final
     auto wl = std::make_shared<WireLink>();
     std::weak_ptr<Subscription> weak = this->weak_from_this();
 
+    // Shm-tier negotiation rides the handshake, but only when it could
+    // actually work: SFM wire format (position-independent arenas), a
+    // same-host publisher, no link shaping, and the tier switched on.
+    const bool want_shm =
+        Serializer<M>::kSerializationFree && options_.allow_shm &&
+        !ShapedLink() && sfm::shm::Enabled() &&
+        (endpoint.host == "127.0.0.1" || endpoint.host == "localhost");
+
     rsf::net::Link::Callbacks callbacks;
     // Captured by value: the request must be buildable even if the
     // subscription died between dial and connect completion.
     callbacks.make_handshake_request = [topic = topic_,
                                         datatype = std::string(M::DataType()),
                                         md5 = transport_md5_,
-                                        callerid = callerid_] {
-      return EncodeConnectionHeader(
-          MakeSubscriberHeader(topic, datatype, md5, callerid));
+                                        callerid = callerid_, want_shm] {
+      auto header = MakeSubscriberHeader(topic, datatype, md5, callerid);
+      if (want_shm) {
+        header["shm"] = "1";
+        header["shm_pid"] = std::to_string(::getpid());
+      }
+      return EncodeConnectionHeader(header);
     };
-    callbacks.on_handshake_reply = [topic = topic_](const uint8_t* data,
-                                                    uint32_t length) {
+    callbacks.on_handshake_reply = [topic = topic_, wl](const uint8_t* data,
+                                                        uint32_t length) {
       auto header = DecodeConnectionHeader(data, length);
       if (!header.ok()) return false;
       if (const auto it = header->find("error"); it != header->end()) {
@@ -303,17 +336,50 @@ class Subscription final
                  it->second.c_str());
         return false;
       }
+      // Publisher granted the shm tier: remember its namespace and our
+      // refcount slot.  Loop-thread write, before any frame can arrive.
+      const auto shm = header->find("shm");
+      const auto ns = header->find("shm_ns");
+      const auto slot = header->find("shm_slot");
+      if (shm != header->end() && shm->second == "1" &&
+          ns != header->end() && slot != header->end()) {
+        const long parsed = std::strtol(slot->second.c_str(), nullptr, 10);
+        if (parsed >= 0 &&
+            static_cast<size_t>(parsed) < sfm::shm::kMaxPeers &&
+            !ns->second.empty()) {
+          wl->shm.negotiated = true;
+          wl->shm.ns = ns->second;
+          wl->shm.slot = static_cast<int>(parsed);
+        }
+      }
       return true;
     };
-    callbacks.alloc = [wl](uint32_t length) {
-      // One allocator call per frame: regular messages stage in the link's
-      // reused scratch, SFM messages land arena-direct.
+    callbacks.alloc = [wl](uint32_t raw) -> uint8_t* {
+      // One allocator call per frame, routed by the prefix tag: descriptors
+      // stage in a small control buffer; data frames go the classic way —
+      // regular messages into the link's reused scratch, SFM messages
+      // arena-direct.  Unknown tags close the link (null allocation).
+      const uint32_t tag = rsf::net::FrameTag(raw);
+      const uint32_t length = rsf::net::FrameLength(raw);
+      if (tag == rsf::net::kFrameTagShmDescriptor) {
+        if (length == 0 || length > kShmMaxControlFrame) return nullptr;
+        wl->shm.ctrl_buf.resize(length);
+        return wl->shm.ctrl_buf.data();
+      }
+      if (tag != rsf::net::kFrameTagData) return nullptr;
       wl->arena = {};
       wl->arena.scratch = &wl->scratch;
       return wl->arena.Allocate(length);
     };
-    callbacks.on_frame = [weak, wl](uint32_t length) {
-      if (auto self = weak.lock()) self->OnWireFrame(wl, length);
+    callbacks.on_frame = [weak, wl](uint32_t raw) {
+      auto self = weak.lock();
+      if (self == nullptr) return;
+      const uint32_t length = rsf::net::FrameLength(raw);
+      if (rsf::net::FrameTag(raw) == rsf::net::kFrameTagShmDescriptor) {
+        self->OnShmDescriptor(wl, length);
+      } else {
+        self->OnWireFrame(wl, length);
+      }
     };
     callbacks.on_established =
         [wl](const std::shared_ptr<rsf::net::Link>& link) {
@@ -340,6 +406,77 @@ class Subscription final
     }
     // Shut down while dialing: tear the link back down.
     link->CloseSync();
+  }
+
+  /// Loop-thread-only: a descriptor frame arrived on a shm-negotiated
+  /// link.  Maps the referenced block (attaching its segment on first use),
+  /// adopts it as a received arena — the aliased buffer's control block
+  /// holds the cross-process reference — and dispatches the message read
+  /// in place.  Consumption is acked so the publisher releases its pin;
+  /// any distrustful failure sends "disable" and drops the link back to
+  /// inline TCP (the publisher then retransmits everything unacked).
+  void OnShmDescriptor(const std::shared_ptr<WireLink>& wl, uint32_t length) {
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    if constexpr (Serializer<M>::kSerializationFree) {
+      sfm::shm::Descriptor descriptor;
+      if (!wl->shm.negotiated ||
+          !DecodeShmDescriptor(wl->shm.ctrl_buf.data(), length,
+                               &descriptor)) {
+        ShmLeaveTier(wl, "malformed shm descriptor");
+        return;
+      }
+      if (wl->shm.broken) {
+        // Tier already abandoned; in-flight descriptors are superseded by
+        // the publisher's inline retransmits.
+        return;
+      }
+      auto buffer = ShmMapDescriptor(wl->shm, descriptor, sizeof(M));
+      if (!buffer.ok()) {
+        if (buffer.status().code() == rsf::StatusCode::kUnavailable) {
+          // Only this message is gone (the publisher evicted its pin and
+          // the block recycled): drop-oldest semantics.  Ack it so the
+          // ledger advances.
+          SendShmControl(wl, ShmControlKind::kAck, descriptor.seq);
+        } else {
+          ShmLeaveTier(wl, buffer.status().ToString().c_str());
+        }
+        return;
+      }
+      const uint8_t* start = ::sfm::gmm().AdoptShared(
+          M::DataType(), *std::move(buffer),
+          static_cast<size_t>(descriptor.length),
+          static_cast<size_t>(descriptor.length));
+      received_.fetch_add(1, std::memory_order_relaxed);
+      shm_zero_copy_.fetch_add(1, std::memory_order_relaxed);
+      Dispatch(::sfm::WrapReceived<M>(start));
+      SendShmControl(wl, ShmControlKind::kAck, descriptor.seq);
+    } else {
+      // A non-SFM subscription never negotiates the tier; a descriptor
+      // here is a protocol violation.
+      ShmLeaveTier(wl, "shm descriptor on a non-SFM subscription");
+    }
+  }
+
+  /// Loop-thread-only: abandons the shm tier for this link and tells the
+  /// publisher, which retransmits every unacked pin inline.
+  void ShmLeaveTier(const std::shared_ptr<WireLink>& wl, const char* why) {
+    if (!wl->shm.broken) {
+      RSF_WARN("subscription to %s leaving the shm tier: %s", topic_.c_str(),
+               why);
+      wl->shm.broken = true;
+      SendShmControl(wl, ShmControlKind::kDisable, 0);
+    }
+  }
+
+  /// Loop-thread-only (loop_link is the loop-confined handle).
+  void SendShmControl(const std::shared_ptr<WireLink>& wl,
+                      ShmControlKind kind, uint64_t seq) {
+    if (wl->loop_link == nullptr) return;
+    (void)wl->loop_link->EnqueueFrame(
+        EncodeShmControlFrame(kind, seq),
+        rsf::net::TaggedLength(rsf::net::kFrameTagShmControl,
+                               kShmControlSize));
+    wl->loop_link->FlushOnLoop();
   }
 
   /// Loop-thread-only: one complete frame arrived on a publisher link.
@@ -436,6 +573,7 @@ class Subscription final
   std::atomic<uint64_t> received_{0};
   std::atomic<uint64_t> intra_zero_copy_{0};
   std::atomic<uint64_t> intra_whole_copy_{0};
+  std::atomic<uint64_t> shm_zero_copy_{0};
 
   mutable std::mutex links_mutex_;
   std::vector<std::shared_ptr<WireLink>> wire_links_;

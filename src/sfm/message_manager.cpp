@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "sfm/alert.h"
+#include "sfm/shm_pool.h"
 
 namespace sfm {
 namespace {
@@ -34,6 +35,9 @@ constexpr size_t kMaxBlocksPerCapacity = 8;
 struct ArenaPool {
   std::mutex mutex;
   std::map<size_t, std::vector<uint8_t*>> free_blocks;
+  // Blocks of each class currently out with a caller (deleter not yet run),
+  // heap- and shm-backed alike — the leak-detection side of the snapshot.
+  std::map<size_t, size_t> live_counts;
   size_t bytes = 0;
 
   ~ArenaPool() {
@@ -48,13 +52,27 @@ ArenaPool& Pool() {
   return *pool;
 }
 
+void NoteBlockDead(ArenaPool& pool, size_t cls) {
+  const auto it = pool.live_counts.find(cls);
+  if (it != pool.live_counts.end() && it->second > 0) --it->second;
+}
+
 }  // namespace
 
 void PooledDeleter::operator()(uint8_t* block) const noexcept {
   if (block == nullptr) return;
   ArenaPool& pool = Pool();
+  // Shm-backed blocks go back to their segment's free list (the cross-
+  // process release/recycle protocol lives there); the heap pool only ever
+  // sees heap pointers.  One relaxed load when no segment exists.
+  if (shm::ReleaseIfOwned(block)) {
+    std::lock_guard<std::mutex> lock(pool.mutex);
+    NoteBlockDead(pool, capacity);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(pool.mutex);
+    NoteBlockDead(pool, capacity);
     auto& blocks = pool.free_blocks[capacity];
     if (blocks.size() < kMaxBlocksPerCapacity &&
         pool.bytes + capacity <= kMaxPoolBytes) {
@@ -77,10 +95,25 @@ size_t ArenaBlockClassSize(size_t capacity) noexcept {
 }
 
 PooledBlock AcquireArenaBlock(size_t capacity) {
+  return AcquireArenaBlock(capacity, /*shareable=*/false);
+}
+
+PooledBlock AcquireArenaBlock(size_t capacity, bool shareable) {
   const size_t cls = ArenaBlockClassSize(capacity);
   ArenaPool& pool = Pool();
+  if (shareable) {
+    // Above-threshold publisher arenas land in shared memory when the tier
+    // is on and a subscriber negotiated it; TryAcquire declines otherwise
+    // and the heap path below is byte-identical to the pre-shm behavior.
+    if (uint8_t* block = shm::TryAcquire(cls)) {
+      std::lock_guard<std::mutex> lock(pool.mutex);
+      ++pool.live_counts[cls];
+      return PooledBlock(block, PooledDeleter{cls});
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(pool.mutex);
+    ++pool.live_counts[cls];
     const auto it = pool.free_blocks.find(cls);
     if (it != pool.free_blocks.end() && !it->second.empty()) {
       uint8_t* block = it->second.back();
@@ -106,6 +139,24 @@ void TrimArenaPool() {
   }
   pool.free_blocks.clear();
   pool.bytes = 0;
+}
+
+std::vector<ArenaPoolClassStats> ArenaPoolSnapshot() {
+  ArenaPool& pool = Pool();
+  std::lock_guard<std::mutex> lock(pool.mutex);
+  std::map<size_t, ArenaPoolClassStats> by_class;
+  for (const auto& [cls, blocks] : pool.free_blocks) {
+    by_class[cls].class_size = cls;
+    by_class[cls].pooled = blocks.size();
+  }
+  for (const auto& [cls, live] : pool.live_counts) {
+    by_class[cls].class_size = cls;
+    by_class[cls].live = live;
+  }
+  std::vector<ArenaPoolClassStats> snapshot;
+  snapshot.reserve(by_class.size());
+  for (const auto& [cls, stats] : by_class) snapshot.push_back(stats);
+  return snapshot;
 }
 
 const char* MessageStateName(MessageState state) noexcept {
@@ -153,7 +204,10 @@ void* MessageManager::Allocate(const char* datatype, size_t capacity,
                                size_t skeleton_size) {
   SFM_CHECK_MSG(skeleton_size <= capacity,
                 "arena capacity smaller than message skeleton");
-  PooledBlock pooled = AcquireArenaBlock(capacity);
+  // All publisher-side arenas are shareable candidates: whether one lands
+  // in shared memory is decided entirely inside the shm pool (tier enabled,
+  // peer negotiated, class above threshold).
+  PooledBlock pooled = AcquireArenaBlock(capacity, /*shareable=*/true);
   // Copy the deleter: it carries the pool's size class, which may exceed
   // the requested capacity (power-of-two rounding).
   const PooledDeleter deleter = pooled.get_deleter();
@@ -325,6 +379,17 @@ const uint8_t* MessageManager::AdoptReceived(const char* datatype,
   const PooledDeleter deleter = block.get_deleter();
   Insert(start, capacity, size, MessageState::kPublished,
          std::shared_ptr<uint8_t[]>(block.release(), deleter), datatype);
+  received_adoptions_.fetch_add(1, std::memory_order_relaxed);
+  return start;
+}
+
+const uint8_t* MessageManager::AdoptShared(const char* datatype,
+                                           std::shared_ptr<uint8_t[]> buffer,
+                                           size_t capacity, size_t size) {
+  SFM_CHECK_MSG(size <= capacity, "received message larger than its block");
+  uint8_t* start = buffer.get();
+  Insert(start, capacity, size, MessageState::kPublished, std::move(buffer),
+         datatype);
   received_adoptions_.fetch_add(1, std::memory_order_relaxed);
   return start;
 }

@@ -42,6 +42,7 @@
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 namespace sfm {
 
@@ -106,10 +107,31 @@ size_t ArenaBlockClassSize(size_t capacity) noexcept;
 /// the deleter (never rebuild one from the requested capacity).
 PooledBlock AcquireArenaBlock(size_t capacity);
 
+/// Same, with placement control: `shareable` blocks may come from the
+/// shared-memory pool (DESIGN.md §12) when the shm transport tier is
+/// enabled and a peer has negotiated it — the seam that lets above-threshold
+/// publisher arenas land directly in cross-process-mappable pages.  The
+/// returned block is interchangeable with the heap kind: PooledDeleter
+/// routes it back to whichever pool owns it.  Falls back to the heap
+/// whenever the shm pool declines (tier off, below threshold, byte cap).
+PooledBlock AcquireArenaBlock(size_t capacity, bool shareable);
+
 /// Pool occupancy in bytes (tests / introspection).
 size_t ArenaPoolBytes();
 /// Drops all pooled blocks.
 void TrimArenaPool();
+
+/// Per-size-class pool occupancy: how many blocks of each class sit free in
+/// the pool and how many are live (acquired, deleter not yet run).  Live
+/// counts cover heap- and shm-backed blocks alike — after full teardown
+/// every class must read live == 0, which is what the stress tests assert
+/// to prove no arena (shm blocks included) leaks.
+struct ArenaPoolClassStats {
+  size_t class_size = 0;
+  size_t pooled = 0;
+  size_t live = 0;
+};
+std::vector<ArenaPoolClassStats> ArenaPoolSnapshot();
 
 /// The message manager.  All methods are thread-safe with respect to each
 /// other and to operations on *other* messages.  Operations on one message
@@ -179,6 +201,15 @@ class MessageManager {
   /// Same, for a pooled block (the transport's receive path).
   const uint8_t* AdoptReceived(const char* datatype, PooledBlock block,
                                size_t capacity, size_t size);
+
+  /// Same, for an externally owned buffer (the shm receive path: `buffer`
+  /// aliases a block in a publisher's mapped segment, and its control block
+  /// holds the cross-process reference token).  The manager shares — never
+  /// frees — the underlying bytes; when the last aliased pointer dies the
+  /// caller-supplied control block runs and releases the shm reference.
+  const uint8_t* AdoptShared(const char* datatype,
+                             std::shared_ptr<uint8_t[]> buffer,
+                             size_t capacity, size_t size);
 
   /// Top-level assignment fast path for the generated copy constructor and
   /// operator= (paper §4.3.1: "find the current size of the whole message

@@ -1,0 +1,252 @@
+// Shared-memory arena pool: the cross-process leg of the serialization-free
+// transport (DESIGN.md §12).
+//
+// SFM arenas are position-independent — every variable-size field stores a
+// relative offset (paper §4.1) — so an arena block is a valid message at ANY
+// mapping address.  This pool exploits that: the publisher allocates
+// above-threshold arena blocks from named POSIX shared-memory segments
+// (`shm_open` + `mmap`) instead of the heap, and a subscriber in another
+// process maps the same segment and reads the message in place.  What
+// crosses the socket is a ~48-byte descriptor, not megabytes of payload.
+//
+// Layout of one segment (`/dev/shm/rsf.<pid>.<token>.<id>`):
+//
+//   [SegmentHeader]        magic/version/geometry, validated on attach
+//   [BlockCtl x count]     per-block cross-process control words:
+//                            gen    generation fence (u32, bumped on reuse)
+//                            stamp  publisher's sequence number — the
+//                                   release/acquire edge that orders the
+//                                   payload bytes before the reader's load
+//                            refs[kMaxPeers]  one refcount column per peer
+//   [blocks]               `count` blocks of one pow2 size class
+//
+// All control words are lock-free std::atomics on MAP_SHARED pages, which
+// makes them address-free and valid across processes.
+//
+// Lifetime protocol (publisher side owns recycling):
+//   - a block handed to the allocator is LIVE; its PooledDeleter marks it
+//     RETIRED when the last local shared_ptr reference dies;
+//   - a RETIRED block recycles to FREE only when every peer refcount is
+//     zero BOTH before and after a seq_cst `gen` bump — a reader that raced
+//     its increment against the bump sees the changed generation, drops its
+//     reference, and never touches recycled bytes (the fence);
+//   - peers are per-LINK slots (columns in `refs`); a slot is reusable only
+//     once drained, and a dead peer (SIGKILL) is swept by pid liveness —
+//     its refcounts are force-cleared and its blocks reclaimed.
+//
+// Failure policy: every fallible operation here degrades to the heap/TCP
+// path (nullptr / nullopt / error Status) — shared memory is an
+// optimization tier, never a correctness dependency.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+
+namespace sfm::shm {
+
+inline constexpr uint32_t kSegmentMagic = 0x53465352u;  // "RSFS" little-endian
+inline constexpr uint32_t kSegmentVersion = 1;
+/// Peer-slot columns per block: one per negotiated subscriber link.  The
+/// 17th concurrent shm subscriber falls back to TCP.
+inline constexpr size_t kMaxPeers = 16;
+
+/// Cross-process per-block control word.  Sized and aligned so adjacent
+/// blocks' control words never share a cache line.
+struct BlockCtl {
+  std::atomic<uint32_t> gen;
+  uint32_t reserved;
+  std::atomic<uint64_t> stamp;
+  std::atomic<uint32_t> refs[kMaxPeers];
+  uint8_t pad[128 - 16 - sizeof(uint32_t) * kMaxPeers];
+};
+static_assert(sizeof(BlockCtl) == 128, "BlockCtl must stay cache-line padded");
+static_assert(std::atomic<uint32_t>::is_always_lock_free &&
+                  std::atomic<uint64_t>::is_always_lock_free,
+              "shm control words must be address-free atomics");
+
+/// On-disk segment prologue, validated field by field on attach.
+struct SegmentHeader {
+  uint32_t magic;
+  uint32_t version;
+  uint64_t pool_id;
+  uint64_t segment_bytes;
+  uint64_t block_class;  // bytes per block (pow2 size class)
+  uint32_t block_count;
+  int32_t owner_pid;
+  uint64_t ctl_offset;   // BlockCtl array
+  uint64_t data_offset;  // block 0
+};
+
+/// What the publisher sends instead of the payload: enough for the
+/// subscriber to locate, validate, and fence the block.
+struct Descriptor {
+  uint64_t pool_id = 0;
+  uint32_t block_index = 0;
+  uint32_t gen = 0;
+  uint64_t offset = 0;  // byte offset of the block within the segment
+  uint64_t length = 0;  // whole-message size (<= block class)
+  uint64_t seq = 0;     // per-link publish sequence (ack protocol)
+};
+
+// ---- configuration ----
+
+/// Master switch: RSF_TRANSPORT_SHM truthy (1/true/on/yes).  Re-read on
+/// every call so benches and tests can flip it between runs; default OFF,
+/// which keeps the tier completely out of the tier-1 byte stream.
+bool Enabled() noexcept;
+
+/// Minimum arena-block size class that lands in shared memory
+/// (RSF_SHM_THRESHOLD env, default 64 KiB; 0 = every class).  Below it the
+/// descriptor + ack round trip costs more than the loopback copy saves.
+size_t ThresholdBytes() noexcept;
+
+/// This process's segment namespace, "rsf.<pid>.<token>" (token is random:
+/// a restarted publisher never collides with its predecessor's stale
+/// files).  First call also sweeps /dev/shm of rsf.* files whose owner pid
+/// is dead — crash cleanup for predecessors — and registers an atexit
+/// unlink of our own segments.
+const std::string& Namespace();
+
+/// Sticky flag set when the first subscriber link negotiates shm.  Until
+/// then the allocator never places blocks in shared memory, so a process
+/// that merely has the env knob set (e.g. the whole tier-1 suite under the
+/// CI shm job) allocates byte-identically to the heap path unless a peer
+/// actually asked for the tier.
+void NotePeerNegotiated() noexcept;
+bool PeersEverNegotiated() noexcept;
+
+// ---- publisher side ----
+
+/// Attempts to acquire a block of `cls` bytes (an ArenaBlockClassSize
+/// result) from the shm pool.  Returns nullptr — caller falls back to the
+/// heap — when the tier is off, no peer ever negotiated, `cls` is below
+/// threshold, the pool hit its byte cap, or segment creation failed.
+uint8_t* TryAcquire(size_t cls);
+
+/// Routes a block back if it belongs to a shm segment: marks it retired
+/// and recycles it immediately when no peer holds a reference.  Returns
+/// false when the pointer is not shm-backed (caller owns it).  Called by
+/// PooledDeleter on every block death, so the no-shm fast path is one
+/// relaxed atomic load.
+bool ReleaseIfOwned(uint8_t* block) noexcept;
+
+/// Locates the live block containing `data` (which must be the block
+/// start), stamps it with `seq` (the release edge for the payload bytes),
+/// and fills a descriptor.  nullopt when `data` is not shm-backed — the
+/// caller sends the payload inline.
+std::optional<Descriptor> PreparePublish(const uint8_t* data, size_t length,
+                                         uint64_t seq);
+
+/// Claims a refcount column for a newly negotiated subscriber link.
+/// Returns -1 when all kMaxPeers slots are busy (link falls back to TCP).
+/// A previously released slot is reused only once fully drained; a
+/// released slot whose owner died is swept first.
+int AcquirePeerSlot(pid_t peer_pid);
+
+/// Returns a slot when its link closes.  `peer_pid` must match the pid the
+/// slot was acquired for (guards a stale release against slot reuse).
+/// Live peers may still hold references — the slot drains before reuse.
+void ReleasePeerSlot(int slot, pid_t peer_pid);
+
+/// Force-reclaims every slot whose peer process is dead: clears its
+/// refcount columns and recycles any retired blocks that drop to zero.
+/// Returns the number of blocks reclaimed.  Runs automatically on
+/// allocation pressure and slot release; tests call it directly after
+/// SIGKILLing (and reaping!) a subscriber — a zombie still "exists" to
+/// kill(pid, 0).
+size_t SweepDeadPeers();
+
+/// Attempts to recycle every retired block (tests: prove nothing leaks
+/// after subscribers are gone).  Returns how many moved to the free list.
+size_t RecycleRetired();
+
+/// Unlinks /dev/shm/rsf.<pid>.* files whose owner pid is dead — the
+/// crash-cleanup pass a restarted publisher runs before creating its own
+/// namespace (also invoked by the first Namespace() call).  Returns the
+/// number of files removed.  Never touches this process's own segments.
+size_t SweepStaleSegments();
+
+/// Pool introspection (tests, leak checks, /dev/shm accounting).
+struct PoolStats {
+  size_t segments = 0;
+  size_t mapped_bytes = 0;
+  size_t total_blocks = 0;
+  size_t live_blocks = 0;     // handed out, holder still alive
+  size_t retired_blocks = 0;  // holder dead, awaiting peer refs to drain
+  size_t free_blocks = 0;
+  size_t active_peer_slots = 0;
+  uint64_t blocks_reclaimed = 0;  // via dead-peer sweeps (cumulative)
+  uint64_t gen_fence_rejections = 0;  // recycle aborted by a racing reader
+};
+PoolStats GetPoolStats();
+
+// ---- subscriber side ----
+
+/// A subscriber's mapping of one publisher segment.  Each attach maps the
+/// segment fresh (per link), so two subscriptions in one process register
+/// arenas at distinct addresses.  Unmapped on destruction; outstanding
+/// RefTokens keep it alive.
+class SegmentView {
+ public:
+  SegmentView(uint8_t* base, size_t bytes) : base_(base), bytes_(bytes) {}
+  ~SegmentView();
+  SegmentView(const SegmentView&) = delete;
+  SegmentView& operator=(const SegmentView&) = delete;
+
+  [[nodiscard]] const SegmentHeader& header() const noexcept {
+    return *reinterpret_cast<const SegmentHeader*>(base_);
+  }
+  [[nodiscard]] BlockCtl* ctl(uint32_t index) const noexcept {
+    return reinterpret_cast<BlockCtl*>(base_ + header().ctl_offset) + index;
+  }
+  [[nodiscard]] uint8_t* block(uint32_t index) const noexcept {
+    return base_ + header().data_offset +
+           static_cast<size_t>(index) * header().block_class;
+  }
+  [[nodiscard]] size_t bytes() const noexcept { return bytes_; }
+
+ private:
+  uint8_t* const base_;
+  const size_t bytes_;
+};
+
+/// Maps segment `pool_id` of publisher namespace `ns` and validates its
+/// header against this library's version and basic geometry (offsets and
+/// block geometry must stay inside the file).  Any failure is a reason to
+/// fall back to TCP for the link.
+rsf::Result<std::shared_ptr<SegmentView>> AttachSegment(const std::string& ns,
+                                                        uint64_t pool_id);
+
+/// One subscriber-held block reference: increments are done by the caller
+/// (fetch_add THEN generation check — see the fence protocol); the token
+/// decrements on destruction and keeps the mapping alive meanwhile.  The
+/// adopted message's buffer aliases this token, so the publisher cannot
+/// recycle the block while the message is reachable.
+class RefToken {
+ public:
+  RefToken(std::shared_ptr<SegmentView> view, BlockCtl* ctl, int slot)
+      : view_(std::move(view)), ctl_(ctl), slot_(slot) {}
+  ~RefToken() { ctl_->refs[slot_].fetch_sub(1, std::memory_order_seq_cst); }
+  RefToken(const RefToken&) = delete;
+  RefToken& operator=(const RefToken&) = delete;
+
+ private:
+  std::shared_ptr<SegmentView> view_;
+  BlockCtl* ctl_;
+  int slot_;
+};
+
+/// Test hook: drops every segment (asserting nothing is live), unlinks the
+/// files, and resets the sticky negotiation flag.  Never used in
+/// production paths — the pool is otherwise process-lifetime.
+void ResetPoolForTest();
+
+}  // namespace sfm::shm

@@ -384,6 +384,8 @@ TEST_F(MiddlewareTest, SfmTcpReceiveIsArenaDirect) {
   ros::SubscribeOptions options;
   options.inline_dispatch = true;
   options.allow_intra_process = false;  // force TCP
+  options.allow_shm = false;  // counters below assert the BYTE path (the
+                              // CI shm job forces RSF_TRANSPORT_SHM=1)
   auto sub = sub_node.subscribe<Image>(
       "/onecopy_sf", 10, [&](const Image::ConstPtr&) { got++; }, options);
   auto pub = pub_node.advertise<Image>("/onecopy_sf", 10);
@@ -421,6 +423,8 @@ TEST_F(MiddlewareTest, SfmTcpPublishAboveThresholdIsCopyFreeEgress) {
   ros::SubscribeOptions options;
   options.inline_dispatch = true;
   options.allow_intra_process = false;  // force TCP
+  options.allow_shm = false;  // counters below assert the BYTE path (the
+                              // CI shm job forces RSF_TRANSPORT_SHM=1)
   auto sub = sub_node.subscribe<Image>(
       "/zc_egress", 10, [&](const Image::ConstPtr&) { got++; }, options);
   auto pub = pub_node.advertise<Image>("/zc_egress", 10);

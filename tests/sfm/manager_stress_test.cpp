@@ -13,6 +13,7 @@
 
 #include "sfm/alert.h"
 #include "sfm/message_manager.h"
+#include "sfm/shm_pool.h"
 
 namespace sfm {
 namespace {
@@ -32,6 +33,8 @@ TEST(ManagerStress, ConcurrentLifecyclesOnSharedManager) {
   MessageManager& mm = gmm();
   const size_t live_before = mm.LiveCount();
   const ManagerStats before = mm.Stats();
+  size_t live_blocks_before = 0;
+  for (const auto& cls : ArenaPoolSnapshot()) live_blocks_before += cls.live;
 
   std::atomic<int> failures{0};
   std::vector<std::thread> threads;
@@ -74,6 +77,15 @@ TEST(ManagerStress, ConcurrentLifecyclesOnSharedManager) {
   EXPECT_EQ(after.publishes - before.publishes, kMessages);
   EXPECT_EQ(after.expansions - before.expansions,
             kMessages * kExpandsPerMessage);
+
+  // Every arena block came back to the pool — and none leaked into the
+  // shared-memory tier (this binary never negotiates a shm peer).
+  size_t live_blocks_after = 0;
+  for (const auto& cls : ArenaPoolSnapshot()) live_blocks_after += cls.live;
+  EXPECT_EQ(live_blocks_after, live_blocks_before);
+  const auto shm_stats = ::sfm::shm::GetPoolStats();
+  EXPECT_EQ(shm_stats.live_blocks, 0u);
+  EXPECT_EQ(shm_stats.retired_blocks, 0u);
 }
 
 // All threads expand the SAME message: the CAS bump loop must hand out
