@@ -5,6 +5,14 @@
 // shows per-delivery latency as the subscriber count grows (1, 2, 4), for
 // ROS and ROS-SF at 1MB, plus the endianness-conversion cost of §4.4.1
 // (what a mixed-endianness deployment would add back).
+//
+// It also measures the TransportLane fan-out curve (DESIGN.md §13): the
+// publish-call cost and per-delivery latency at 1..1024 subscribers per
+// lane mix (all-intra, all-TCP, half/half), at a small payload so the
+// numbers isolate the fan-out machinery — one PublishContext build, N
+// lane Offers — instead of memcpy bandwidth.  `--json-out <path>` writes
+// the curve as JSON (BENCH_fanout.json in the repo root is a snapshot).
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -69,10 +77,144 @@ rsf::LatencyRecorder RunFanout(size_t subscribers, uint32_t width,
   return recorder;
 }
 
+// ---- TransportLane fan-out curve (DESIGN.md §13) ----
+
+struct MixCell {
+  std::string mix;
+  size_t subscribers = 0;
+  int iterations = 0;
+  rsf::LatencyRecorder publish;   // pub.publish() call duration
+  rsf::LatencyRecorder delivery;  // stamp-to-callback latency
+  uint64_t dropped = 0;
+};
+
+/// One curve cell: `subscribers` co-located subscribers in the requested
+/// lane mix, publishes paced by a full delivery barrier (every subscriber
+/// saw message i before i+1 goes out), so queue drops never pollute the
+/// latency numbers.
+MixCell RunLaneMix(const std::string& mix, size_t subscribers, int iterations,
+                   int warmup) {
+  using ImageT = sensor_msgs::sfm::Image;
+  constexpr size_t kPayloadBytes = 4096;
+
+  ros::master().Reset();
+  ros::NodeHandle pub_node("pub");
+
+  MixCell cell;
+  cell.mix = mix;
+  cell.subscribers = subscribers;
+  cell.iterations = iterations;
+
+  std::mutex mutex;
+  uint64_t seen = 0;
+  const uint64_t skip = static_cast<uint64_t>(warmup) * subscribers;
+
+  std::vector<std::unique_ptr<ros::NodeHandle>> sub_nodes;
+  std::vector<ros::Subscriber> subs;
+  sub_nodes.reserve(subscribers);
+  subs.reserve(subscribers);
+  for (size_t i = 0; i < subscribers; ++i) {
+    const bool wire = mix == "tcp" || (mix == "mixed" && i % 2 == 1);
+    ros::SubscribeOptions sub_options;
+    sub_options.inline_dispatch = true;
+    sub_options.allow_intra_process = !wire;
+    sub_options.allow_shm = false;  // the shm tier has its own bench
+    sub_nodes.push_back(
+        std::make_unique<ros::NodeHandle>("sub" + std::to_string(i)));
+    subs.push_back(sub_nodes.back()->subscribe<ImageT>(
+        "/fan_curve", 16,
+        [&](const std::shared_ptr<const ImageT>& msg) {
+          const uint64_t nanos = rsf::ElapsedSince(msg->header.stamp);
+          std::lock_guard<std::mutex> lock(mutex);
+          if (++seen > skip) cell.delivery.AddNanos(nanos);
+        },
+        sub_options));
+  }
+
+  auto pub = pub_node.advertise<ImageT>("/fan_curve", 16);
+  // 1024 nonblocking dials funnel through the reactor; give them time.
+  bench::WaitFor([&] { return pub.getNumSubscribers() == subscribers; },
+                 60'000'000'000ull);
+
+  const auto received = [&] {
+    std::lock_guard<std::mutex> lock(mutex);
+    return seen;
+  };
+  const int total = iterations + warmup;
+  for (int i = 0; i < total; ++i) {
+    auto msg = rsf::slam::NewMessage<ImageT>();
+    msg->header.stamp = rsf::Time::Now();
+    msg->header.seq = static_cast<uint32_t>(i);
+    msg->data.resize(kPayloadBytes);
+    msg->data[kPayloadBytes - 1] = 0x5A;
+    const uint64_t start = rsf::MonotonicNanos();
+    pub.publish(*msg);
+    const uint64_t end = rsf::MonotonicNanos();
+    if (i >= warmup) cell.publish.AddNanos(end - start);
+    bench::WaitFor(
+        [&] {
+          return received() >= static_cast<uint64_t>(i + 1) * subscribers;
+        },
+        30'000'000'000ull);
+  }
+  cell.dropped = pub.getStats().dropped;
+  return cell;
+}
+
+void PrintCurveCell(const MixCell& cell) {
+  std::printf("  %-6s %5zu subs:  publish p50 %8.2f us  p99 %8.2f us   "
+              "delivery p50 %8.1f us  p99 %8.1f us%s\n",
+              cell.mix.c_str(), cell.subscribers,
+              cell.publish.Percentile(0.5) * 1000.0,
+              cell.publish.Percentile(0.99) * 1000.0,
+              cell.delivery.Percentile(0.5) * 1000.0,
+              cell.delivery.Percentile(0.99) * 1000.0,
+              cell.dropped != 0 ? "  [DROPS]" : "");
+}
+
+void WriteCurveJson(const std::vector<MixCell>& cells, const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"ablation_fanout\",\n"
+               "  \"unit\": \"microseconds\",\n"
+               "  \"payload_bytes\": 4096,\n"
+               "  \"results\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const MixCell& cell = cells[i];
+    std::fprintf(
+        out,
+        "    {\"mix\": \"%s\", \"subscribers\": %zu, \"iterations\": %d, "
+        "\"publish_mean_us\": %.2f, \"publish_p50_us\": %.2f, "
+        "\"publish_p99_us\": %.2f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+        "\"dropped\": %llu}%s\n",
+        cell.mix.c_str(), cell.subscribers, cell.iterations,
+        cell.publish.mean_ms() * 1000.0, cell.publish.Percentile(0.5) * 1000.0,
+        cell.publish.Percentile(0.99) * 1000.0,
+        cell.delivery.Percentile(0.5) * 1000.0,
+        cell.delivery.Percentile(0.99) * 1000.0,
+        static_cast<unsigned long long>(cell.dropped),
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("  curve written to %s\n", path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   auto options = bench::Options::Parse(argc, argv);
+  const char* json_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json-out" && i + 1 < argc) {
+      json_out = argv[i + 1];
+    }
+  }
   if (!options.full && options.iterations > 40) {
     options.iterations = 40;
     options.hz = 40.0;
@@ -94,6 +236,21 @@ int main(int argc, char** argv) {
                 subscribers, ros_rec.mean_ms(), sf_rec.mean_ms(),
                 (1.0 - sf_rec.mean_ms() / ros_rec.mean_ms()) * 100.0);
   }
+
+  // TransportLane fan-out curve: publish-call cost and delivery latency
+  // per lane mix as the subscriber count grows to 1024.
+  std::printf("\n=== TransportLane fan-out curve at 4KB (DESIGN.md §13) "
+              "===\n\n");
+  std::vector<MixCell> cells;
+  for (const char* mix : {"intra", "tcp", "mixed"}) {
+    for (const size_t subscribers : {1u, 8u, 64u, 256u, 512u, 1024u}) {
+      const int iterations =
+          std::min(options.iterations, subscribers >= 256 ? 30 : 40);
+      cells.push_back(RunLaneMix(mix, subscribers, iterations, /*warmup=*/5));
+      PrintCurveCell(cells.back());
+    }
+  }
+  if (json_out != nullptr) WriteCurveJson(cells, json_out);
 
   // §4.4.1: what a receiver-side endianness conversion would add back.
   std::printf("\n=== Ablation: endianness-conversion cost (§4.4.1) ===\n");

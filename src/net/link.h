@@ -52,6 +52,17 @@ inline constexpr uint32_t kMaxHandshakeFrame = 1u * 1024u * 1024u;
 /// on every call so tests and benches can shrink it per run.
 uint64_t WriteTimeoutNanos() noexcept;
 
+/// A finalized outgoing frame: the shared payload holder plus the raw
+/// (possibly tag-carrying) length prefix.  Built once per publish and
+/// enqueued onto any number of links — fan-out shares the holder, it never
+/// re-encodes (ros/transport_lane.h builds these).
+struct OutFrame {
+  std::shared_ptr<const uint8_t[]> payload;
+  uint32_t raw = 0;  // length prefix as it goes on the wire (tag | length)
+
+  [[nodiscard]] bool valid() const noexcept { return payload != nullptr; }
+};
+
 class Link : public std::enable_shared_from_this<Link> {
  public:
   enum class State : uint8_t {
@@ -143,6 +154,9 @@ class Link : public std::enable_shared_from_this<Link> {
   /// closed — so callers can count drops.  Frames do not start moving until
   /// someone kicks FlushOnLoop (publication coalesces one kick per burst).
   bool EnqueueFrame(std::shared_ptr<const uint8_t[]> payload, uint32_t size);
+  bool EnqueueFrame(const OutFrame& frame) {
+    return EnqueueFrame(frame.payload, frame.raw);
+  }
 
   /// Flushes the writer queue as far as the socket allows and re-arms
   /// interest.  Loop-thread-only (RunInLoop a kick from producers).

@@ -1,5 +1,7 @@
 #include "ros/connection_header.h"
 
+#include <cstdlib>
+
 #include "common/endian.h"
 
 namespace ros {
@@ -73,6 +75,52 @@ rsf::Status ValidateSubscriberHeader(const ConnectionHeader& header,
     return rsf::InvalidArgumentError("md5sum mismatch on " + topic);
   }
   return rsf::Status::Ok();
+}
+
+void AddShmRequestFields(ConnectionHeader* header, pid_t pid) {
+  (*header)["shm"] = "1";
+  (*header)["shm_pid"] = std::to_string(pid);
+}
+
+ShmRequest ParseShmRequest(const ConnectionHeader& header) {
+  ShmRequest request;
+  const auto want = header.find("shm");
+  request.requested = want != header.end() && want->second == "1";
+  if (!request.requested) return request;
+  const auto pid_field = header.find("shm_pid");
+  if (pid_field != header.end()) {
+    request.pid = static_cast<pid_t>(
+        std::strtol(pid_field->second.c_str(), nullptr, 10));
+    request.pid_known = true;
+  }
+  return request;
+}
+
+void AddShmGrantFields(ConnectionHeader* reply, const std::string& ns,
+                       int slot) {
+  (*reply)["shm"] = "1";
+  (*reply)["shm_ns"] = ns;
+  (*reply)["shm_slot"] = std::to_string(slot);
+}
+
+ShmGrant ParseShmGrant(const ConnectionHeader& reply, size_t max_slots) {
+  ShmGrant grant;
+  const auto shm = reply.find("shm");
+  const auto ns = reply.find("shm_ns");
+  const auto slot = reply.find("shm_slot");
+  if (shm == reply.end() || shm->second != "1" || ns == reply.end() ||
+      slot == reply.end()) {
+    return grant;
+  }
+  const long parsed = std::strtol(slot->second.c_str(), nullptr, 10);
+  if (parsed < 0 || static_cast<size_t>(parsed) >= max_slots ||
+      ns->second.empty()) {
+    return grant;
+  }
+  grant.granted = true;
+  grant.ns = ns->second;
+  grant.slot = static_cast<int>(parsed);
+  return grant;
 }
 
 }  // namespace ros

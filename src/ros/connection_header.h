@@ -3,6 +3,8 @@
 // repeated [uint32 length]["key=value"] fields inside one frame.
 #pragma once
 
+#include <sys/types.h>
+
 #include <map>
 #include <string>
 #include <vector>
@@ -32,5 +34,39 @@ rsf::Status ValidateSubscriberHeader(const ConnectionHeader& header,
                                      const std::string& topic,
                                      const std::string& datatype,
                                      const std::string& md5sum);
+
+// ---- shm-tier negotiation fields (DESIGN.md §12.4 / §13) ----
+//
+// The shm tier rides the TCPROS handshake as plain key=value fields:
+// request `shm=1, shm_pid=<pid>`, grant `shm=1, shm_ns=<ns>,
+// shm_slot=<slot>`.  These helpers keep the field names and their
+// validation in one place; LanePolicy (transport_lane.h) consumes the
+// parsed forms.
+
+/// Stamps the subscriber's shm request onto its handshake header.
+void AddShmRequestFields(ConnectionHeader* header, pid_t pid);
+
+/// The publisher-side view of a subscriber's shm request.
+struct ShmRequest {
+  bool requested = false;  // header carried shm=1
+  bool pid_known = false;  // ... and a parseable shm_pid
+  pid_t pid = 0;
+};
+[[nodiscard]] ShmRequest ParseShmRequest(const ConnectionHeader& header);
+
+/// Stamps the publisher's shm grant onto its handshake reply.
+void AddShmGrantFields(ConnectionHeader* reply, const std::string& ns,
+                       int slot);
+
+/// The subscriber-side view of the publisher's reply.  `granted` is true
+/// only for a well-formed grant: shm=1 with a non-empty namespace and a
+/// slot inside [0, max_slots) — anything malformed degrades to plain TCP.
+struct ShmGrant {
+  bool granted = false;
+  std::string ns;
+  int slot = -1;
+};
+[[nodiscard]] ShmGrant ParseShmGrant(const ConnectionHeader& reply,
+                                     size_t max_slots);
 
 }  // namespace ros

@@ -54,6 +54,16 @@ inline std::atomic<uint64_t> wire_snapshot_copies{0};   // SFM stack-fallback me
 // size threshold, heap-backed payload, or a per-link fallback.
 inline std::atomic<uint64_t> shm_zero_copy_deliveries{0};
 inline std::atomic<uint64_t> shm_fallback_deliveries{0};
+// Serialize-once fan-out proof (DESIGN.md §13): a publish finalizes its
+// wire frame once and encodes its shm descriptor once, no matter how many
+// lanes the fan-out visits.  Tests assert these advance by exactly the
+// publish count at any subscriber count.
+inline std::atomic<uint64_t> frame_builds{0};       // wire frames finalized
+inline std::atomic<uint64_t> descriptor_builds{0};  // shm descriptors encoded
+/// Pins evicted from a shm lane's ledger by drop-oldest backpressure.  Each
+/// eviction is a real publisher-side loss (the subscriber's descriptor will
+/// fail the generation fence) and counts in PublicationStats::dropped.
+inline std::atomic<uint64_t> shm_pin_evictions{0};
 /// Shm blocks force-reclaimed from dead (SIGKILLed) subscribers — reads the
 /// pool's own ledger so the count survives pool-internal sweeps too.
 inline uint64_t shm_blocks_reclaimed() {

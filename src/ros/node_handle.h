@@ -47,17 +47,22 @@ class Publisher {
   Publisher() = default;
 
   /// Publishes a message the caller keeps owning (and may keep mutating).
-  /// TCP subscribers get the wire form; co-located subscribers get the
-  /// whole-copy tier — one clone, shared by all of them.
+  /// Wire subscribers get the wire form; co-located subscribers get the
+  /// whole-copy tier — one clone, shared by all of them.  Everything a
+  /// publish produces is built ONCE into a PublishContext and fanned out
+  /// across all lanes in a single Publish call.
   template <Message M>
   void publish(const M& msg) const {
     CheckType<M>();
+    PublishContext ctx;
     if (impl_->HasIntraLinks()) {
-      impl_->DeliverIntra(std::static_pointer_cast<const void>(
-                              Serializer<M>::ToShared(msg)),
-                          IntraTier::kWholeCopy);
+      ctx.intra = std::static_pointer_cast<const void>(
+          Serializer<M>::ToShared(msg));
+      ctx.intra_tier = IntraTier::kWholeCopy;
+      ctx.has_intra = true;
     }
-    if (impl_->HasTcpLinks()) impl_->Publish(Serializer<M>::ToWire(msg));
+    if (impl_->HasTcpLinks()) ctx.payload = Serializer<M>::ToWire(msg);
+    if (!ctx.empty()) impl_->Publish(std::move(ctx));
   }
 
   /// Publishing through a shared_ptr relinquishes mutation rights (roscpp's
@@ -66,12 +71,15 @@ class Publisher {
   template <Message M>
   void publish(const std::shared_ptr<const M>& msg) const {
     CheckType<M>();
+    PublishContext ctx;
     if (impl_->HasIntraLinks()) {
-      impl_->DeliverIntra(std::static_pointer_cast<const void>(
-                              Serializer<M>::Borrow(msg)),
-                          IntraTier::kZeroCopy);
+      ctx.intra = std::static_pointer_cast<const void>(
+          Serializer<M>::Borrow(msg));
+      ctx.intra_tier = IntraTier::kZeroCopy;
+      ctx.has_intra = true;
     }
-    if (impl_->HasTcpLinks()) impl_->Publish(Serializer<M>::ToWire(*msg));
+    if (impl_->HasTcpLinks()) ctx.payload = Serializer<M>::ToWire(*msg);
+    if (!ctx.empty()) impl_->Publish(std::move(ctx));
   }
   template <Message M>
   void publish(const std::shared_ptr<M>& msg) const {

@@ -1,12 +1,13 @@
 #include "ros/publication.h"
 
 #include <algorithm>
-#include <cstdlib>
+#include <utility>
 
 #include "common/log.h"
 #include "net/framing.h"
 #include "ros/connection_header.h"
 #include "ros/message_traits.h"
+#include "ros/shm_transport.h"
 #include "sfm/shm_pool.h"
 
 namespace ros {
@@ -40,6 +41,7 @@ Publication::Publication(const std::string& topic, const std::string& datatype,
       md5sum_(md5sum),
       callerid_(callerid),
       queue_size_(queue_size == 0 ? 1 : queue_size),
+      max_pins_(std::max<size_t>(2 * queue_size_, 64)),
       listener_(std::move(listener)),
       port_(listener_.port()) {}
 
@@ -60,10 +62,11 @@ void Publication::Start() {
 Publication::~Publication() { Shutdown(); }
 
 /// Decides a subscriber's fate from its connection-header bytes and
-/// produces the reply frame.
+/// produces the reply frame.  Tier selection is pure LanePolicy; the only
+/// side effect is acquiring the peer slot a grant hands to the lane.
 bool Publication::EvaluateHandshake(const uint8_t* request, uint32_t length,
                                     std::vector<uint8_t>* reply_frame,
-                                    ShmLinkState* shm) {
+                                    WireLaneContext* ctx) {
   auto header = DecodeConnectionHeader(request, length);
   rsf::Status valid = header.ok()
                           ? ValidateSubscriberHeader(*header, topic_,
@@ -73,37 +76,38 @@ bool Publication::EvaluateHandshake(const uint8_t* request, uint32_t length,
   ConnectionHeader reply;
   if (valid.ok()) {
     reply = {{"type", datatype_}, {"md5sum", md5sum_}, {"callerid", callerid_}};
-    // Shm-tier negotiation: granted only when the subscriber asked, the
-    // tier is enabled here too, and a peer refcount column is free.  Every
-    // refusal stays on plain TCP — by replying without the shm fields.
-    const auto want = header->find("shm");
-    const auto pid_field = header->find("shm_pid");
-    if (shm != nullptr && want != header->end() && want->second == "1" &&
-        pid_field != header->end()) {
-      if (!sfm::shm::Enabled()) {
+    const ShmRequest shm_request = ParseShmRequest(*header);
+    LanePolicy::PublisherSide side;
+    side.shm_requested = shm_request.requested;
+    side.peer_pid_known = shm_request.pid_known;
+    side.shm_enabled = sfm::shm::Enabled();
+    int slot = -1;
+    if (LanePolicy::ShouldAttemptShm(side)) {
+      slot = sfm::shm::AcquirePeerSlot(shm_request.pid);
+      side.slot_acquired = slot >= 0;
+    }
+    switch (LanePolicy::GrantWireTier(side)) {
+      case LanePolicy::Grant::kShm:
+        // Loop-thread write, before the link can establish: the lane built
+        // in OnLinkEstablished takes ownership of the slot.
+        ctx->shm_negotiated = true;
+        ctx->shm_slot = slot;
+        ctx->shm_pid = shm_request.pid;
+        sfm::shm::NotePeerNegotiated();
+        AddShmGrantFields(&reply, sfm::shm::Namespace(), slot);
+        break;
+      case LanePolicy::Grant::kTcpNotRequested:
+        break;
+      case LanePolicy::Grant::kTcpTierDisabled:
         RSF_INFO("subscriber asked for shm on %s but the tier is disabled "
                  "here; staying on TCP",
                  topic_.c_str());
-      } else {
-        const pid_t peer_pid =
-            static_cast<pid_t>(std::strtol(pid_field->second.c_str(),
-                                           nullptr, 10));
-        const int slot = sfm::shm::AcquirePeerSlot(peer_pid);
-        if (slot < 0) {
-          RSF_WARN("no free shm peer slot for subscriber on %s "
-                   "(all %zu busy); falling back to TCP",
-                   topic_.c_str(), sfm::shm::kMaxPeers);
-        } else {
-          std::lock_guard<std::mutex> lock(shm->mutex);
-          shm->negotiated = true;
-          shm->slot = slot;
-          shm->peer_pid = peer_pid;
-          sfm::shm::NotePeerNegotiated();
-          reply["shm"] = "1";
-          reply["shm_ns"] = sfm::shm::Namespace();
-          reply["shm_slot"] = std::to_string(slot);
-        }
-      }
+        break;
+      case LanePolicy::Grant::kTcpNoSlot:
+        RSF_WARN("no free shm peer slot for subscriber on %s "
+                 "(all %zu busy); falling back to TCP",
+                 topic_.c_str(), sfm::shm::kMaxPeers);
+        break;
     }
   } else {
     reply = {{"error", valid.ToString()}};
@@ -135,217 +139,166 @@ void Publication::OnAcceptReady() {
     options.zerocopy_threshold = rsf::net::ZeroCopyThresholdBytes();
     options.zerocopy_copied_limit = rsf::net::ZeroCopyCopiedLimit();
     options.write_timeout_nanos = rsf::net::WriteTimeoutNanos();
-    auto shm_state = std::make_shared<ShmLinkState>();
+    auto ctx = std::make_shared<WireLaneContext>();
     rsf::net::Link::Callbacks callbacks;
     callbacks.on_handshake_request =
-        [weak, shm_state](const uint8_t* data, uint32_t length,
-                          std::vector<uint8_t>* reply) {
+        [weak, ctx](const uint8_t* data, uint32_t length,
+                    std::vector<uint8_t>* reply) {
           auto self = weak.lock();
           return self != nullptr &&
-                 self->EvaluateHandshake(data, length, reply,
-                                         shm_state.get());
+                 self->EvaluateHandshake(data, length, reply, ctx.get());
         };
     callbacks.on_established =
-        [weak](const std::shared_ptr<rsf::net::Link>& link) {
-          if (auto self = weak.lock()) self->OnLinkEstablished(link);
+        [weak, ctx](const std::shared_ptr<rsf::net::Link>& link) {
+          if (auto self = weak.lock()) self->OnLinkEstablished(link, ctx);
         };
-    callbacks.on_closed = [weak](const std::shared_ptr<rsf::net::Link>& link) {
-      if (auto self = weak.lock()) self->OnLinkClosed(link);
-    };
+    callbacks.on_closed =
+        [weak, ctx](const std::shared_ptr<rsf::net::Link>& link) {
+          if (auto self = weak.lock()) self->OnLinkClosed(link, ctx);
+        };
     // The only thing a subscriber ever sends after the handshake is a
     // small tagged shm control frame (ack / disable); anything else —
     // including any data-tagged frame — is a protocol violation and closes
     // the link by way of a null allocation.
-    callbacks.alloc = [shm_state](uint32_t raw) -> uint8_t* {
+    callbacks.alloc = [ctx](uint32_t raw) -> uint8_t* {
       if (rsf::net::FrameTag(raw) != rsf::net::kFrameTagShmControl) {
         return nullptr;
       }
       const uint32_t length = rsf::net::FrameLength(raw);
       if (length == 0 || length > kShmMaxControlFrame) return nullptr;
-      shm_state->control_buf.resize(length);
-      return shm_state->control_buf.data();
+      ctx->control_buf.resize(length);
+      return ctx->control_buf.data();
     };
-    callbacks.on_frame = [weak, shm_state](uint32_t raw) {
-      if (auto self = weak.lock()) self->OnShmControlFrame(shm_state, raw);
+    callbacks.on_frame = [ctx](uint32_t raw) {
+      // Routed straight to the lane (loop-confined): established links
+      // always have one; a frame sneaking in earlier is dropped.
+      if (ctx->lane != nullptr) {
+        ctx->lane->OnControlFrame(raw, ctx->control_buf.data());
+      }
     };
     auto link = rsf::net::Link::Accepted(std::move(conn), loop_, options,
                                          std::move(callbacks));
-    shm_state->link = link;
     std::lock_guard<std::mutex> lock(links_mutex_);
-    shm_states_.emplace(link.get(), std::move(shm_state));
-    pending_links_.push_back(std::move(link));
+    pending_wire_.push_back({std::move(link), std::move(ctx)});
   }
 }
 
 void Publication::OnLinkEstablished(
-    const std::shared_ptr<rsf::net::Link>& link) {
+    const std::shared_ptr<rsf::net::Link>& link,
+    const std::shared_ptr<WireLaneContext>& ctx) {
   if (shutdown_.load(std::memory_order_acquire)) {
+    // Shutdown's RunSync (serialized with us on the loop) tears down the
+    // still-pending entry, including a mid-handshake slot grant.
     link->CloseNow();
     return;
   }
+  auto lane = MakeWireLane(ctx, link, &counters_, topic_, max_pins_);
+  ctx->lane = lane;  // control frames route here from now on (loop thread)
   std::lock_guard<std::mutex> lock(links_mutex_);
-  std::erase(pending_links_, link);
-  links_.push_back(link);
+  std::erase_if(pending_wire_,
+                [&](const PendingWire& entry) { return entry.link == link; });
+  lanes_.push_back(std::move(lane));
+  wire_lane_count_.fetch_add(1, std::memory_order_release);
+  if (ctx->shm_negotiated) {
+    shm_lane_count_.fetch_add(1, std::memory_order_release);
+  }
 }
 
-void Publication::OnLinkClosed(const std::shared_ptr<rsf::net::Link>& link) {
-  std::shared_ptr<ShmLinkState> shm;
+void Publication::OnLinkClosed(const std::shared_ptr<rsf::net::Link>& link,
+                               const std::shared_ptr<WireLaneContext>& ctx) {
   {
     std::lock_guard<std::mutex> lock(links_mutex_);
-    std::erase(pending_links_, link);
-    std::erase(links_, link);
-    const auto it = shm_states_.find(link.get());
-    if (it != shm_states_.end()) {
-      shm = std::move(it->second);
-      shm_states_.erase(it);
+    std::erase_if(pending_wire_, [&](const PendingWire& entry) {
+      return entry.link == link;
+    });
+    if (ctx->lane != nullptr && std::erase(lanes_, ctx->lane) > 0) {
+      wire_lane_count_.fetch_sub(1, std::memory_order_release);
+      if (ctx->shm_negotiated) {
+        shm_lane_count_.fetch_sub(1, std::memory_order_release);
+      }
     }
   }
-  if (shm != nullptr) ReleaseShmLink(shm);
-  // Frames still queued behind the broken connection are lost.
-  dropped_.fetch_add(link->stats().frames_stranded,
-                     std::memory_order_relaxed);
-}
-
-void Publication::ReleaseShmLink(const std::shared_ptr<ShmLinkState>& shm) {
-  int slot = -1;
-  pid_t peer_pid = 0;
-  {
-    std::lock_guard<std::mutex> lock(shm->mutex);
-    if (!shm->negotiated) return;
-    shm->negotiated = false;
-    slot = shm->slot;
-    peer_pid = shm->peer_pid;
-    // Dropping the ledger releases the pinned payload holders; blocks the
-    // (possibly dead) peer never acked retire, and either its in-mapping
-    // RefTokens drain them or the pid liveness sweep reclaims them.
-    shm->ledger.clear();
-  }
-  sfm::shm::ReleasePeerSlot(slot, peer_pid);
-}
-
-void Publication::OnShmControlFrame(const std::shared_ptr<ShmLinkState>& shm,
-                                    uint32_t raw) {
-  ShmControlKind kind;
-  uint64_t seq = 0;
-  if (!DecodeShmControl(shm->control_buf.data(),
-                        rsf::net::FrameLength(raw), &kind, &seq)) {
-    RSF_WARN("malformed shm control frame on %s; ignoring", topic_.c_str());
+  if (ctx->lane != nullptr) {
+    // Idempotent: releases the peer slot, drops the pin ledger, and counts
+    // the frames stranded behind the broken connection.
+    ctx->lane->Close();
     return;
   }
-  std::vector<SerializedMessage> retransmit;
-  {
-    std::lock_guard<std::mutex> lock(shm->mutex);
-    if (kind == ShmControlKind::kAck) {
-      // Cumulative: every pin at or below the acked seq is consumed.
-      while (!shm->ledger.empty() && shm->ledger.front().seq <= seq) {
-        shm->ledger.pop_front();
+  // Died mid-handshake: no lane owns the slot yet, release it here.
+  if (ctx->shm_negotiated) {
+    sfm::shm::ReleasePeerSlot(ctx->shm_slot, ctx->shm_pid);
+    ctx->shm_negotiated = false;
+  }
+  counters_.dropped.fetch_add(link->stats().frames_stranded,
+                              std::memory_order_relaxed);
+}
+
+void Publication::Publish(PublishContext ctx) {
+  // Serialize-once fan-out: the wire frame is finalized here, exactly once
+  // per publish, and shared (aliased holder) by every lane Offer visits.
+  if (ctx.has_wire()) {
+    ctx.wire = {ctx.payload.data, static_cast<uint32_t>(ctx.payload.size)};
+    shim::frame_builds.fetch_add(1, std::memory_order_relaxed);
+    // One descriptor for the whole fan-out, and only when a shm lane is
+    // live: PreparePublish resolves the payload to its shm block (nullopt
+    // when it is heap-backed — tier off, below threshold, or a snapshot
+    // copy) and stamps it with this publish's sequence number.
+    if (shm_lane_count_.load(std::memory_order_acquire) > 0) {
+      ctx.seq = shm_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (auto descriptor = sfm::shm::PreparePublish(ctx.payload.data.get(),
+                                                     ctx.payload.size,
+                                                     ctx.seq)) {
+        ctx.descriptor = {EncodeShmDescriptorFrame(*descriptor),
+                          rsf::net::TaggedLength(
+                              rsf::net::kFrameTagShmDescriptor,
+                              kShmDescriptorSize)};
+        shim::descriptor_builds.fetch_add(1, std::memory_order_relaxed);
       }
-      return;
-    }
-    // Disable: the subscriber's side of the tier broke (attach failure,
-    // out-of-range descriptor).  Everything unacked goes out inline, in
-    // order, and the link stays inline for good.
-    shm->inline_only = true;
-    retransmit.reserve(shm->ledger.size());
-    for (auto& pinned : shm->ledger) {
-      retransmit.push_back(std::move(pinned.message));
-    }
-    shm->ledger.clear();
-  }
-  RSF_WARN("subscriber on %s left the shm tier; retransmitting %zu pinned "
-           "messages inline",
-           topic_.c_str(), retransmit.size());
-  auto link = shm->link.lock();
-  if (link == nullptr) return;
-  for (const auto& message : retransmit) {
-    // Not re-counted as enqueued (the descriptor delivery already was);
-    // an eviction here is a real loss, though.
-    if (link->EnqueueFrame(message.data,
-                           static_cast<uint32_t>(message.size))) {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  link->FlushOnLoop();  // on_frame runs on the loop thread
+  OfferToLanes(ctx);
 }
 
 void Publication::Publish(SerializedMessage message) {
-  // Enqueue onto every established link's frame queue (aliased shared
-  // buffer: one shared_ptr copy per link), then kick the loop once to
-  // flush them all.
-  std::vector<std::shared_ptr<rsf::net::Link>> snapshot;
-  std::vector<std::shared_ptr<ShmLinkState>> shm_snapshot;
+  PublishContext ctx;
+  ctx.payload = std::move(message);
+  Publish(std::move(ctx));
+}
+
+void Publication::OfferToLanes(const PublishContext& ctx) {
+  // Snapshot under the lock, offer outside it: an in-process lane may run
+  // the subscriber callback inline (on this thread), and that callback is
+  // free to publish, subscribe, or shut down — none of which may deadlock
+  // here.  The snapshot vector is reused across publishes (steady-state
+  // publish allocates nothing); a reentrant or concurrent publish loses
+  // the try-lock and falls back to a local vector.
+  std::vector<std::shared_ptr<TransportLane>> local;
+  std::unique_lock<std::mutex> scratch_lock(scratch_mutex_, std::try_to_lock);
+  auto& snapshot = scratch_lock.owns_lock() ? publish_scratch_ : local;
   {
     std::lock_guard<std::mutex> lock(links_mutex_);
-    snapshot = links_;
-    shm_snapshot.reserve(snapshot.size());
-    for (const auto& link : snapshot) {
-      const auto it = shm_states_.find(link.get());
-      shm_snapshot.push_back(it != shm_states_.end() ? it->second : nullptr);
-    }
+    snapshot.assign(lanes_.begin(), lanes_.end());
   }
   if (snapshot.empty()) return;
 
-  // One descriptor for the whole fan-out: PreparePublish resolves the
-  // payload to its shm block (nullopt when it is heap-backed — tier off,
-  // below threshold, or a snapshot copy) and stamps it with this publish's
-  // sequence number.
-  std::shared_ptr<const uint8_t[]> descriptor_frame;
-  uint32_t descriptor_raw = 0;
-  uint64_t seq = 0;
-  if (sfm::shm::PeersEverNegotiated()) {
-    seq = shm_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (auto descriptor =
-            sfm::shm::PreparePublish(message.data.get(), message.size, seq)) {
-      descriptor_frame = EncodeShmDescriptorFrame(*descriptor);
-      descriptor_raw = rsf::net::TaggedLength(
-          rsf::net::kFrameTagShmDescriptor, kShmDescriptorSize);
-    }
+  std::vector<const TransportLane*> dead;
+  for (const auto& lane : snapshot) {
+    if (!lane->Offer(ctx)) dead.push_back(lane.get());
   }
-  // Pin bound: generous enough that a subscriber acking every message
-  // never hits it; a stalled one loses its oldest pins (drop-oldest — the
-  // generation fence turns their stale descriptors into clean drops).
-  const size_t max_pins = std::max<size_t>(2 * queue_size_, 64);
-
-  for (size_t i = 0; i < snapshot.size(); ++i) {
-    const auto& link = snapshot[i];
-    const auto& shm = shm_snapshot[i];
-    enqueued_.fetch_add(1, std::memory_order_relaxed);
-
-    bool negotiated = false;
-    bool via_shm = false;
-    if (descriptor_frame != nullptr && shm != nullptr) {
-      std::lock_guard<std::mutex> lock(shm->mutex);
-      negotiated = shm->negotiated;
-      if (negotiated && !shm->inline_only) {
-        shm->ledger.push_back({seq, message});
-        while (shm->ledger.size() > max_pins) shm->ledger.pop_front();
-        via_shm = true;
-      }
-    } else if (shm != nullptr) {
-      std::lock_guard<std::mutex> lock(shm->mutex);
-      negotiated = shm->negotiated;
-    }
-
-    if (via_shm) {
-      if (link->EnqueueFrame(descriptor_frame, descriptor_raw)) {
-        dropped_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        shm_descriptors_.fetch_add(1, std::memory_order_relaxed);
-        shim::shm_zero_copy_deliveries.fetch_add(1,
-                                                 std::memory_order_relaxed);
-      }
-      continue;
-    }
-    if (link->EnqueueFrame(message.data,
-                           static_cast<uint32_t>(message.size))) {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
-    } else if (negotiated) {
-      // The link speaks shm but this payload went inline: below the
-      // threshold, heap-backed, or the link fell back.
-      shm_inline_.fetch_add(1, std::memory_order_relaxed);
-      shim::shm_fallback_deliveries.fetch_add(1, std::memory_order_relaxed);
-    }
+  if (!dead.empty()) {
+    // Only in-process lanes report death through Offer; wire lanes close
+    // through their Link callbacks.
+    std::lock_guard<std::mutex> lock(links_mutex_);
+    const size_t culled = std::erase_if(
+        lanes_, [&](const std::shared_ptr<TransportLane>& lane) {
+          return std::find(dead.begin(), dead.end(), lane.get()) !=
+                 dead.end();
+        });
+    intra_lane_count_.fetch_sub(culled, std::memory_order_release);
   }
+  snapshot.clear();  // drop the lane refs, keep the capacity
+
+  if (!ctx.has_wire()) return;
   // Coalesced wake-up: back-to-back publishes share one loop task.  The
   // flag resets BEFORE flushing so a publish racing with the flush always
   // either lands its frames in a writer the flush is about to drain, or
@@ -356,12 +309,13 @@ void Publication::Publish(SerializedMessage message) {
       auto self = weak.lock();
       if (self == nullptr) return;
       self->kick_pending_.store(false, std::memory_order_release);
-      std::vector<std::shared_ptr<rsf::net::Link>> links;
+      auto& lanes = self->kick_scratch_;  // loop-confined, reused
       {
         std::lock_guard<std::mutex> lock(self->links_mutex_);
-        links = self->links_;
+        lanes.assign(self->lanes_.begin(), self->lanes_.end());
       }
-      for (const auto& link : links) link->FlushOnLoop();
+      for (const auto& lane : lanes) lane->Flush();
+      lanes.clear();
     });
   }
 }
@@ -379,130 +333,77 @@ rsf::Status Publication::AddIntraLink(std::shared_ptr<IntraLinkBase> link) {
         ", subscriber " + link->callerid() + " negotiated " +
         link->transport_md5());
   }
-  // Mirror the TCP pending→established split: the link joins the fanout
+  // Mirror the TCP pending→established split: the lane joins the fanout
   // only once the subscriber finishes filing it (ActivateIntraLink), so a
   // publish racing the connect can never deliver into a half-registered
   // link whose subscriber-side bookkeeping isn't ready to receive.
-  std::lock_guard<std::mutex> lock(intra_mutex_);
-  pending_intra_.push_back(std::move(link));
+  std::lock_guard<std::mutex> lock(links_mutex_);
+  pending_intra_.push_back(MakeIntraLane(std::move(link), &counters_));
   return rsf::Status::Ok();
 }
 
 void Publication::ActivateIntraLink(const IntraLinkBase* link) {
-  std::lock_guard<std::mutex> lock(intra_mutex_);
-  auto it = std::find_if(pending_intra_.begin(), pending_intra_.end(),
-                         [link](const std::shared_ptr<IntraLinkBase>& entry) {
-                           return entry.get() == link;
-                         });
+  std::lock_guard<std::mutex> lock(links_mutex_);
+  auto it = std::find_if(
+      pending_intra_.begin(), pending_intra_.end(),
+      [link](const std::shared_ptr<TransportLane>& lane) {
+        return lane->intra_link() == link;
+      });
   // Not pending: a concurrent Shutdown/Remove already culled it — a late
-  // activation must not resurrect the link into the fanout.
+  // activation must not resurrect the lane into the fanout.
   if (it == pending_intra_.end()) return;
-  intra_links_.push_back(std::move(*it));
+  lanes_.push_back(std::move(*it));
   pending_intra_.erase(it);
+  intra_lane_count_.fetch_add(1, std::memory_order_release);
 }
 
 void Publication::RemoveIntraLink(const IntraLinkBase* link) {
-  std::lock_guard<std::mutex> lock(intra_mutex_);
-  const auto matches = [link](const std::shared_ptr<IntraLinkBase>& entry) {
-    return entry.get() == link;
-  };
-  pending_intra_.erase(
-      std::remove_if(pending_intra_.begin(), pending_intra_.end(), matches),
-      pending_intra_.end());
-  intra_links_.erase(
-      std::remove_if(intra_links_.begin(), intra_links_.end(), matches),
-      intra_links_.end());
-}
-
-size_t Publication::DeliverIntra(const std::shared_ptr<const void>& message,
-                                 IntraTier tier) {
-  // Snapshot under the lock, deliver outside it: Deliver() may run the
-  // subscriber callback inline (on this thread), and that callback is free
-  // to publish, subscribe, or shut down — none of which may deadlock here.
-  std::vector<std::shared_ptr<IntraLinkBase>> snapshot;
-  {
-    std::lock_guard<std::mutex> lock(intra_mutex_);
-    snapshot = intra_links_;
-  }
-  size_t delivered = 0;
-  std::vector<const IntraLinkBase*> dead;
-  for (const auto& link : snapshot) {
-    // Same accounting as a TCP frame: the attempt is enqueued; reaching a
-    // dead link is a drop.  SentCount() then spans both transports.
-    enqueued_.fetch_add(1, std::memory_order_relaxed);
-    if (link->Deliver(message, tier)) {
-      ++delivered;
-    } else {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
-      dead.push_back(link.get());
-    }
-  }
-  if (!dead.empty()) {
-    std::lock_guard<std::mutex> lock(intra_mutex_);
-    intra_links_.erase(
-        std::remove_if(intra_links_.begin(), intra_links_.end(),
-                       [&](const std::shared_ptr<IntraLinkBase>& entry) {
-                         return std::find(dead.begin(), dead.end(),
-                                          entry.get()) != dead.end();
-                       }),
-        intra_links_.end());
-  }
-  if (delivered > 0) {
-    intra_delivered_.fetch_add(delivered, std::memory_order_relaxed);
-    (tier == IntraTier::kZeroCopy ? intra_zero_copy_ : intra_whole_copy_)
-        .fetch_add(delivered, std::memory_order_relaxed);
-  }
-  return delivered;
-}
-
-bool Publication::HasIntraLinks() const {
-  std::lock_guard<std::mutex> lock(intra_mutex_);
-  return !intra_links_.empty();
-}
-
-bool Publication::HasTcpLinks() const {
   std::lock_guard<std::mutex> lock(links_mutex_);
-  return !links_.empty();
+  const auto matches = [link](const std::shared_ptr<TransportLane>& lane) {
+    return lane->intra_link() == link;
+  };
+  std::erase_if(pending_intra_, matches);
+  const size_t removed = std::erase_if(lanes_, matches);
+  intra_lane_count_.fetch_sub(removed, std::memory_order_release);
 }
 
 size_t Publication::NumSubscribers() const {
+  std::lock_guard<std::mutex> lock(links_mutex_);
   size_t alive = 0;
-  {
-    std::lock_guard<std::mutex> lock(links_mutex_);
-    alive += links_.size();
-  }
-  {
-    std::lock_guard<std::mutex> lock(intra_mutex_);
-    for (const auto& link : intra_links_) {
-      if (link->alive()) ++alive;
-    }
+  for (const auto& lane : lanes_) {
+    const LaneDescription description = lane->Describe();
+    if (description.kind != LaneKind::kIntra || description.alive) ++alive;
   }
   return alive;
 }
 
 PublicationStats Publication::Stats() const {
   PublicationStats stats;
-  stats.enqueued = enqueued_.load(std::memory_order_relaxed);
-  stats.dropped = dropped_.load(std::memory_order_relaxed);
-  stats.intra_delivered = intra_delivered_.load(std::memory_order_relaxed);
-  stats.intra_zero_copy = intra_zero_copy_.load(std::memory_order_relaxed);
-  stats.intra_whole_copy = intra_whole_copy_.load(std::memory_order_relaxed);
-  stats.shm_descriptors = shm_descriptors_.load(std::memory_order_relaxed);
-  stats.shm_inline = shm_inline_.load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(links_mutex_);
-    stats.tcp_links = links_.size();
-    for (const auto& link : links_) {
-      const auto it = shm_states_.find(link.get());
-      if (it == shm_states_.end()) continue;
-      std::lock_guard<std::mutex> shm_lock(it->second->mutex);
-      if (it->second->negotiated) ++stats.shm_links;
-    }
-  }
-  {
-    std::lock_guard<std::mutex> lock(intra_mutex_);
-    for (const auto& link : intra_links_) {
-      if (link->alive()) ++stats.intra_links;
+  stats.enqueued = counters_.enqueued.load(std::memory_order_relaxed);
+  stats.dropped = counters_.dropped.load(std::memory_order_relaxed);
+  stats.intra_delivered =
+      counters_.intra_delivered.load(std::memory_order_relaxed);
+  stats.intra_zero_copy =
+      counters_.intra_zero_copy.load(std::memory_order_relaxed);
+  stats.intra_whole_copy =
+      counters_.intra_whole_copy.load(std::memory_order_relaxed);
+  stats.shm_descriptors =
+      counters_.shm_descriptors.load(std::memory_order_relaxed);
+  stats.shm_inline = counters_.shm_inline.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(links_mutex_);
+  for (const auto& lane : lanes_) {
+    const LaneDescription description = lane->Describe();
+    switch (description.kind) {
+      case LaneKind::kIntra:
+        if (description.alive) ++stats.intra_links;
+        break;
+      case LaneKind::kShm:
+        ++stats.shm_links;
+        ++stats.tcp_links;  // shm lanes ride an established TCP link
+        break;
+      case LaneKind::kTcp:
+        ++stats.tcp_links;
+        break;
     }
   }
   return stats;
@@ -513,11 +414,6 @@ void Publication::Shutdown() {
   if (!shutdown_.compare_exchange_strong(expected, true)) return;
 
   if (intra_registered_) intra_registry().Unregister(topic_, port_);
-  {
-    std::lock_guard<std::mutex> lock(intra_mutex_);
-    pending_intra_.clear();
-    intra_links_.clear();
-  }
 
   // All per-fd state lives on the loop thread: tear it down there and
   // wait, so no callback can touch this object once RunSync returns
@@ -525,23 +421,30 @@ void Publication::Shutdown() {
   if (loop_ != nullptr) {
     loop_->RunSync([this] {
       loop_->Remove(listener_.fd());
-      std::vector<std::shared_ptr<rsf::net::Link>> pending;
-      std::vector<std::shared_ptr<rsf::net::Link>> established;
-      std::map<const rsf::net::Link*, std::shared_ptr<ShmLinkState>> shm;
+      std::vector<PendingWire> pending;
+      std::vector<std::shared_ptr<TransportLane>> lanes;
+      std::vector<std::shared_ptr<TransportLane>> pending_intra;
       {
         std::lock_guard<std::mutex> lock(links_mutex_);
-        pending.swap(pending_links_);
-        established.swap(links_);
-        shm.swap(shm_states_);
+        pending.swap(pending_wire_);
+        lanes.swap(lanes_);
+        pending_intra.swap(pending_intra_);
+        intra_lane_count_.store(0, std::memory_order_release);
+        wire_lane_count_.store(0, std::memory_order_release);
+        shm_lane_count_.store(0, std::memory_order_release);
       }
-      for (const auto& [key, state] : shm) ReleaseShmLink(state);
-      for (const auto& link : pending) link->CloseNow();
-      for (const auto& link : established) {
-        link->CloseNow();
-        // Frames never flushed before shutdown are lost.
-        dropped_.fetch_add(link->stats().frames_stranded,
-                           std::memory_order_relaxed);
+      for (const auto& entry : pending) {
+        // A mid-handshake grant parked its slot in the context; no lane
+        // owns it yet.
+        if (entry.ctx->shm_negotiated) {
+          sfm::shm::ReleasePeerSlot(entry.ctx->shm_slot, entry.ctx->shm_pid);
+          entry.ctx->shm_negotiated = false;
+        }
+        entry.link->CloseNow();
       }
+      // Lane Close releases peer slots and pin ledgers and counts frames
+      // never flushed before shutdown as dropped (in-process lanes no-op).
+      for (const auto& lane : lanes) lane->Close();
     });
   }
   listener_.Close();

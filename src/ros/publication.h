@@ -1,28 +1,28 @@
 // Publisher-side transport for one advertised topic: a listening socket,
-// the TCPROS handshake policy, and the fan-out across subscriber links —
+// the TCPROS handshake policy, and the fan-out across subscriber lanes —
 // plus, for typed publishers, the in-process fanout registered by
 // co-located subscriptions (intra_process.h).
 //
-// Publication is pure policy over `rsf::net::Link`: the listener and every
-// subscriber link live on ONE EventLoop of the shared reactor pool, Link
-// owns the handshake/framing/teardown state machines, and this class only
-// decides what the frames are (EvaluateHandshake validates connection
-// headers; Publish enqueues one shared-payload frame per link and kicks
-// the loop once).  Total transport threads stay O(cores) regardless of
-// subscriber count (DESIGN.md §8).  The thread-per-connection transport
-// was removed in PR 4; RSF_TRANSPORT=threads only logs a deprecation
-// warning.
+// Publication is pure policy over the TransportLane seam (DESIGN.md §13):
+// the listener and every wire link live on ONE EventLoop of the shared
+// reactor pool; each established subscriber — in-process, plain TCP, or
+// shm-negotiated — is one TransportLane in a single array, and Publish is
+// exactly: finalize one PublishContext (wire frame + shm descriptor, each
+// encoded once for the whole fan-out), then `lane->Offer(ctx)` over a
+// snapshot.  No tier branches, no per-link maps, no per-publish
+// negotiation reads — adding a transport tier means adding a lane class,
+// not editing this file.  Total transport threads stay O(cores) regardless
+// of subscriber count (DESIGN.md §8).
 //
-// Publication is untyped: TCP links move SerializedMessage units, and the
+// Publication is untyped: wire lanes move SerializedMessage units, and the
 // in-process fanout moves type-erased shared_ptr<const M> handles.  The
 // typed Publisher handle (node_handle.h) serializes / clones / borrows
-// messages before handing them here.  Both transports feed the same
-// enqueued/dropped counters, so SentCount() means "deliveries that
-// reached a live subscriber" regardless of tier.
+// messages into the PublishContext before handing it here.  Every lane
+// feeds the same enqueued/dropped counters, so SentCount() means
+// "deliveries that reached a live subscriber" regardless of tier.
 #pragma once
 
 #include <atomic>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,18 +34,19 @@
 #include "net/socket.h"
 #include "ros/intra_process.h"
 #include "ros/serialized_message.h"
-#include "ros/shm_transport.h"
+#include "ros/transport_lane.h"
 
 namespace ros {
 
 /// Publisher-side delivery counters.  "Sent" only counts frames that were
 /// actually handed to (or still queued for) a live link: a frame evicted by
-/// the drop-oldest policy, or stranded behind a broken connection, counts
-/// as dropped, never as sent.  Intra-process deliveries flow through the
-/// same enqueued/dropped pair (a delivery attempt on a dead link is a
-/// drop), so the counters describe the topic, not one transport.
+/// the drop-oldest policy, stranded behind a broken connection, or whose
+/// shm pin was evicted from a stalled subscriber's ledger counts as
+/// dropped, never as sent.  Every lane kind flows through the same
+/// enqueued/dropped pair, so the counters describe the topic, not one
+/// transport.
 struct PublicationStats {
-  uint64_t enqueued = 0;          // delivery attempts, TCP frames + intra
+  uint64_t enqueued = 0;          // delivery attempts, wire frames + intra
   uint64_t dropped = 0;           // evicted, stranded, or dead-link attempts
   uint64_t intra_delivered = 0;   // in-process deliveries (all tiers)
   uint64_t intra_zero_copy = 0;   // ... of which aliased the publisher's message
@@ -53,7 +54,7 @@ struct PublicationStats {
   uint64_t shm_descriptors = 0;   // wire deliveries sent as shm descriptors
   uint64_t shm_inline = 0;        // wire deliveries on negotiated links that
                                   // went inline (fallback / below threshold)
-  size_t tcp_links = 0;           // live (established) TCP subscriber links
+  size_t tcp_links = 0;           // live (established) wire subscriber links
   size_t shm_links = 0;           // ... of which negotiated the shm tier
   size_t intra_links = 0;         // live in-process subscriber links
 };
@@ -73,13 +74,19 @@ class Publication : public std::enable_shared_from_this<Publication> {
   Publication(const Publication&) = delete;
   Publication& operator=(const Publication&) = delete;
 
-  /// Fans the message out to every established TCP subscriber link (aliased
-  /// shared buffer: no per-subscriber copy).  Messages queued while a
-  /// link's queue is full evict the oldest (roscpp behaviour).
+  /// Fans one publish across every established lane.  Finalizes the
+  /// context's wire frame and (when a shm lane is live) its descriptor
+  /// frame EXACTLY ONCE, then offers the shared context to each lane — a
+  /// per-lane shared_ptr copy, never a per-lane encode
+  /// (shim::frame_builds / shim::descriptor_builds carry the proof).
+  void Publish(PublishContext ctx);
+
+  /// Untyped wire publish (bag replay, wire-level tests): fans the frame
+  /// out to every wire lane; in-process lanes skip it.
   void Publish(SerializedMessage message);
 
   /// In-process handshake: validates the subscriber's negotiated checksum
-  /// against this topic's and, on success, registers the link as PENDING —
+  /// against this topic's and, on success, registers the lane as PENDING —
   /// the same contract as the TCPROS header exchange, without the sockets.
   /// The link receives nothing until ActivateIntraLink, mirroring the TCP
   /// pending→established split: the subscriber finishes its own
@@ -87,38 +94,37 @@ class Publication : public std::enable_shared_from_this<Publication> {
   /// into a half-registered link.
   rsf::Status AddIntraLink(std::shared_ptr<IntraLinkBase> link);
 
-  /// Moves a pending in-process link into the live fanout (called by the
-  /// subscriber once the link is filed on its side).  A link no longer
+  /// Moves a pending in-process lane into the live fanout (called by the
+  /// subscriber once the link is filed on its side).  A lane no longer
   /// pending — culled by Shutdown or RemoveIntraLink in between — stays
   /// out: late activation never resurrects it.
   void ActivateIntraLink(const IntraLinkBase* link);
 
-  /// Unhooks one in-process link (subscriber shutdown).  Links whose
+  /// Unhooks one in-process lane (subscriber shutdown).  Lanes whose
   /// subscriber merely vanished are also culled lazily on publish.
   void RemoveIntraLink(const IntraLinkBase* link);
 
-  /// Fans a type-erased shared message out to every live in-process link,
-  /// culling dead ones.  Returns the number of subscribers reached.
-  /// Every attempt counts as enqueued; an attempt on a dead link counts as
-  /// dropped — the same accounting TCP frames get.
-  size_t DeliverIntra(const std::shared_ptr<const void>& message,
-                      IntraTier tier);
+  /// True if any in-process lanes are live (publish should clone or
+  /// borrow the message for them).  Lock-free.
+  [[nodiscard]] bool HasIntraLinks() const noexcept {
+    return intra_lane_count_.load(std::memory_order_acquire) > 0;
+  }
 
-  /// True if any in-process links are registered (publish should clone or
-  /// borrow the message for them).
-  [[nodiscard]] bool HasIntraLinks() const;
+  /// True if any wire lanes are established (publish should serialize).
+  /// Lock-free.
+  [[nodiscard]] bool HasTcpLinks() const noexcept {
+    return wire_lane_count_.load(std::memory_order_acquire) > 0;
+  }
 
-  /// True if any TCP links are established (publish should serialize).
-  [[nodiscard]] bool HasTcpLinks() const;
-
-  /// Number of live subscriber links, both transports.
+  /// Number of live subscriber lanes, every kind.
   [[nodiscard]] size_t NumSubscribers() const;
 
   /// Delivery attempts that reached (or are still queued for) a live
-  /// subscriber, across both transports.
+  /// subscriber, across every lane kind.
   [[nodiscard]] uint64_t SentCount() const noexcept {
-    const uint64_t enqueued = enqueued_.load(std::memory_order_relaxed);
-    const uint64_t dropped = dropped_.load(std::memory_order_relaxed);
+    const uint64_t enqueued =
+        counters_.enqueued.load(std::memory_order_relaxed);
+    const uint64_t dropped = counters_.dropped.load(std::memory_order_relaxed);
     return enqueued >= dropped ? enqueued - dropped : 0;
   }
 
@@ -132,7 +138,7 @@ class Publication : public std::enable_shared_from_this<Publication> {
   }
   [[nodiscard]] const std::string& md5sum() const noexcept { return md5sum_; }
 
-  /// Stops accepting and closes all links (RunSync: once this returns no
+  /// Stops accepting and closes all lanes (RunSync: once this returns no
   /// loop callback touches this object).  Idempotent.
   void Shutdown();
 
@@ -141,64 +147,80 @@ class Publication : public std::enable_shared_from_this<Publication> {
               const std::string& md5sum, const std::string& callerid,
               size_t queue_size, rsf::net::TcpListener listener);
 
+  /// A mid-handshake wire link and the context its lane will be built
+  /// from.  Moves into lanes_ at establishment.
+  struct PendingWire {
+    std::shared_ptr<rsf::net::Link> link;
+    std::shared_ptr<WireLaneContext> ctx;
+  };
+
   /// Registers the listener with the event loop (called once by Create).
   void Start();
 
   /// Validates a request header, builds the reply frame, returns whether
-  /// the subscriber is accepted.  The Link handshake callback.  When the
-  /// request asks for the shm tier and this process can grant it (tier
-  /// enabled, a peer slot free), the reply carries the segment namespace
-  /// and the subscriber's slot, and `shm` flips to negotiated.
+  /// the subscriber is accepted.  The Link handshake callback.  Tier
+  /// negotiation is LanePolicy::GrantWireTier over the parsed header; a
+  /// grant records the acquired peer slot in `ctx` (loop thread) for the
+  /// lane built at establishment.
   bool EvaluateHandshake(const uint8_t* request, uint32_t length,
-                         std::vector<uint8_t>* reply_frame, ShmLinkState* shm);
+                         std::vector<uint8_t>* reply_frame,
+                         WireLaneContext* ctx);
+
+  /// Offers a finalized context to a snapshot of all lanes, culling dead
+  /// in-process lanes, then kicks the loop once for the wire lanes.
+  void OfferToLanes(const PublishContext& ctx);
 
   // Loop-thread-only.
   void OnAcceptReady();
-  void OnLinkEstablished(const std::shared_ptr<rsf::net::Link>& link);
-  void OnLinkClosed(const std::shared_ptr<rsf::net::Link>& link);
-  /// A control frame (ack / disable) arrived on a subscriber link.
-  void OnShmControlFrame(const std::shared_ptr<ShmLinkState>& shm,
-                         uint32_t raw);
-  /// Returns the link's peer slot and drops its pin ledger.
-  void ReleaseShmLink(const std::shared_ptr<ShmLinkState>& shm);
+  void OnLinkEstablished(const std::shared_ptr<rsf::net::Link>& link,
+                         const std::shared_ptr<WireLaneContext>& ctx);
+  void OnLinkClosed(const std::shared_ptr<rsf::net::Link>& link,
+                    const std::shared_ptr<WireLaneContext>& ctx);
 
   const std::string topic_;
   const std::string datatype_;
   const std::string md5sum_;
   const std::string callerid_;
   const size_t queue_size_;
+  /// Shm pin-ledger bound per lane: generous enough that a subscriber
+  /// acking every message never hits it; a stalled one loses its oldest
+  /// pins (counted as drops).
+  const size_t max_pins_;
 
   rsf::net::TcpListener listener_;
   uint16_t port_ = 0;
   bool intra_registered_ = false;  // written once in Create, before Start
   std::atomic<bool> shutdown_{false};
-  std::atomic<uint64_t> enqueued_{0};
-  std::atomic<uint64_t> dropped_{0};
-  std::atomic<uint64_t> intra_delivered_{0};
-  std::atomic<uint64_t> intra_zero_copy_{0};
-  std::atomic<uint64_t> intra_whole_copy_{0};
-  std::atomic<uint64_t> shm_descriptors_{0};
-  std::atomic<uint64_t> shm_inline_{0};
+  LaneCounters counters_;  // lanes bump these directly
   std::atomic<uint64_t> shm_seq_{0};  // publish sequence for the pin ledger
 
-  // The loop carrying this publication's listener and every link.
+  // Lock-free lane census for the publish fast path (HasIntraLinks /
+  // HasTcpLinks decide what the typed Publisher builds) and for skipping
+  // the descriptor encode when no shm lane is live.
+  std::atomic<size_t> intra_lane_count_{0};
+  std::atomic<size_t> wire_lane_count_{0};
+  std::atomic<size_t> shm_lane_count_{0};
+
+  // The loop carrying this publication's listener and every wire link.
   rsf::net::EventLoop* loop_ = nullptr;
   std::atomic<bool> kick_pending_{false};  // coalesces Publish() wake-ups
 
   mutable std::mutex links_mutex_;
-  // Mid-handshake and established links.  Links move from pending_links_
-  // to links_ in OnLinkEstablished; OnLinkClosed erases from both.
-  std::vector<std::shared_ptr<rsf::net::Link>> pending_links_;
-  std::vector<std::shared_ptr<rsf::net::Link>> links_;
-  // Per-link shm state, filed alongside the link in OnAcceptReady (loop
-  // thread, before any frame can arrive) and erased with it.
-  std::map<const rsf::net::Link*, std::shared_ptr<ShmLinkState>> shm_states_;
+  // Mid-handshake wire links, not-yet-activated in-process lanes, and the
+  // live fanout (every lane kind).  Wire links move from pending_wire_ to
+  // lanes_ in OnLinkEstablished; intra lanes move from pending_intra_ in
+  // ActivateIntraLink.
+  std::vector<PendingWire> pending_wire_;
+  std::vector<std::shared_ptr<TransportLane>> pending_intra_;
+  std::vector<std::shared_ptr<TransportLane>> lanes_;
 
-  mutable std::mutex intra_mutex_;
-  // Accepted but not yet activated links (subscriber still filing), and
-  // the live fanout.  DeliverIntra only ever touches intra_links_.
-  std::vector<std::shared_ptr<IntraLinkBase>> pending_intra_;
-  std::vector<std::shared_ptr<IntraLinkBase>> intra_links_;
+  // Publish-path scratch, reused across publishes so a steady-state
+  // publish allocates nothing.  publish_scratch_ is guarded by
+  // scratch_mutex_ (try-lock: a reentrant or concurrent publish falls
+  // back to a local vector); kick_scratch_ is loop-confined.
+  std::mutex scratch_mutex_;
+  std::vector<std::shared_ptr<TransportLane>> publish_scratch_;
+  std::vector<std::shared_ptr<TransportLane>> kick_scratch_;
 };
 
 }  // namespace ros

@@ -18,29 +18,24 @@
 //   u32 magic 'RSFA' | u8 kind (0 = ack, 1 = disable) | u8[3] pad | u64 seq
 //
 // Lifetime: the publisher PINS the published message (its SerializedMessage
-// holder) in a per-link ledger until the subscriber's cumulative ack covers
-// its seq.  A pinned holder keeps PooledDeleter from running, the block
-// from retiring, and its generation from moving — so a descriptor the
-// subscriber reads in order always passes the generation fence.  Only
-// ledger-evicted descriptors (drop-oldest under backpressure) can lose the
-// race, and those fail the fence cleanly: drop-oldest semantics, never a
-// torn read.  On "disable" the publisher retransmits every unacked pin
-// inline and stops sending descriptors on that link.
+// holder) in a per-lane ledger (the ShmLane of transport_lane.cpp) until
+// the subscriber's cumulative ack covers its seq.  A pinned holder keeps
+// PooledDeleter from running, the block from retiring, and its generation
+// from moving — so a descriptor the subscriber reads in order always
+// passes the generation fence.  Only ledger-evicted descriptors
+// (drop-oldest under backpressure, counted as publisher drops) can lose
+// the race, and those fail the fence cleanly: drop-oldest semantics, never
+// a torn read.  On "disable" the publisher retransmits every unacked pin
+// inline and stops sending descriptors on that lane.
 #pragma once
 
-#include <sys/types.h>
-
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
-#include "net/link.h"
-#include "ros/serialized_message.h"
 #include "sfm/shm_pool.h"
 
 namespace ros {
@@ -70,27 +65,6 @@ std::shared_ptr<const uint8_t[]> EncodeShmControlFrame(ShmControlKind kind,
 
 bool DecodeShmControl(const uint8_t* data, size_t size, ShmControlKind* kind,
                       uint64_t* seq);
-
-/// Publisher-side per-link shm state.  Created per accepted link before the
-/// handshake runs; `negotiated` flips inside the handshake callback (loop
-/// thread), after which Publish() threads read it under `mutex`.
-struct ShmLinkState {
-  struct Pinned {
-    uint64_t seq = 0;
-    SerializedMessage message;  // the holder that keeps the block live
-  };
-
-  std::mutex mutex;
-  bool negotiated = false;
-  /// Subscriber asked for inline delivery (attach failed, fence broke):
-  /// never send descriptors again on this link.
-  bool inline_only = false;
-  int slot = -1;        // peer refcount column in every segment
-  pid_t peer_pid = 0;   // liveness-sweep identity for the slot
-  std::deque<Pinned> ledger;
-  std::weak_ptr<rsf::net::Link> link;  // for ack-driven retransmits
-  std::vector<uint8_t> control_buf;    // staging for inbound control frames
-};
 
 /// Subscriber-side per-link shm state (owned by the WireLink, loop-thread
 /// confined after the handshake).

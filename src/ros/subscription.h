@@ -49,6 +49,7 @@
 #include "ros/message_traits.h"
 #include "ros/publication.h"
 #include "ros/shm_transport.h"
+#include "ros/transport_lane.h"
 
 namespace ros {
 
@@ -270,48 +271,53 @@ class Subscription final
   void OnPublisher(const TopicEndpoint& endpoint) {
     if (shutdown_.load(std::memory_order_acquire)) return;
 
-    // Transport negotiation: prefer the in-process link when the endpoint's
-    // Publication lives in this process and nothing pins us to the wire.
-    if (options_.allow_intra_process && !ShapedLink()) {
-      if (auto publication = intra_registry().Find(topic_, endpoint.port)) {
-        auto link = std::make_shared<IntraLink>(this->weak_from_this(),
-                                                transport_md5_, callerid_);
-        const auto status = publication->AddIntraLink(link);
-        if (status.ok()) {
-          {
-            std::lock_guard<std::mutex> lock(links_mutex_);
-            if (shutdown_.load(std::memory_order_acquire)) {
-              publication->RemoveIntraLink(link.get());
-              return;
-            }
-            intra_links_.emplace_back(link, publication);
+    // Transport negotiation, in one testable table (DESIGN.md §13): the
+    // LanePolicy rows decide in-process vs TCP vs TCP-with-shm-request;
+    // this function only carries out the plan.
+    auto publication = intra_registry().Find(topic_, endpoint.port);
+    LanePolicy::SubscriberSide side;
+    side.co_located = publication != nullptr;
+    side.allow_intra = options_.allow_intra_process;
+    side.shaped = ShapedLink();
+    side.serialization_free = Serializer<M>::kSerializationFree;
+    side.allow_shm = options_.allow_shm;
+    side.shm_enabled = sfm::shm::Enabled();
+    side.loopback =
+        endpoint.host == "127.0.0.1" || endpoint.host == "localhost";
+    const LanePolicy::Plan plan = LanePolicy::PlanSubscriber(side);
+
+    if (plan == LanePolicy::Plan::kIntra) {
+      auto link = std::make_shared<IntraLink>(this->weak_from_this(),
+                                              transport_md5_, callerid_);
+      const auto status = publication->AddIntraLink(link);
+      if (status.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(links_mutex_);
+          if (shutdown_.load(std::memory_order_acquire)) {
+            publication->RemoveIntraLink(link.get());
+            return;
           }
-          // Filed on our side: go live.  Outside links_mutex_ — the
-          // publication takes its own lock and must never nest inside
-          // ours.  If our Shutdown raced in between, it already called
-          // RemoveIntraLink, and this activation no-ops.
-          publication->ActivateIntraLink(link.get());
-        } else {
-          RSF_WARN("publisher rejected in-process subscription to %s: %s",
-                   topic_.c_str(), status.ToString().c_str());
+          intra_links_.emplace_back(link, publication);
         }
-        // Never fall back to TCP for a co-located publication: a rejection
-        // here (checksum mismatch) would be rejected by the TCPROS
-        // handshake too.
-        return;
+        // Filed on our side: go live.  Outside links_mutex_ — the
+        // publication takes its own lock and must never nest inside
+        // ours.  If our Shutdown raced in between, it already called
+        // RemoveIntraLink, and this activation no-ops.
+        publication->ActivateIntraLink(link.get());
+      } else {
+        RSF_WARN("publisher rejected in-process subscription to %s: %s",
+                 topic_.c_str(), status.ToString().c_str());
       }
+      // Never fall back to TCP for a co-located publication: a rejection
+      // here (checksum mismatch) would be rejected by the TCPROS
+      // handshake too.
+      return;
     }
 
     auto wl = std::make_shared<WireLink>();
     std::weak_ptr<Subscription> weak = this->weak_from_this();
 
-    // Shm-tier negotiation rides the handshake, but only when it could
-    // actually work: SFM wire format (position-independent arenas), a
-    // same-host publisher, no link shaping, and the tier switched on.
-    const bool want_shm =
-        Serializer<M>::kSerializationFree && options_.allow_shm &&
-        !ShapedLink() && sfm::shm::Enabled() &&
-        (endpoint.host == "127.0.0.1" || endpoint.host == "localhost");
+    const bool want_shm = plan == LanePolicy::Plan::kTcpRequestShm;
 
     rsf::net::Link::Callbacks callbacks;
     // Captured by value: the request must be buildable even if the
@@ -321,10 +327,7 @@ class Subscription final
                                         md5 = transport_md5_,
                                         callerid = callerid_, want_shm] {
       auto header = MakeSubscriberHeader(topic, datatype, md5, callerid);
-      if (want_shm) {
-        header["shm"] = "1";
-        header["shm_pid"] = std::to_string(::getpid());
-      }
+      if (want_shm) AddShmRequestFields(&header, ::getpid());
       return EncodeConnectionHeader(header);
     };
     callbacks.on_handshake_reply = [topic = topic_, wl](const uint8_t* data,
@@ -338,19 +341,12 @@ class Subscription final
       }
       // Publisher granted the shm tier: remember its namespace and our
       // refcount slot.  Loop-thread write, before any frame can arrive.
-      const auto shm = header->find("shm");
-      const auto ns = header->find("shm_ns");
-      const auto slot = header->find("shm_slot");
-      if (shm != header->end() && shm->second == "1" &&
-          ns != header->end() && slot != header->end()) {
-        const long parsed = std::strtol(slot->second.c_str(), nullptr, 10);
-        if (parsed >= 0 &&
-            static_cast<size_t>(parsed) < sfm::shm::kMaxPeers &&
-            !ns->second.empty()) {
-          wl->shm.negotiated = true;
-          wl->shm.ns = ns->second;
-          wl->shm.slot = static_cast<int>(parsed);
-        }
+      // A malformed grant degrades to plain TCP.
+      const ShmGrant grant = ParseShmGrant(*header, sfm::shm::kMaxPeers);
+      if (grant.granted) {
+        wl->shm.negotiated = true;
+        wl->shm.ns = grant.ns;
+        wl->shm.slot = grant.slot;
       }
       return true;
     };

@@ -1,0 +1,283 @@
+#include "ros/transport_lane.h"
+
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/log.h"
+#include "net/framing.h"
+#include "ros/message_traits.h"
+#include "ros/shm_transport.h"
+#include "sfm/shm_pool.h"
+
+namespace ros {
+
+namespace {
+
+/// In-process delivery: a typed pointer hand-off into the subscriber's
+/// queue.  No wire, no frames — Offer ignores untyped contexts (bag
+/// replay publishes have no intra handle) and reports a dead subscriber
+/// by returning false, which culls the lane.
+class IntraLane final : public TransportLane {
+ public:
+  IntraLane(std::shared_ptr<IntraLinkBase> link, LaneCounters* counters)
+      : link_(std::move(link)), counters_(counters) {}
+
+  bool Offer(const PublishContext& ctx) override {
+    if (!ctx.has_intra) return true;
+    // Same accounting as a wire frame: the attempt is enqueued; reaching a
+    // dead link is a drop.  SentCount() then spans every tier.
+    counters_->enqueued.fetch_add(1, std::memory_order_relaxed);
+    if (!link_->Deliver(ctx.intra, ctx.intra_tier)) {
+      counters_->dropped.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    counters_->intra_delivered.fetch_add(1, std::memory_order_relaxed);
+    (ctx.intra_tier == IntraTier::kZeroCopy ? counters_->intra_zero_copy
+                                            : counters_->intra_whole_copy)
+        .fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  void OnControlFrame(uint32_t, const uint8_t*) override {}
+  void Close() override {}
+
+  [[nodiscard]] LaneDescription Describe() const override {
+    return {LaneKind::kIntra, link_->alive()};
+  }
+  [[nodiscard]] const IntraLinkBase* intra_link() const noexcept override {
+    return link_.get();
+  }
+
+ private:
+  const std::shared_ptr<IntraLinkBase> link_;
+  LaneCounters* const counters_;
+};
+
+/// Plain TCP delivery: the pre-built wire frame goes onto the link's
+/// drop-oldest queue (one shared_ptr copy, never a payload copy).
+class TcpLane final : public TransportLane {
+ public:
+  TcpLane(std::shared_ptr<rsf::net::Link> link, LaneCounters* counters)
+      : link_(std::move(link)), counters_(counters) {}
+
+  bool Offer(const PublishContext& ctx) override {
+    if (!ctx.has_wire()) return true;
+    counters_->enqueued.fetch_add(1, std::memory_order_relaxed);
+    if (link_->EnqueueFrame(ctx.wire)) {
+      counters_->dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  void OnControlFrame(uint32_t, const uint8_t*) override {
+    RSF_WARN("unexpected control frame on a plain TCP lane; ignoring");
+  }
+
+  void Close() override {
+    if (closed_) return;
+    closed_ = true;
+    link_->CloseNow();
+    // Frames still queued behind the closed connection are lost.
+    counters_->dropped.fetch_add(link_->stats().frames_stranded,
+                                 std::memory_order_relaxed);
+  }
+
+  void Flush() override { link_->FlushOnLoop(); }
+
+  [[nodiscard]] LaneDescription Describe() const override {
+    return {LaneKind::kTcp, true};
+  }
+
+ private:
+  const std::shared_ptr<rsf::net::Link> link_;
+  LaneCounters* const counters_;
+  bool closed_ = false;  // loop-confined
+};
+
+/// Shm-tier delivery: the pre-encoded 48-byte descriptor goes out instead
+/// of the payload, whose holder is PINNED in this lane's ledger until the
+/// subscriber's cumulative ack covers its seq (shm_transport.h lifetime
+/// rules).  Ledger overflow drops the oldest pin — a real publisher-side
+/// loss (the stale descriptor fails the generation fence downstream), so
+/// it counts in `dropped`.  A "disable" control frame retransmits every
+/// unacked pin inline and pins the lane to inline frames for good.
+class ShmLane final : public TransportLane {
+ public:
+  ShmLane(std::shared_ptr<rsf::net::Link> link, LaneCounters* counters,
+          std::string topic, size_t max_pins, int slot, pid_t peer_pid)
+      : link_(std::move(link)),
+        counters_(counters),
+        topic_(std::move(topic)),
+        max_pins_(max_pins),
+        slot_(slot),
+        peer_pid_(peer_pid) {}
+
+  bool Offer(const PublishContext& ctx) override {
+    if (!ctx.has_wire()) return true;
+    counters_->enqueued.fetch_add(1, std::memory_order_relaxed);
+
+    bool via_descriptor = false;
+    if (ctx.descriptor.valid()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!inline_only_ && !closed_) {
+        ledger_.push_back({ctx.seq, ctx.payload});
+        // Pin bound: generous enough that a subscriber acking every
+        // message never hits it; a stalled one loses its oldest pins
+        // (drop-oldest — the generation fence turns their stale
+        // descriptors into clean drops, counted here as real losses).
+        while (ledger_.size() > max_pins_) {
+          ledger_.pop_front();
+          counters_->dropped.fetch_add(1, std::memory_order_relaxed);
+          shim::shm_pin_evictions.fetch_add(1, std::memory_order_relaxed);
+        }
+        via_descriptor = true;
+      }
+    }
+
+    if (via_descriptor) {
+      if (link_->EnqueueFrame(ctx.descriptor)) {
+        counters_->dropped.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        counters_->shm_descriptors.fetch_add(1, std::memory_order_relaxed);
+        shim::shm_zero_copy_deliveries.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      }
+      return true;
+    }
+    // Inline fallback on a negotiated lane: heap-backed payload, tier
+    // below threshold, or the subscriber left the tier.
+    if (link_->EnqueueFrame(ctx.wire)) {
+      counters_->dropped.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      counters_->shm_inline.fetch_add(1, std::memory_order_relaxed);
+      shim::shm_fallback_deliveries.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  void OnControlFrame(uint32_t raw, const uint8_t* data) override {
+    ShmControlKind kind;
+    uint64_t seq = 0;
+    if (!DecodeShmControl(data, rsf::net::FrameLength(raw), &kind, &seq)) {
+      RSF_WARN("malformed shm control frame on %s; ignoring", topic_.c_str());
+      return;
+    }
+    std::vector<SerializedMessage> retransmit;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (kind == ShmControlKind::kAck) {
+        // Cumulative: every pin at or below the acked seq is consumed.
+        while (!ledger_.empty() && ledger_.front().seq <= seq) {
+          ledger_.pop_front();
+        }
+        return;
+      }
+      // Disable: the subscriber's side of the tier broke (attach failure,
+      // out-of-range descriptor).  Everything unacked goes out inline, in
+      // order, and the lane stays inline for good.
+      inline_only_ = true;
+      retransmit.reserve(ledger_.size());
+      for (auto& pinned : ledger_) {
+        retransmit.push_back(std::move(pinned.message));
+      }
+      ledger_.clear();
+    }
+    RSF_WARN("subscriber on %s left the shm tier; retransmitting %zu pinned "
+             "messages inline",
+             topic_.c_str(), retransmit.size());
+    for (const auto& message : retransmit) {
+      // Not re-counted as enqueued (the descriptor delivery already was);
+      // an eviction here is a real loss, though.
+      if (link_->EnqueueFrame(message.data,
+                              static_cast<uint32_t>(message.size))) {
+        counters_->dropped.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    link_->FlushOnLoop();  // control frames arrive on the loop thread
+  }
+
+  void Close() override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;
+      closed_ = true;
+      // Dropping the ledger releases the pinned payload holders; blocks
+      // the (possibly dead) peer never acked retire, and either its
+      // in-mapping RefTokens drain them or the pid liveness sweep reclaims
+      // them.
+      ledger_.clear();
+    }
+    sfm::shm::ReleasePeerSlot(slot_, peer_pid_);
+    link_->CloseNow();
+    counters_->dropped.fetch_add(link_->stats().frames_stranded,
+                                 std::memory_order_relaxed);
+  }
+
+  void Flush() override { link_->FlushOnLoop(); }
+
+  [[nodiscard]] LaneDescription Describe() const override {
+    return {LaneKind::kShm, true};
+  }
+
+ private:
+  struct Pinned {
+    uint64_t seq = 0;
+    SerializedMessage message;  // the holder that keeps the block live
+  };
+
+  const std::shared_ptr<rsf::net::Link> link_;
+  LaneCounters* const counters_;
+  const std::string topic_;
+  const size_t max_pins_;
+  const int slot_;       // peer refcount column in every segment
+  const pid_t peer_pid_;  // liveness-sweep identity for the slot
+
+  std::mutex mutex_;
+  bool inline_only_ = false;
+  bool closed_ = false;
+  std::deque<Pinned> ledger_;
+};
+
+}  // namespace
+
+LanePolicy::Plan LanePolicy::PlanSubscriber(const SubscriberSide& in) noexcept {
+  // In-process beats every wire: co-located endpoints hand pointers over
+  // unless the subscription opted out or a shaped link pins it to TCP.
+  // (An intra rejection — checksum mismatch — never falls back to TCP:
+  // the TCPROS handshake would reject it for the same reason.)
+  if (in.co_located && in.allow_intra && !in.shaped) return Plan::kIntra;
+  // The shm tier is only worth asking for when it could actually work:
+  // SFM wire format (position-independent arenas), a same-host publisher,
+  // no link shaping, and the tier switched on here.
+  if (in.serialization_free && in.allow_shm && !in.shaped && in.shm_enabled &&
+      in.loopback) {
+    return Plan::kTcpRequestShm;
+  }
+  return Plan::kTcp;
+}
+
+LanePolicy::Grant LanePolicy::GrantWireTier(const PublisherSide& in) noexcept {
+  if (!in.shm_requested || !in.peer_pid_known) return Grant::kTcpNotRequested;
+  if (!in.shm_enabled) return Grant::kTcpTierDisabled;
+  if (!in.slot_acquired) return Grant::kTcpNoSlot;
+  return Grant::kShm;
+}
+
+std::shared_ptr<TransportLane> MakeIntraLane(
+    std::shared_ptr<IntraLinkBase> link, LaneCounters* counters) {
+  return std::make_shared<IntraLane>(std::move(link), counters);
+}
+
+std::shared_ptr<TransportLane> MakeWireLane(
+    const std::shared_ptr<WireLaneContext>& ctx,
+    std::shared_ptr<rsf::net::Link> link, LaneCounters* counters,
+    const std::string& topic, size_t max_pins) {
+  if (LanePolicy::WireLaneKind(ctx->shm_negotiated) == LaneKind::kShm) {
+    return std::make_shared<ShmLane>(std::move(link), counters, topic,
+                                     max_pins, ctx->shm_slot, ctx->shm_pid);
+  }
+  return std::make_shared<TcpLane>(std::move(link), counters);
+}
+
+}  // namespace ros

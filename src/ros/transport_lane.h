@@ -1,0 +1,211 @@
+// The pluggable per-subscriber delivery seam (DESIGN.md §13).
+//
+// After PR 7 a topic can reach a subscriber over three tiers — in-process
+// pointer hand-off, inline TCP frames, shm descriptor + pin ledger — and
+// `Publication::Publish` had grown into a branch ladder over per-link maps
+// and side channels.  This header carves the seam that collapses it:
+//
+//   PublishContext   everything a publish produces, built EXACTLY ONCE per
+//                    publish regardless of fan-out: the wire frame (shared
+//                    payload + raw tagged prefix), the pre-encoded 48-byte
+//                    shm descriptor frame, the pin-ledger sequence number,
+//                    and the typed in-process handle.  Lanes only read it.
+//
+//   TransportLane    one subscriber's delivery path.  Publish is a loop of
+//                    `lane->Offer(ctx)` over a snapshot — no tier branches,
+//                    no per-publish map lookups, no per-link negotiation
+//                    reads.  Concrete lanes: IntraLane (typed pointer
+//                    hand-off), TcpLane (inline frames), ShmLane
+//                    (descriptor + pin ledger, inline fallback).  A future
+//                    UDP-multicast tier is one more subclass plus a
+//                    LanePolicy row — nothing in Publication changes.
+//
+//   LanePolicy       the negotiation table.  Which tier a subscriber asks
+//                    for at connect time, what the publisher grants in the
+//                    handshake, and which lane an established link becomes
+//                    — the rules that used to be spread across the
+//                    handshake lambdas of publication.cpp and
+//                    subscription.h, now one pure, exhaustively testable
+//                    unit mirroring the DESIGN.md §12.4 matrix.
+//
+// Threading: Offer() is called from publisher threads (any number,
+// concurrently); OnControlFrame/Close/Flush are loop-thread-only, like the
+// Link callbacks that drive them.  Describe() is thread-safe.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.h"
+#include "ros/intra_process.h"
+#include "ros/serialized_message.h"
+
+namespace ros {
+
+/// One publish, prepared once and shared by every lane the fan-out visits.
+/// The wire frame and descriptor frame alias shared buffers: offering the
+/// context to N lanes costs N shared_ptr copies, never N encodes.
+struct PublishContext {
+  /// Wire payload holder — the serialized (or arena-aliased) bytes, also
+  /// the unit the shm pin ledger parks until the subscriber acks.
+  SerializedMessage payload;
+  /// Finalized data frame: payload aliased under its raw (tag 0) prefix.
+  /// Built by Publication from `payload`, exactly once per publish
+  /// (shim::frame_builds proves it).
+  rsf::net::OutFrame wire;
+  /// Pre-encoded shm descriptor frame, when the payload resolved to a
+  /// shared block (shim::descriptor_builds counts the one encode).
+  /// Invalid when the tier is off, the payload is heap-backed, or no shm
+  /// lane is live — shm lanes then deliver inline.
+  rsf::net::OutFrame descriptor;
+  /// Pin-ledger sequence number stamped into `descriptor`.
+  uint64_t seq = 0;
+
+  /// Typed in-process handle (type-erased shared_ptr<const M>) and its
+  /// tier.  Absent for untyped publishes (bag replay) — intra lanes then
+  /// skip this context.
+  std::shared_ptr<const void> intra;
+  IntraTier intra_tier = IntraTier::kWholeCopy;
+  bool has_intra = false;
+
+  [[nodiscard]] bool has_wire() const noexcept { return payload.valid(); }
+  [[nodiscard]] bool empty() const noexcept {
+    return !has_wire() && !has_intra;
+  }
+};
+
+/// The publication's delivery counters, shared by every lane.  Lanes bump
+/// these directly so the Publish loop carries no per-tier accounting
+/// branches; Publication::Stats() reads them.  Relaxed telemetry.
+struct LaneCounters {
+  std::atomic<uint64_t> enqueued{0};
+  std::atomic<uint64_t> dropped{0};
+  std::atomic<uint64_t> intra_delivered{0};
+  std::atomic<uint64_t> intra_zero_copy{0};
+  std::atomic<uint64_t> intra_whole_copy{0};
+  std::atomic<uint64_t> shm_descriptors{0};
+  std::atomic<uint64_t> shm_inline{0};
+};
+
+enum class LaneKind : uint8_t { kIntra, kTcp, kShm };
+
+/// Thread-safe snapshot of one lane for Stats()/NumSubscribers().
+struct LaneDescription {
+  LaneKind kind = LaneKind::kTcp;
+  bool alive = true;  // intra lanes: subscriber still reachable
+};
+
+/// One subscriber's delivery path.  See the threading contract above.
+class TransportLane {
+ public:
+  virtual ~TransportLane() = default;
+
+  /// Offers one prepared publish to this lane.  Returns false when the
+  /// lane is dead and should be culled from the fan-out (in-process
+  /// subscriber gone); wire lanes always return true — their lifecycle is
+  /// driven by Link callbacks, not by publish outcomes.
+  virtual bool Offer(const PublishContext& ctx) = 0;
+
+  /// A control frame arrived on this lane's link (`data` is the staged
+  /// payload, FrameLength(raw) its size).  Loop-thread-only.
+  virtual void OnControlFrame(uint32_t raw, const uint8_t* data) = 0;
+
+  /// Releases everything the lane owns (peer slot, pin ledger, link) and
+  /// accounts frames stranded behind it.  Loop-thread-only, idempotent.
+  virtual void Close() = 0;
+
+  /// Kicks queued wire frames toward the socket.  Loop-thread-only.
+  virtual void Flush() {}
+
+  [[nodiscard]] virtual LaneDescription Describe() const = 0;
+
+  /// Identity hook for in-process lane removal (Publication::
+  /// RemoveIntraLink keys on the subscriber's IntraLinkBase pointer).
+  [[nodiscard]] virtual const IntraLinkBase* intra_link() const noexcept {
+    return nullptr;
+  }
+};
+
+/// Per-accepted-link context shared between the Link's callbacks and the
+/// lane that the link becomes once established.  Written on the loop
+/// thread (handshake, establishment); the handshake's negotiation outcome
+/// decides the lane kind, and slot ownership transfers to the lane at
+/// construction — until then OnLinkClosed releases it from here.
+struct WireLaneContext {
+  std::vector<uint8_t> control_buf;  // staging for inbound control frames
+  // Shm negotiation outcome (EvaluateHandshake, loop thread).
+  bool shm_negotiated = false;
+  int shm_slot = -1;
+  pid_t shm_pid = 0;
+  // Set at establishment; control frames route through it.  Loop-confined.
+  std::shared_ptr<TransportLane> lane;
+};
+
+/// The negotiation table: every tier decision in one testable unit.  The
+/// rows mirror DESIGN.md §12.4 plus the §7 intra preference; tests cover
+/// each cell (tests/ros/transport_lane_test.cpp).
+class LanePolicy {
+ public:
+  // ---- subscriber side: which lane to ask for at connect time ----
+  struct SubscriberSide {
+    bool co_located = false;   // publisher's Publication lives here
+    bool allow_intra = true;   // SubscribeOptions::allow_intra_process
+    bool shaped = false;       // SimLink config models a remote machine
+    bool serialization_free = false;  // SFM wire format (position-free)
+    bool allow_shm = true;     // SubscribeOptions::allow_shm
+    bool shm_enabled = false;  // RSF_TRANSPORT_SHM on this side
+    bool loopback = false;     // endpoint host is this machine
+  };
+  enum class Plan : uint8_t {
+    kIntra,          // register an in-process link, never dial
+    kTcpRequestShm,  // dial TCP, ask for the shm tier in the handshake
+    kTcp,            // dial TCP, plain inline frames
+  };
+  [[nodiscard]] static Plan PlanSubscriber(const SubscriberSide& in) noexcept;
+
+  // ---- publisher side: what the handshake grants ----
+  struct PublisherSide {
+    bool shm_requested = false;   // header carried shm=1
+    bool peer_pid_known = false;  // header carried shm_pid
+    bool shm_enabled = false;     // RSF_TRANSPORT_SHM on this side
+    bool slot_acquired = false;   // a peer refcount column was free
+  };
+  enum class Grant : uint8_t {
+    kShm,              // reply carries shm_ns/shm_slot; link becomes ShmLane
+    kTcpNotRequested,  // subscriber never asked; plain TCP, silent
+    kTcpTierDisabled,  // asked, but the tier is off here; log + TCP
+    kTcpNoSlot,        // asked, all peer slots busy; warn + TCP
+  };
+  [[nodiscard]] static Grant GrantWireTier(const PublisherSide& in) noexcept;
+
+  /// Whether the handshake should even try to acquire a peer slot (the
+  /// only side-effecting step; everything else above is pure).
+  [[nodiscard]] static bool ShouldAttemptShm(const PublisherSide& in) noexcept {
+    return in.shm_requested && in.peer_pid_known && in.shm_enabled;
+  }
+
+  // ---- established side: which lane a wire link becomes ----
+  [[nodiscard]] static LaneKind WireLaneKind(bool shm_negotiated) noexcept {
+    return shm_negotiated ? LaneKind::kShm : LaneKind::kTcp;
+  }
+};
+
+/// Builds the lane for one activated in-process link.
+std::shared_ptr<TransportLane> MakeIntraLane(
+    std::shared_ptr<IntraLinkBase> link, LaneCounters* counters);
+
+/// Builds the lane for one established wire link: a ShmLane when the
+/// handshake negotiated the tier (taking over the peer slot recorded in
+/// `ctx`), a TcpLane otherwise.  `max_pins` bounds the shm pin ledger
+/// (drop-oldest; evictions count as publisher drops).
+std::shared_ptr<TransportLane> MakeWireLane(
+    const std::shared_ptr<WireLaneContext>& ctx,
+    std::shared_ptr<rsf::net::Link> link, LaneCounters* counters,
+    const std::string& topic, size_t max_pins);
+
+}  // namespace ros

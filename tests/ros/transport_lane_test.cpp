@@ -1,0 +1,493 @@
+// Tests for the TransportLane seam (DESIGN.md §13): the LanePolicy
+// negotiation table (every §12.4 matrix cell as a pure-function row), the
+// mixed-lane fan-out (intra + TCP + shm subscribers on one topic, stats
+// reconciling across tiers), the serialize-once guarantee (shim counters
+// prove one frame build and one descriptor encode per publish at any
+// fan-out), and the shm pin ledger's drop-oldest accounting against a
+// stalled subscriber that never acks.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/framing.h"
+#include "net/link.h"
+#include "net/poller.h"
+#include "paper_msgs/sfm/Image.h"
+#include "ros/ros.h"
+#include "ros/shm_transport.h"
+#include "ros/transport_lane.h"
+#include "sfm/shm_pool.h"
+
+namespace {
+
+using Image = paper_msgs::sfm::Image;
+using ros::LanePolicy;
+
+bool WaitFor(const std::function<bool()>& predicate,
+             uint64_t timeout_nanos = 5'000'000'000ull) {
+  const uint64_t deadline = rsf::MonotonicNanos() + timeout_nanos;
+  while (rsf::MonotonicNanos() < deadline) {
+    if (predicate()) return true;
+    rsf::SleepForNanos(1'000'000);
+  }
+  return predicate();
+}
+
+/// Scoped setenv/unsetenv (the CI shm job exports RSF_TRANSPORT_SHM=1 for
+/// the whole suite — tests that need the tier OFF must override it).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+// ---- LanePolicy: the §12.4 matrix, one cell per assertion ----
+
+LanePolicy::SubscriberSide IntraEligible() {
+  LanePolicy::SubscriberSide side;
+  side.co_located = true;
+  side.allow_intra = true;
+  side.shaped = false;
+  return side;
+}
+
+LanePolicy::SubscriberSide ShmEligible() {
+  LanePolicy::SubscriberSide side;
+  side.co_located = false;
+  side.serialization_free = true;
+  side.allow_shm = true;
+  side.shaped = false;
+  side.shm_enabled = true;
+  side.loopback = true;
+  return side;
+}
+
+TEST(LanePolicyTest, CoLocatedPrefersIntraOverEveryWireTier) {
+  // §7 preference: in-process beats the wire even when the shm tier would
+  // also be available.
+  auto side = IntraEligible();
+  side.serialization_free = true;
+  side.allow_shm = true;
+  side.shm_enabled = true;
+  side.loopback = true;
+  EXPECT_EQ(LanePolicy::PlanSubscriber(side), LanePolicy::Plan::kIntra);
+}
+
+TEST(LanePolicyTest, IntraVetoesFallThroughToWire) {
+  {
+    auto side = IntraEligible();
+    side.allow_intra = false;  // SubscribeOptions opt-out
+    EXPECT_NE(LanePolicy::PlanSubscriber(side), LanePolicy::Plan::kIntra);
+  }
+  {
+    auto side = IntraEligible();
+    side.shaped = true;  // a shaped link models a remote machine
+    EXPECT_NE(LanePolicy::PlanSubscriber(side), LanePolicy::Plan::kIntra);
+  }
+  {
+    auto side = IntraEligible();
+    side.co_located = false;
+    EXPECT_NE(LanePolicy::PlanSubscriber(side), LanePolicy::Plan::kIntra);
+  }
+}
+
+TEST(LanePolicyTest, ShmRequestNeedsEveryCondition) {
+  // The happy row: SFM type, allow_shm, unshaped, env on, same host.
+  EXPECT_EQ(LanePolicy::PlanSubscriber(ShmEligible()),
+            LanePolicy::Plan::kTcpRequestShm);
+
+  // §12.4 row (a): each negated condition degrades to plain TCP — the
+  // link never negotiates the tier at all.
+  {
+    auto side = ShmEligible();
+    side.serialization_free = false;  // type is not SF
+    EXPECT_EQ(LanePolicy::PlanSubscriber(side), LanePolicy::Plan::kTcp);
+  }
+  {
+    auto side = ShmEligible();
+    side.allow_shm = false;  // SubscribeOptions opt-out
+    EXPECT_EQ(LanePolicy::PlanSubscriber(side), LanePolicy::Plan::kTcp);
+  }
+  {
+    auto side = ShmEligible();
+    side.shaped = true;  // shaped link
+    EXPECT_EQ(LanePolicy::PlanSubscriber(side), LanePolicy::Plan::kTcp);
+  }
+  {
+    auto side = ShmEligible();
+    side.shm_enabled = false;  // RSF_TRANSPORT_SHM off
+    EXPECT_EQ(LanePolicy::PlanSubscriber(side), LanePolicy::Plan::kTcp);
+  }
+  {
+    auto side = ShmEligible();
+    side.loopback = false;  // non-loopback endpoint
+    EXPECT_EQ(LanePolicy::PlanSubscriber(side), LanePolicy::Plan::kTcp);
+  }
+}
+
+TEST(LanePolicyTest, GrantWireTierMatrix) {
+  LanePolicy::PublisherSide side;
+  // Subscriber never asked: silent plain TCP.
+  EXPECT_EQ(LanePolicy::GrantWireTier(side),
+            LanePolicy::Grant::kTcpNotRequested);
+
+  // Asked, but the header carried no parseable pid: same cell.
+  side.shm_requested = true;
+  EXPECT_EQ(LanePolicy::GrantWireTier(side),
+            LanePolicy::Grant::kTcpNotRequested);
+
+  // Asked with a pid, tier off on the publisher: logged, plain TCP.
+  side.peer_pid_known = true;
+  EXPECT_EQ(LanePolicy::GrantWireTier(side),
+            LanePolicy::Grant::kTcpTierDisabled);
+
+  // §12.4 row (b): all peer slots busy — warn, fall back to TCP.
+  side.shm_enabled = true;
+  EXPECT_EQ(LanePolicy::GrantWireTier(side), LanePolicy::Grant::kTcpNoSlot);
+
+  // Everything lined up: the link becomes a ShmLane.
+  side.slot_acquired = true;
+  EXPECT_EQ(LanePolicy::GrantWireTier(side), LanePolicy::Grant::kShm);
+}
+
+TEST(LanePolicyTest, SlotAcquisitionGatedOnRequestPidAndEnv) {
+  // AcquirePeerSlot is the only side-effecting negotiation step; it must
+  // not run unless the request is complete and the tier is on.
+  LanePolicy::PublisherSide side;
+  side.shm_requested = true;
+  side.peer_pid_known = true;
+  side.shm_enabled = true;
+  EXPECT_TRUE(LanePolicy::ShouldAttemptShm(side));
+  side.shm_enabled = false;
+  EXPECT_FALSE(LanePolicy::ShouldAttemptShm(side));
+  side.shm_enabled = true;
+  side.peer_pid_known = false;
+  EXPECT_FALSE(LanePolicy::ShouldAttemptShm(side));
+  side.peer_pid_known = true;
+  side.shm_requested = false;
+  EXPECT_FALSE(LanePolicy::ShouldAttemptShm(side));
+}
+
+TEST(LanePolicyTest, EstablishedLinkBecomesTheNegotiatedLane) {
+  EXPECT_EQ(LanePolicy::WireLaneKind(true), ros::LaneKind::kShm);
+  EXPECT_EQ(LanePolicy::WireLaneKind(false), ros::LaneKind::kTcp);
+}
+
+// ---- middleware-level lane behaviour ----
+
+class TransportLaneTest : public ::testing::Test {
+ protected:
+  void SetUp() override { sfm::shm::ResetPoolForTest(); }
+  void TearDown() override {
+    ros::master().Reset();
+    sfm::shm::ResetPoolForTest();
+  }
+};
+
+void ExpectNoLeakedBlocks() {
+  EXPECT_TRUE(WaitFor([] {
+    sfm::shm::RecycleRetired();
+    const auto stats = sfm::shm::GetPoolStats();
+    return stats.live_blocks == 0 && stats.retired_blocks == 0;
+  })) << "shm blocks leaked: live=" << sfm::shm::GetPoolStats().live_blocks
+      << " retired=" << sfm::shm::GetPoolStats().retired_blocks;
+}
+
+/// One topic, three tiers at once: an in-process subscriber, a forced-TCP
+/// subscriber, and a shm-negotiated subscriber.  Every publish must reach
+/// all three, and the per-tier stats must reconcile exactly.
+TEST_F(TransportLaneTest, MixedLaneFanoutReconcilesAcrossTiers) {
+  ScopedEnv on("RSF_TRANSPORT_SHM", "1");
+  constexpr size_t kBytes = 48 * 1024;
+  constexpr int kMessages = 8;
+
+  ros::NodeHandle pub_node("mixed_pub");
+  ros::NodeHandle sub_node("mixed_sub");
+  auto pub = pub_node.advertise<Image>("/mixed_lanes", 16);
+
+  std::atomic<int> intra_received{0};
+  std::atomic<int> tcp_received{0};
+  std::atomic<int> shm_received{0};
+
+  ros::SubscribeOptions intra_options;
+  intra_options.inline_dispatch = true;
+  auto intra_sub = sub_node.subscribe<Image>(
+      "/mixed_lanes", 16,
+      std::function<void(const Image::ConstPtr&)>(
+          [&](const Image::ConstPtr&) { intra_received.fetch_add(1); }),
+      intra_options);
+
+  ros::SubscribeOptions tcp_options;
+  tcp_options.inline_dispatch = true;
+  tcp_options.allow_intra_process = false;
+  tcp_options.allow_shm = false;  // pinned to inline TCP frames
+  auto tcp_sub = sub_node.subscribe<Image>(
+      "/mixed_lanes", 16,
+      std::function<void(const Image::ConstPtr&)>(
+          [&](const Image::ConstPtr&) { tcp_received.fetch_add(1); }),
+      tcp_options);
+
+  ros::SubscribeOptions shm_options;
+  shm_options.inline_dispatch = true;
+  shm_options.allow_intra_process = false;  // force the wire, negotiate shm
+  auto shm_sub = sub_node.subscribe<Image>(
+      "/mixed_lanes", 16,
+      std::function<void(const Image::ConstPtr&)>(
+          [&](const Image::ConstPtr&) { shm_received.fetch_add(1); }),
+      shm_options);
+
+  // All three lanes live before the first publish: one intra link and two
+  // wire links, one of which negotiated the shm tier.
+  ASSERT_TRUE(WaitFor([&] {
+    const auto stats = pub.getStats();
+    return stats.intra_links == 1 && stats.tcp_links == 2 &&
+           stats.shm_links == 1;
+  }));
+
+  const uint64_t frames_before =
+      ros::shim::frame_builds.load(std::memory_order_relaxed);
+  const uint64_t descriptors_before =
+      ros::shim::descriptor_builds.load(std::memory_order_relaxed);
+
+  for (int i = 0; i < kMessages; ++i) {
+    auto img = Image::create();
+    img->data.resize(kBytes);
+    img->data[0] = 0x5A;
+    pub.publish(*img);
+    ASSERT_TRUE(WaitFor([&] {
+      return intra_received.load() > i && tcp_received.load() > i &&
+             shm_received.load() > i;
+    })) << "message " << i << " missing on some tier";
+  }
+
+  EXPECT_EQ(intra_sub.intraWholeCopyCount(),
+            static_cast<uint64_t>(kMessages));
+  EXPECT_EQ(shm_sub.shmZeroCopyCount(), static_cast<uint64_t>(kMessages));
+  EXPECT_EQ(tcp_sub.shmZeroCopyCount(), 0u);
+
+  // Publisher-side reconciliation: one intra + two wire attempts per
+  // publish, nothing dropped, every shm-lane delivery via descriptor.
+  const auto stats = pub.getStats();
+  EXPECT_EQ(stats.enqueued, static_cast<uint64_t>(3 * kMessages));
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.intra_delivered, static_cast<uint64_t>(kMessages));
+  EXPECT_EQ(stats.intra_whole_copy, static_cast<uint64_t>(kMessages));
+  EXPECT_EQ(stats.shm_descriptors, static_cast<uint64_t>(kMessages));
+  EXPECT_EQ(stats.shm_inline, 0u);
+
+  // Serialize-once proof: three lanes, but exactly ONE wire frame build
+  // and ONE descriptor encode per publish.
+  EXPECT_EQ(ros::shim::frame_builds.load(std::memory_order_relaxed) -
+                frames_before,
+            static_cast<uint64_t>(kMessages));
+  EXPECT_EQ(ros::shim::descriptor_builds.load(std::memory_order_relaxed) -
+                descriptors_before,
+            static_cast<uint64_t>(kMessages));
+
+  intra_sub.shutdown();
+  tcp_sub.shutdown();
+  shm_sub.shutdown();
+  ExpectNoLeakedBlocks();
+}
+
+/// Serialize-once at wide fan-out: six TCP subscribers, the frame is built
+/// exactly once per publish and shared by every lane.
+TEST_F(TransportLaneTest, SerializeOnceAtWideFanout) {
+  ScopedEnv off("RSF_TRANSPORT_SHM", "0");
+  constexpr int kSubscribers = 6;
+  constexpr int kMessages = 5;
+
+  ros::NodeHandle pub_node("fanout_pub");
+  ros::NodeHandle sub_node("fanout_sub");
+  auto pub = pub_node.advertise<Image>("/fanout_once", 8);
+
+  std::atomic<int> received{0};
+  ros::SubscribeOptions options;
+  options.inline_dispatch = true;
+  options.allow_intra_process = false;
+  options.allow_shm = false;
+  std::vector<ros::Subscriber> subs;
+  subs.reserve(kSubscribers);
+  for (int i = 0; i < kSubscribers; ++i) {
+    subs.push_back(sub_node.subscribe<Image>(
+        "/fanout_once", 8,
+        std::function<void(const Image::ConstPtr&)>(
+            [&](const Image::ConstPtr&) { received.fetch_add(1); }),
+        options));
+  }
+  ASSERT_TRUE(
+      WaitFor([&] { return pub.getStats().tcp_links == kSubscribers; }));
+
+  const uint64_t frames_before =
+      ros::shim::frame_builds.load(std::memory_order_relaxed);
+  const uint64_t descriptors_before =
+      ros::shim::descriptor_builds.load(std::memory_order_relaxed);
+
+  for (int i = 0; i < kMessages; ++i) {
+    auto img = Image::create();
+    img->data.resize(4096);
+    pub.publish(*img);
+  }
+  ASSERT_TRUE(
+      WaitFor([&] { return received.load() == kSubscribers * kMessages; }));
+
+  EXPECT_EQ(ros::shim::frame_builds.load(std::memory_order_relaxed) -
+                frames_before,
+            static_cast<uint64_t>(kMessages));
+  // No shm lane: the descriptor path must not even be attempted.
+  EXPECT_EQ(ros::shim::descriptor_builds.load(std::memory_order_relaxed) -
+                descriptors_before,
+            0u);
+
+  const auto stats = pub.getStats();
+  EXPECT_EQ(stats.enqueued, static_cast<uint64_t>(kSubscribers * kMessages));
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+/// A subscriber callback publishing on its own topic (inline intra
+/// dispatch runs it on the publisher's thread, inside the fan-out loop):
+/// the reused publish scratch is held, so the reentrant publish must take
+/// the local-vector fallback instead of deadlocking or corrupting the
+/// snapshot.
+TEST_F(TransportLaneTest, ReentrantPublishFromInlineCallback) {
+  ros::NodeHandle node("reentrant");
+  auto pub = node.advertise<Image>("/reentrant", 8);
+
+  std::atomic<int> received{0};
+  ros::Publisher* pub_ptr = &pub;
+  ros::SubscribeOptions options;
+  options.inline_dispatch = true;
+  auto sub = node.subscribe<Image>(
+      "/reentrant", 8,
+      std::function<void(const Image::ConstPtr&)>(
+          [&, pub_ptr](const Image::ConstPtr&) {
+            if (received.fetch_add(1) == 0) {
+              auto again = Image::create();
+              pub_ptr->publish(*again);  // reentrant: same publication
+            }
+          }),
+      options);
+  ASSERT_TRUE(WaitFor([&] { return pub.getStats().intra_links == 1; }));
+
+  auto img = Image::create();
+  pub.publish(*img);
+
+  ASSERT_TRUE(WaitFor([&] { return received.load() == 2; }));
+  EXPECT_EQ(pub.getStats().dropped, 0u);
+}
+
+/// A stalled shm subscriber (never acks) overflows the pin ledger: the
+/// oldest pins are evicted drop-oldest, each eviction counted as a
+/// publisher drop and in shim::shm_pin_evictions.
+TEST_F(TransportLaneTest, PinLedgerEvictionCountsAsDrops) {
+  ScopedEnv on("RSF_TRANSPORT_SHM", "1");
+  constexpr size_t kBytes = 48 * 1024;
+  // queue_size 8 → max_pins = max(2*8, 64) = 64; 9 publishes past the
+  // bound must evict exactly 9 pins.
+  constexpr size_t kQueue = 8;
+  constexpr size_t kMaxPins = 64;
+  constexpr size_t kOverflow = 9;
+  constexpr size_t kMessages = kMaxPins + kOverflow;
+
+  auto publication = ros::Publication::Create(
+      "/pin_evict", Image::DataType(), ros::TransportChecksum<Image>(),
+      "pin_pub", kQueue, /*intra_capable=*/false);
+  ASSERT_TRUE(publication.ok());
+  auto pub = *publication;
+
+  // A raw dialing client that completes the TCPROS handshake with an shm
+  // request, drains descriptor frames off the socket, and never acks —
+  // the stalled-subscriber half of DESIGN.md §12.4 row (f) without the
+  // process kill.
+  std::atomic<bool> granted{false};
+  std::atomic<size_t> descriptors_received{0};
+  auto ctrl_buf = std::make_shared<std::vector<uint8_t>>();
+
+  rsf::net::Link::Callbacks callbacks;
+  callbacks.make_handshake_request = [] {
+    auto header = ros::MakeSubscriberHeader(
+        "/pin_evict", Image::DataType(), ros::TransportChecksum<Image>(),
+        "stalled_sub");
+    ros::AddShmRequestFields(&header, ::getpid());
+    return ros::EncodeConnectionHeader(header);
+  };
+  callbacks.on_handshake_reply = [&granted](const uint8_t* data,
+                                            uint32_t length) {
+    auto header = ros::DecodeConnectionHeader(data, length);
+    if (!header.ok() || header->count("error") != 0) return false;
+    const ros::ShmGrant grant =
+        ros::ParseShmGrant(*header, sfm::shm::kMaxPeers);
+    granted.store(grant.granted);
+    return true;
+  };
+  callbacks.alloc = [ctrl_buf](uint32_t raw) -> uint8_t* {
+    if (rsf::net::FrameTag(raw) != rsf::net::kFrameTagShmDescriptor) {
+      return nullptr;  // only descriptors expected; anything else is a bug
+    }
+    ctrl_buf->resize(rsf::net::FrameLength(raw));
+    return ctrl_buf->data();
+  };
+  callbacks.on_frame = [&descriptors_received](uint32_t) {
+    descriptors_received.fetch_add(1);  // read, discard, NEVER ack
+  };
+
+  auto link = rsf::net::Link::Dial("127.0.0.1", pub->port(),
+                                   rsf::net::Reactor::Get().NextLoop(),
+                                   rsf::net::Link::Options{},
+                                   std::move(callbacks));
+  ASSERT_TRUE(WaitFor(
+      [&] { return granted.load() && pub->Stats().shm_links == 1; }));
+
+  const uint64_t evictions_before =
+      ros::shim::shm_pin_evictions.load(std::memory_order_relaxed);
+
+  for (size_t i = 0; i < kMessages; ++i) {
+    auto img = Image::create();
+    img->data.resize(kBytes);
+    pub->Publish(ros::Serializer<Image>::ToWire(*img));
+    // Pace against the client so the link queue never evicts — every drop
+    // below must come from the pin ledger alone.
+    ASSERT_TRUE(WaitFor([&] { return descriptors_received.load() > i; }));
+  }
+
+  const auto stats = pub->Stats();
+  EXPECT_EQ(stats.enqueued, static_cast<uint64_t>(kMessages));
+  EXPECT_EQ(stats.shm_descriptors, static_cast<uint64_t>(kMessages));
+  EXPECT_EQ(stats.dropped, static_cast<uint64_t>(kOverflow));
+  EXPECT_EQ(ros::shim::shm_pin_evictions.load(std::memory_order_relaxed) -
+                evictions_before,
+            static_cast<uint64_t>(kOverflow));
+  EXPECT_EQ(pub->SentCount(), static_cast<uint64_t>(kMaxPins));
+
+  link->CloseSync();
+  pub->Shutdown();
+  ExpectNoLeakedBlocks();
+}
+
+}  // namespace
